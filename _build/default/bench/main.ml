@@ -1,0 +1,159 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (via the experiments library) and measures the host-side
+   cost of the core primitive behind each one with Bechamel.
+
+   Usage: dune exec bench/main.exe [-- --full] — the default trims the
+   reproduction ladders for a single-core smoke run; --full uses
+   paper-scale parameters. *)
+
+open Bechamel
+open Toolkit
+
+(* {1 Prepared fixtures for the staged benchmarks} *)
+
+let gib n = Int64.mul (Int64.of_int n) (Int64.of_int (Mem.Mconfig.mib 1024))
+
+(* One long-lived simulated node used by the staged functions. Each
+   staged run drives the engine until its work completes; the engine is
+   reusable across runs. *)
+type fixture = {
+  engine : Sim.Engine.t;
+  env : Seuss.Osenv.t;
+  node : Seuss.Node.t;
+  base : Seuss.Snapshot.t;
+}
+
+let make_fixture () =
+  let engine = Sim.Engine.create ~seed:99L () in
+  let env = Seuss.Osenv.create ~budget_bytes:(gib 16) engine in
+  let holder = ref None in
+  Sim.Engine.spawn engine ~name:"fixture" (fun () ->
+      let node = Seuss.Node.create env in
+      Seuss.Node.start node;
+      holder := Some node);
+  Sim.Engine.run engine;
+  let node = Option.get !holder in
+  let base = Option.get (Seuss.Node.base_snapshot node Unikernel.Image.Node) in
+  { engine; env; node; base }
+
+let in_fixture fx f =
+  Sim.Engine.spawn fx.engine ~name:"bench" f;
+  Sim.Engine.run fx.engine
+
+(* Table 1's primitive: the full snapshot lifecycle — deploy a UC from
+   the base snapshot, capture a snapshot of it, delete both. *)
+let bench_snapshot_lifecycle fx () =
+  in_fixture fx (fun () ->
+      let uc = Seuss.Uc.deploy fx.env fx.base in
+      (* Let the guest finish resuming before the capture reads it. *)
+      Sim.Engine.sleep 0.05;
+      let snap = Seuss.Uc.capture uc ~env:fx.env ~name:"bench" in
+      Seuss.Uc.destroy uc;
+      ignore (Seuss.Snapshot.try_delete ~env:fx.env snap))
+
+(* Table 2's primitive: importing and compiling the NOP function (the
+   work AO moves off the critical path). *)
+let bench_compile_nop () =
+  match
+    Interp.Minijs.load ~host:Interp.Builtins.null_host
+      "function main(args) { return {}; }"
+  with
+  | Ok _ -> ()
+  | Error e -> failwith e
+
+(* Table 3's primitive: the deploy path — shallow page-table copy of the
+   ~28k-page base image plus release. *)
+let bench_pt_clone fx () =
+  let table = fx.base.Seuss.Snapshot.table in
+  let clone = Mem.Page_table.clone_shallow table in
+  Mem.Page_table.release clone
+
+(* Figure 4's primitive: one hot invocation end to end on the node. *)
+let bench_hot_invocation fx =
+  let fn =
+    {
+      Seuss.Node.fn_id = "bench-hot";
+      runtime = Unikernel.Image.Node;
+      source = "function main(args) { return {}; }";
+    }
+  in
+  in_fixture fx (fun () ->
+      match Seuss.Node.invoke fx.node fn ~args:"{}" with
+      | Ok _, _ -> ()
+      | Error _, _ -> failwith "bench warmup failed");
+  fun () ->
+    in_fixture fx (fun () ->
+        match Seuss.Node.invoke fx.node fn ~args:"{}" with
+        | Ok _, _ -> ()
+        | Error _, _ -> failwith "bench invocation failed")
+
+(* Figure 5's primitive: percentile digestion of a trial's latencies. *)
+let bench_percentiles =
+  let rng = Sim.Prng.create 4L in
+  let samples = Array.init 10_000 (fun _ -> Sim.Prng.float rng) in
+  fun () ->
+    let s = Stats.Summary.create () in
+    Array.iter (Stats.Summary.add s) samples;
+    ignore (Stats.Summary.digest s)
+
+(* Figures 6-8's primitive: the burst deployment cycle — deploy (the
+   guest's resume writes its per-instance pages, real zero-fill/COW
+   work) and destroy. *)
+let bench_cow_fault fx () =
+  in_fixture fx (fun () ->
+      let uc = Seuss.Uc.deploy fx.env fx.base in
+      Seuss.Uc.destroy uc)
+
+let make_tests fx =
+  Test.make_grouped ~name:"seuss"
+    [
+      Test.make ~name:"table1:snapshot-lifecycle"
+        (Staged.stage (bench_snapshot_lifecycle fx));
+      Test.make ~name:"table2:import-compile-nop" (Staged.stage bench_compile_nop);
+      Test.make ~name:"table3:pt-shallow-copy" (Staged.stage (bench_pt_clone fx));
+      Test.make ~name:"fig4:hot-invocation" (Staged.stage (bench_hot_invocation fx));
+      Test.make ~name:"fig5:latency-percentiles" (Staged.stage bench_percentiles);
+      Test.make ~name:"fig6-8:deploy-destroy" (Staged.stage (bench_cow_fault fx));
+    ]
+
+let run_benchmarks () =
+  let fx = make_fixture () in
+  let tests = make_tests fx in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:false ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  print_endline "Host-side microbenchmarks (Bechamel, monotonic clock)";
+  print_endline "-----------------------------------------------------";
+  let rows = Hashtbl.fold (fun k v acc -> (k, v) :: acc) results [] in
+  List.iter
+    (fun (name, ols_result) ->
+      let estimate =
+        match Analyze.OLS.estimates ols_result with
+        | Some (t :: _) -> Printf.sprintf "%12.1f ns/run" t
+        | _ -> "            n/a"
+      in
+      let r2 =
+        match Analyze.OLS.r_square ols_result with
+        | Some r -> Printf.sprintf "r²=%.3f" r
+        | None -> ""
+      in
+      Printf.printf "  %-32s %s  %s\n" name estimate r2)
+    (List.sort compare rows);
+  print_newline ()
+
+let () =
+  let full = Array.exists (fun a -> a = "--full") Sys.argv in
+  let scale = if full then Experiments.All.Full else Experiments.All.Quick in
+  print_endline
+    "SEUSS reproduction benchmark: regenerating every table and figure";
+  print_endline
+    (Printf.sprintf "(scale: %s; see DESIGN.md for the experiment index)\n"
+       (if full then "full/paper" else "quick"));
+  print_string (Experiments.All.run ~scale ());
+  run_benchmarks ()

@@ -1,0 +1,331 @@
+(* seussctl: run the SEUSS reproduction experiments from the command
+   line. Each subcommand regenerates one of the paper's tables/figures
+   (see DESIGN.md's experiment index). *)
+
+open Cmdliner
+
+let seed_arg =
+  let doc = "PRNG seed (experiments are deterministic per seed)." in
+  Arg.(value & opt int64 7L & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let print s = print_string s
+
+let table1_cmd =
+  let invocations =
+    Arg.(
+      value & opt int 475
+      & info [ "n"; "invocations" ] ~docv:"N"
+          ~doc:"Invocations per path (paper: 475).")
+  in
+  let run invocations seed =
+    print (Experiments.Table1.render (Experiments.Table1.run ~invocations ~seed ()))
+  in
+  Cmd.v
+    (Cmd.info "table1" ~doc:"Table 1: SEUSS microbenchmarks")
+    Term.(const run $ invocations $ seed_arg)
+
+let table2_cmd =
+  let invocations =
+    Arg.(value & opt int 50 & info [ "n" ] ~docv:"N" ~doc:"Invocations per cell.")
+  in
+  let run invocations seed =
+    print (Experiments.Table2.render (Experiments.Table2.run ~invocations ~seed ()))
+  in
+  Cmd.v
+    (Cmd.info "table2" ~doc:"Table 2: latency across AO levels")
+    Term.(const run $ invocations $ seed_arg)
+
+let table3_cmd =
+  let mem_gib =
+    Arg.(
+      value & opt int 88
+      & info [ "mem-gib" ] ~docv:"GIB"
+          ~doc:"Node memory budget in GiB (paper: 88; smaller runs faster).")
+  in
+  let run mem_gib seed =
+    let budget_bytes =
+      Int64.mul (Int64.of_int mem_gib) (Int64.of_int (Mem.Mconfig.mib 1024))
+    in
+    print (Experiments.Table3.render (Experiments.Table3.run ~budget_bytes ~seed ()))
+  in
+  Cmd.v
+    (Cmd.info "table3" ~doc:"Table 3: cache density and creation rates")
+    Term.(const run $ mem_gib $ seed_arg)
+
+let sizes_arg =
+  Arg.(
+    value
+    & opt (list int) Experiments.Fig4.default_set_sizes
+    & info [ "sizes" ] ~docv:"M,M,..."
+        ~doc:"Unique-function set sizes (one trial each).")
+
+let csv_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "csv" ] ~docv:"PATH" ~doc:"Also write the data as CSV.")
+
+let fig4_cmd =
+  let threads =
+    Arg.(value & opt int 32 & info [ "threads" ] ~docv:"C" ~doc:"Client threads.")
+  in
+  let run sizes threads csv seed =
+    let r = Experiments.Fig4.run ~set_sizes:sizes ~client_threads:threads ~seed () in
+    print (Experiments.Fig4.render r);
+    Option.iter (fun path -> Experiments.Fig4.write_csv ~path r) csv
+  in
+  Cmd.v
+    (Cmd.info "fig4" ~doc:"Figure 4: platform throughput vs set size")
+    Term.(const run $ sizes_arg $ threads $ csv_arg $ seed_arg)
+
+let fig5_cmd =
+  let sizes =
+    Arg.(
+      value & opt (list int) [ 64; 2048; 65536 ]
+      & info [ "sizes" ] ~docv:"M,M,..." ~doc:"Set sizes (paper: 64,2048,65536).")
+  in
+  let requests =
+    Arg.(value & opt int 2048 & info [ "requests" ] ~docv:"N" ~doc:"Measured requests per panel.")
+  in
+  let run sizes requests csv seed =
+    let panels = Experiments.Fig5.run ~set_sizes:sizes ~requests ~seed () in
+    print (Experiments.Fig5.render panels);
+    Option.iter (fun path -> Experiments.Fig5.write_csv ~path panels) csv
+  in
+  Cmd.v
+    (Cmd.info "fig5" ~doc:"Figure 5: end-to-end latency percentiles")
+    Term.(const run $ sizes $ requests $ csv_arg $ seed_arg)
+
+let burst_cmd =
+  let period =
+    Arg.(
+      value & opt float 32.0
+      & info [ "period" ] ~docv:"SECONDS" ~doc:"Burst period (paper: 32, 16, 8).")
+  in
+  let duration =
+    Arg.(value & opt float 300.0 & info [ "duration" ] ~docv:"SECONDS" ~doc:"Run length.")
+  in
+  let size =
+    Arg.(value & opt int 64 & info [ "burst-size" ] ~docv:"N" ~doc:"Concurrent requests per burst.")
+  in
+  let run period duration size csv seed =
+    let r = Experiments.Fig_burst.run ~period ~duration ~burst_size:size ~seed () in
+    print (Experiments.Fig_burst.render r);
+    Option.iter (fun path -> Experiments.Fig_burst.write_csv ~path r) csv
+  in
+  Cmd.v
+    (Cmd.info "burst" ~doc:"Figures 6-8: burst resiliency")
+    Term.(const run $ period $ duration $ size $ csv_arg $ seed_arg)
+
+let ablations_cmd =
+  let invocations =
+    Arg.(value & opt int 30 & info [ "n" ] ~docv:"N" ~doc:"Invocations per cell.")
+  in
+  let run invocations seed =
+    print (Experiments.Ablations.render (Experiments.Ablations.run ~invocations ~seed ()))
+  in
+  Cmd.v
+    (Cmd.info "ablations" ~doc:"Design-choice ablations (DESIGN.md)")
+    Term.(const run $ invocations $ seed_arg)
+
+let drseuss_cmd =
+  let nodes =
+    Arg.(value & opt int 4 & info [ "nodes" ] ~docv:"N" ~doc:"Cluster size.")
+  in
+  let functions =
+    Arg.(value & opt int 40 & info [ "functions" ] ~docv:"M" ~doc:"Unique functions.")
+  in
+  let run nodes functions seed =
+    print
+      (Experiments.Drseuss_exp.render
+         (Experiments.Drseuss_exp.run ~nodes ~functions ~seed ()))
+  in
+  Cmd.v
+    (Cmd.info "drseuss" ~doc:"Extension: distributed snapshot cache (paper S9)")
+    Term.(const run $ nodes $ functions $ seed_arg)
+
+let ksm_cmd =
+  let mem =
+    Arg.(value & opt int 3072 & info [ "mem-mib" ] ~docv:"MIB" ~doc:"Node memory budget.")
+  in
+  let run mem seed =
+    print (Experiments.Ksm_exp.render (Experiments.Ksm_exp.run ~budget_mib:mem ~seed ()))
+  in
+  Cmd.v
+    (Cmd.info "ksm" ~doc:"Ablation: retroactive dedup (KSM) vs snapshot stacks")
+    Term.(const run $ mem $ seed_arg)
+
+let all_cmd =
+  let full =
+    Arg.(
+      value & flag
+      & info [ "full" ]
+          ~doc:"Paper-scale parameters (88 GB density sweep, full burst set).")
+  in
+  let run full seed =
+    let scale = if full then Experiments.All.Full else Experiments.All.Quick in
+    print (Experiments.All.run ~scale ~seed ())
+  in
+  Cmd.v
+    (Cmd.info "all" ~doc:"Run every table and figure")
+    Term.(const run $ full $ seed_arg)
+
+let trace_cmd =
+  let source =
+    Arg.(
+      value
+      & opt string "function main(args) { return {}; }"
+      & info [ "source" ] ~docv:"MINIJS" ~doc:"Function source to trace.")
+  in
+  let run source seed =
+    let engine = Sim.Engine.create ~seed () in
+    Sim.Engine.spawn engine ~name:"trace" (fun () ->
+        let env = Seuss.Osenv.create engine in
+        let node = Seuss.Node.create env in
+        Seuss.Node.start node;
+        let fn =
+          { Seuss.Node.fn_id = "traced"; runtime = Unikernel.Image.Node; source }
+        in
+        let traced label prepare =
+          prepare ();
+          let tr = Sim.Trace.start engine in
+          let t0 = Sim.Engine.now engine in
+          (match Seuss.Node.invoke node fn ~args:"{}" with
+          | Ok _, _ -> ()
+          | Error _, _ -> prerr_endline "invocation failed");
+          let total = Sim.Engine.now engine -. t0 in
+          let spans = Sim.Trace.stop tr in
+          Printf.printf "%s invocation (%.2f ms total)
+%s
+" label
+            (total *. 1e3) (Sim.Trace.render spans)
+        in
+        traced "cold" (fun () -> ());
+        traced "hot" (fun () -> ());
+        traced "warm" (fun () -> Seuss.Node.drop_idle node ~fn_id:"traced"));
+    Sim.Engine.run engine
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Trace one cold, hot and warm invocation (span waterfalls)")
+    Term.(const run $ source $ seed_arg)
+
+let autoao_cmd =
+  let invocations =
+    Arg.(value & opt int 20 & info [ "n" ] ~docv:"N" ~doc:"Invocations per cell.")
+  in
+  let run invocations seed =
+    print (Experiments.Auto_ao.render (Experiments.Auto_ao.run ~invocations ~seed ()))
+  in
+  Cmd.v
+    (Cmd.info "autoao"
+       ~doc:"Extension: black-box discovery of AO opportunities (paper S9)")
+    Term.(const run $ invocations $ seed_arg)
+
+let snapshots_cmd =
+  let functions =
+    Arg.(value & opt int 8 & info [ "functions" ] ~docv:"M" ~doc:"Functions to deploy first.")
+  in
+  let run functions seed =
+    let engine = Sim.Engine.create ~seed () in
+    Sim.Engine.spawn engine ~name:"snapshots" (fun () ->
+        let env = Seuss.Osenv.create engine in
+        let node = Seuss.Node.create env in
+        Seuss.Node.start node;
+        for i = 1 to functions do
+          ignore
+            (Seuss.Node.invoke node
+               {
+                 Seuss.Node.fn_id = Printf.sprintf "fn-%d" i;
+                 runtime = Unikernel.Image.Node;
+                 source =
+                   Printf.sprintf
+                     "function main(args) { return {fn: %d, v: hash(\"x%d\")}; }"
+                     i i;
+               }
+               ~args:"{}")
+        done;
+        (* Render the snapshot stack, docker-images style. *)
+        let table =
+          Stats.Tablefmt.create
+            ~columns:
+              [
+                ("snapshot", Stats.Tablefmt.Left);
+                ("depth", Stats.Tablefmt.Right);
+                ("diff", Stats.Tablefmt.Right);
+                ("mapped", Stats.Tablefmt.Right);
+                ("deps", Stats.Tablefmt.Right);
+              ]
+        in
+        let row name (s : Seuss.Snapshot.t) =
+          Stats.Tablefmt.add_row table
+            [
+              name;
+              string_of_int (Seuss.Snapshot.depth s);
+              Printf.sprintf "%.1f MB"
+                (Int64.to_float (Seuss.Snapshot.diff_bytes s) /. 1048576.0);
+              Printf.sprintf "%.1f MB"
+                (Int64.to_float (Seuss.Snapshot.total_bytes s) /. 1048576.0);
+              string_of_int (Seuss.Snapshot.dependents s);
+            ]
+        in
+        (match Seuss.Node.base_snapshot node Unikernel.Image.Node with
+        | Some base -> row base.Seuss.Snapshot.name base
+        | None -> ());
+        Stats.Tablefmt.add_separator table;
+        List.iter
+          (fun (fn_id, s) -> row ("  +- " ^ fn_id) s)
+          (List.sort compare (Seuss.Node.snapshot_inventory node));
+        print_string (Stats.Tablefmt.render table);
+        let shared =
+          match Seuss.Node.base_snapshot node Unikernel.Image.Node with
+          | Some base -> Seuss.Snapshot.total_bytes base
+          | None -> 0L
+        in
+        let diffs =
+          List.fold_left
+            (fun acc (_, s) -> Int64.add acc (Seuss.Snapshot.diff_bytes s))
+            0L
+            (Seuss.Node.snapshot_inventory node)
+        in
+        Printf.printf
+          "\n%d function snapshots share one %.1f MB base; flat copies would\n\
+           need %.1f MB, the stack stores %.1f MB (the S3 Foo()/Bar() example\n\
+           at scale).\n"
+          functions
+          (Int64.to_float shared /. 1048576.0)
+          (Int64.to_float
+             (Int64.add (Int64.mul (Int64.of_int functions) shared) diffs)
+          /. 1048576.0)
+          (Int64.to_float (Int64.add shared diffs) /. 1048576.0));
+    Sim.Engine.run engine
+  in
+  Cmd.v
+    (Cmd.info "snapshots"
+       ~doc:"Deploy some functions and inspect the snapshot stack")
+    Term.(const run $ functions $ seed_arg)
+
+let info_cmd =
+  let run () =
+    Printf.printf
+      "SEUSS reproduction (EuroSys '20: Skip Redundant Paths to Make \
+       Serverless Fast)\n\n\
+       Modeled compute node: %d-core VM, %Ld bytes of memory, 4 KiB pages.\n\
+       Unikernel image (Node.js): %d pages (%.1f MB).\n\
+       Guest hypercall surface: %d calls.\n\
+       Experiments: table1 table2 table3 fig4 fig5 burst ablations all\n"
+      Seuss.Config.default.Seuss.Config.cores Mem.Mconfig.default_budget_bytes
+      (Unikernel.Image.total_pages Unikernel.Image.node)
+      (float_of_int (Unikernel.Image.total_pages Unikernel.Image.node)
+       *. 4096.0 /. 1048576.0)
+      Unikernel.Hypercall.interface_size
+  in
+  Cmd.v (Cmd.info "info" ~doc:"Show modeled-system parameters") Term.(const run $ const ())
+
+let () =
+  let doc = "SEUSS (EuroSys '20) reproduction experiments" in
+  let main = Cmd.group (Cmd.info "seussctl" ~doc)
+      [ table1_cmd; table2_cmd; table3_cmd; fig4_cmd; fig5_cmd; burst_cmd;
+        ablations_cmd; drseuss_cmd; ksm_cmd; autoao_cmd; trace_cmd; snapshots_cmd; all_cmd; info_cmd ]
+  in
+  exit (Cmd.eval main)

@@ -1,0 +1,1 @@
+examples/burst_demo.ml: Array Baselines Experiments Int64 List Mem Platform Printf Stats

@@ -1,0 +1,1 @@
+examples/drseuss_demo.ml: Cluster Int64 Printf Seuss Sim String Unikernel

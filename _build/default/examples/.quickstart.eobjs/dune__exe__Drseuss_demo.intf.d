@@ -1,0 +1,1 @@
+examples/drseuss_demo.mli:

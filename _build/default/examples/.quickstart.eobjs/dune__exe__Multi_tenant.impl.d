@@ -1,0 +1,1 @@
+examples/multi_tenant.ml: Int64 List Mem Printf Seuss Sim Unikernel

@@ -1,0 +1,1 @@
+examples/pipeline.ml: List Printf Seuss Sim String Unikernel

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Int64 Printf Seuss Sim Unikernel

@@ -1,0 +1,75 @@
+(* Quickstart: boot a SEUSS compute node, register a function, and watch
+   the three invocation paths.
+
+     dune exec examples/quickstart.exe
+
+   The simulation models the paper's 88 GB / 16-core node. A function is
+   a snippet of MiniJS (a JavaScript-like language) with a [main] entry
+   point; the node imports and compiles it on the first (cold)
+   invocation, captures a function snapshot, and serves repeats from the
+   snapshot (warm) or from a cached idle unikernel context (hot). *)
+
+let function_source =
+  {|
+  function main(args) {
+    let total = 0;
+    for (let i = 0; i < len(args.items); i += 1) {
+      total += args.items[i];
+    }
+    return {sum: total, count: len(args.items)};
+  }
+|}
+
+let () =
+  let engine = Sim.Engine.create ~seed:1L () in
+  Sim.Engine.spawn engine ~name:"quickstart" (fun () ->
+      (* An OS environment: memory budget, cores, proxy, PRNG. *)
+      let env = Seuss.Osenv.create engine in
+      let node = Seuss.Node.create env in
+      (* Boot the Node.js unikernel, apply anticipatory optimization and
+         capture the base runtime snapshot (takes a few simulated
+         seconds, once per node). *)
+      Seuss.Node.start node;
+      Printf.printf "node started at t=%.2fs (simulated)\n"
+        (Sim.Engine.now engine);
+
+      let fn =
+        {
+          Seuss.Node.fn_id = "sum-service";
+          runtime = Unikernel.Image.Node;
+          source = function_source;
+        }
+      in
+      let invoke label =
+        let t0 = Sim.Engine.now engine in
+        match Seuss.Node.invoke node fn ~args:"{items: [1, 2, 3, 4, 5]}" with
+        | Ok result, path ->
+            Printf.printf "%-18s %-4s -> %s  (%.2f ms)\n" label
+              (match path with
+              | Seuss.Node.Cold -> "cold"
+              | Seuss.Node.Warm -> "warm"
+              | Seuss.Node.Hot -> "hot")
+              result
+              ((Sim.Engine.now engine -. t0) *. 1e3)
+        | Error _, _ -> print_endline "invocation failed"
+      in
+      invoke "first call";
+      invoke "second call";
+      (* Drop the cached idle UC to show the warm path. *)
+      Seuss.Node.drop_idle node ~fn_id:"sum-service";
+      invoke "after idle drop";
+
+      (match Seuss.Node.function_snapshot node "sum-service" with
+      | Some snap ->
+          Printf.printf
+            "\nfunction snapshot: %s diff on a %s base (stack depth %d)\n"
+            (Printf.sprintf "%.1f MB"
+               (Int64.to_float (Seuss.Snapshot.diff_bytes snap) /. 1048576.0))
+            (Printf.sprintf "%.1f MB"
+               (Int64.to_float (Seuss.Snapshot.total_bytes snap) /. 1048576.0))
+            (Seuss.Snapshot.depth snap)
+      | None -> ());
+      let s = Seuss.Node.stats node in
+      Printf.printf "paths served: %d cold, %d warm, %d hot\n" s.Seuss.Node.cold
+        s.Seuss.Node.warm s.Seuss.Node.hot);
+  Sim.Engine.run engine

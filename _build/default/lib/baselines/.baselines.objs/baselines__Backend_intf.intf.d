@@ -1,0 +1,1 @@
+lib/baselines/backend_intf.mli:

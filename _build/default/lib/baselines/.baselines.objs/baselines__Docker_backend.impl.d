@@ -1,0 +1,1 @@
+lib/baselines/docker_backend.ml: Backend_intf Float Int64 Mem Net Process_backend Seuss Sim

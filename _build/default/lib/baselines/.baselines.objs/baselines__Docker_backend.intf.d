@@ -1,0 +1,1 @@
+lib/baselines/docker_backend.mli: Backend_intf Mem Net Seuss

@@ -1,0 +1,1 @@
+lib/baselines/firecracker_backend.ml: Backend_intf Int64 Mem Seuss Sim

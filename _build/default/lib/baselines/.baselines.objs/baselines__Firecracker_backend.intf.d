@@ -1,0 +1,1 @@
+lib/baselines/firecracker_backend.mli: Backend_intf Seuss

@@ -1,0 +1,1 @@
+lib/baselines/ksm.ml: Mem Queue Seuss Sim

@@ -1,0 +1,1 @@
+lib/baselines/ksm.mli: Mem Seuss Sim

@@ -1,0 +1,1 @@
+lib/baselines/linux_node.ml: Backend_intf Docker_backend Hashtbl Mem Net Printf Process_backend Queue Seuss Sim

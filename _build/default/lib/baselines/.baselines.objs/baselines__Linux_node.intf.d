@@ -1,0 +1,1 @@
+lib/baselines/linux_node.mli: Backend_intf Net Seuss

@@ -1,0 +1,1 @@
+lib/baselines/process_backend.mli: Backend_intf Seuss

@@ -1,0 +1,8 @@
+type t = {
+  name : string;
+  create_instance : unit -> bool;
+  instance_count : unit -> int;
+  marginal_bytes : unit -> int64;
+}
+
+type action = Nop | Cpu_ms of float | Io_call of string * float

@@ -1,0 +1,28 @@
+(** Common shape of the Table 3 isolation methods.
+
+    Each backend can create one idle Node.js runtime environment (the
+    interpreter running the invocation driver, blocked on a port, no
+    code imported) and report how many it holds — exactly the unit the
+    paper's density and creation-rate microbenchmarks measure. *)
+
+(** What a function invocation does once its environment is up — the
+    three behaviours the paper's evaluation exercises. The SEUSS side
+    compiles these to real MiniJS source; the Linux side interprets them
+    directly inside the container model. *)
+type action =
+  | Nop  (** the Table 1 / Figure 4 JavaScript NOP *)
+  | Cpu_ms of float  (** the burst experiments' ~150 ms compute kernel *)
+  | Io_call of string * float
+      (** blocking call to an external HTTP endpoint (url, expected
+          server delay) — the background stream of Figures 6-8 *)
+
+type t = {
+  name : string;
+  create_instance : unit -> bool;
+      (** Deploy one idle instance (blocking, inside a simulation
+          process). [false] when the node's memory is exhausted. *)
+  instance_count : unit -> int;
+  marginal_bytes : unit -> int64;
+      (** Memory charged per additional instance at the current
+          population (total used / count). *)
+}

@@ -1,0 +1,23 @@
+(** Kata Containers / Firecracker microVMs (Table 3 row 1).
+
+    Each instance is the same Node.js container image booted inside a
+    dedicated Firecracker VM: a full guest Linux kernel plus the
+    container runtime, with no cross-instance page sharing. The paper
+    measures >3 s to deploy one instance, 1.3 creations/s at 16-way
+    parallelism, and ~450 instances in 88 GB (the >100 MB kernel
+    overhead per instance). *)
+
+type t
+
+val create : Seuss.Osenv.t -> t
+
+val backend : t -> Backend_intf.t
+
+val vm_pages : int
+(** Private pages per microVM (guest kernel + userspace + runtime). *)
+
+val boot_time : float
+
+val device_parallelism : int
+(** Host-side VM setup (tap devices, jailer, VMM spawn) serializes at
+    this effective parallelism. *)

@@ -1,0 +1,22 @@
+(** Plain Linux processes (Table 3 row 3).
+
+    "As processes provide insufficient isolation, the purpose of this
+    result is to show the baseline memory sharing and startup latency of
+    Node.js on Linux." Processes share the interpreter text and
+    libraries (mapped read-only from a common image over the same frame
+    substrate SEUSS uses) but each carries ~22 MB of private heap —
+    which is what limits the paper's node to ~4,200 instances, and
+    fork+exec+initialize costs ~350 ms of CPU, giving ~45 creations/s
+    across 16 cores. *)
+
+type t
+
+val create : Seuss.Osenv.t -> t
+
+val backend : t -> Backend_intf.t
+
+val shared_image_pages : int
+
+val private_pages_per_process : int
+
+val creation_cpu_time : float

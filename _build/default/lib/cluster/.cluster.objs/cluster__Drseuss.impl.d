@@ -1,0 +1,1 @@
+lib/cluster/drseuss.ml: Array Int64 Mem Net Option Registry Seuss Sim

@@ -1,0 +1,1 @@
+lib/cluster/drseuss.mli: Registry Seuss Sim

@@ -1,0 +1,1 @@
+lib/cluster/registry.ml: Hashtbl List Option Seuss

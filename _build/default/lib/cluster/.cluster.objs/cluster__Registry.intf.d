@@ -1,0 +1,1 @@
+lib/cluster/registry.mli: Seuss

@@ -1,0 +1,164 @@
+type handle = {
+  id : int;
+  env : Seuss.Osenv.t;
+  node : Seuss.Node.t;
+  mutable inflight : int;
+}
+
+type source = Local of Seuss.Node.path | Remote_fetch | Cluster_cold
+
+type stats = {
+  local_invocations : int;
+  remote_fetches : int;
+  cluster_colds : int;
+  bytes_transferred : int64;
+}
+
+type t = {
+  engine : Sim.Engine.t;
+  reg : Registry.t;
+  members : handle array;
+  mutable cursor : int;
+  mutable s_local : int;
+  mutable s_fetches : int;
+  mutable s_colds : int;
+  mutable s_bytes : int64;
+}
+
+let gib = Int64.of_int (Mem.Mconfig.mib 1024)
+
+let create ?(nodes = 4) ?(budget_per_node = Int64.mul 16L gib) ?config engine
+    =
+  if nodes < 1 then invalid_arg "Cluster.create: need at least one node";
+  let members =
+    Array.init nodes (fun id ->
+        let env = Seuss.Osenv.create ~budget_bytes:budget_per_node engine in
+        let node = Seuss.Node.create ?config env in
+        Seuss.Node.start node;
+        { id; env; node; inflight = 0 })
+  in
+  {
+    engine;
+    reg = Registry.create ();
+    members;
+    cursor = 0;
+    s_local = 0;
+    s_fetches = 0;
+    s_colds = 0;
+    s_bytes = 0L;
+  }
+
+let node_count t = Array.length t.members
+let nodes t = Array.to_list (Array.map (fun m -> m.node) t.members)
+let registry t = t.reg
+
+let stats t =
+  {
+    local_invocations = t.s_local;
+    remote_fetches = t.s_fetches;
+    cluster_colds = t.s_colds;
+    bytes_transferred = t.s_bytes;
+  }
+
+let transfer_time snapshot =
+  let bytes = Int64.to_float (Seuss.Snapshot.diff_bytes snapshot) in
+  let link = Net.Netconf.lan in
+  (2.0 *. link.Net.Netconf.latency) +. (bytes /. link.Net.Netconf.bandwidth)
+
+(* Least-loaded, ties broken round-robin so idle clusters still spread
+   work (and exercise the distributed cache). *)
+let least_loaded t =
+  let n = Array.length t.members in
+  let best = ref t.members.(t.cursor mod n) in
+  for i = 0 to n - 1 do
+    let m = t.members.((t.cursor + i) mod n) in
+    if m.inflight < !best.inflight then best := m
+  done;
+  t.cursor <- (t.cursor + 1) mod n;
+  !best
+
+(* Publish the snapshot a cold invocation just produced. *)
+let publish_if_captured t member fn_id =
+  match Seuss.Node.function_snapshot member.node fn_id with
+  | Some snap -> Registry.publish t.reg ~fn_id ~node_id:member.id snap
+  | None -> ()
+
+let invoke_unregistered t (fn : Seuss.Node.fn) ~args =
+  let member = least_loaded t in
+  member.inflight <- member.inflight + 1;
+  let had_local =
+    Option.is_some (Seuss.Node.function_snapshot member.node fn.Seuss.Node.fn_id)
+  in
+  let result, path = Seuss.Node.invoke member.node fn ~args in
+  member.inflight <- member.inflight - 1;
+  let source =
+    match path with
+    | Seuss.Node.Cold when not had_local ->
+        t.s_colds <- t.s_colds + 1;
+        Cluster_cold
+    | p ->
+        t.s_local <- t.s_local + 1;
+        Local p
+  in
+  (result, source)
+
+let invoke t (fn : Seuss.Node.fn) ~args =
+  let member = least_loaded t in
+  member.inflight <- member.inflight + 1;
+  let finish result =
+    member.inflight <- member.inflight - 1;
+    result
+  in
+  let has_local =
+    Option.is_some (Seuss.Node.function_snapshot member.node fn.Seuss.Node.fn_id)
+  in
+  let fetched =
+    if has_local then false
+    else
+      match
+        Registry.holder_other_than t.reg ~fn_id:fn.Seuss.Node.fn_id
+          ~node_id:member.id
+      with
+      | None -> false
+      | Some holder -> (
+          match
+            Seuss.Node.base_snapshot member.node fn.Seuss.Node.runtime
+          with
+          | None -> false
+          | Some local_base -> (
+              match
+                Seuss.Snapshot.import ~env:member.env
+                  ~name:("fetched-" ^ fn.Seuss.Node.fn_id) ~local_base
+                  ~remote:holder.Registry.snapshot
+                  ~transfer_time:(transfer_time holder.Registry.snapshot)
+              with
+              | snap ->
+                  Seuss.Node.install_snapshot member.node
+                    ~fn_id:fn.Seuss.Node.fn_id snap;
+                  Registry.publish t.reg ~fn_id:fn.Seuss.Node.fn_id
+                    ~node_id:member.id snap;
+                  t.s_fetches <- t.s_fetches + 1;
+                  t.s_bytes <-
+                    Int64.add t.s_bytes
+                      (Seuss.Snapshot.diff_bytes holder.Registry.snapshot);
+                  true
+              | exception (Mem.Frame.Out_of_memory | Invalid_argument _) ->
+                  false))
+  in
+  let result, path = Seuss.Node.invoke member.node fn ~args in
+  (match (result, path) with
+  | Ok _, Seuss.Node.Cold ->
+      publish_if_captured t member fn.Seuss.Node.fn_id
+  | _ -> ());
+  let source =
+    if fetched then Remote_fetch
+    else
+      match path with
+      | Seuss.Node.Cold when not has_local ->
+          t.s_colds <- t.s_colds + 1;
+          Cluster_cold
+      | p ->
+          t.s_local <- t.s_local + 1;
+          Local p
+  in
+  finish (result, source)

@@ -1,0 +1,54 @@
+(** DR-SEUSS: a multi-node SEUSS deployment with a distributed,
+    replicated snapshot cache (the paper's §9 vision).
+
+    Each compute node runs its own SEUSS OS over its own memory budget;
+    a global {!Registry} tracks which node holds which function
+    snapshot. Invocations are routed to the least-loaded node. On a
+    local snapshot miss, the node first tries a *remote fetch*: pull the
+    function diff from a holder over the 10 GbE fabric and stack it on
+    the local base runtime snapshot ({!Seuss.Snapshot.import}) — a few
+    milliseconds for a typical 2 MB diff, versus replaying the full
+    import+compile cold path. Only a cluster-wide miss pays a true cold
+    start, and the resulting snapshot is published for everyone. *)
+
+type t
+
+type source = Local of Seuss.Node.path | Remote_fetch | Cluster_cold
+
+type stats = {
+  local_invocations : int;
+  remote_fetches : int;
+  cluster_colds : int;
+  bytes_transferred : int64;
+}
+
+val create :
+  ?nodes:int ->
+  ?budget_per_node:int64 ->
+  ?config:Seuss.Config.t ->
+  Sim.Engine.t ->
+  t
+(** Start an [n]-node cluster (default 4 nodes, 16 GiB each — call
+    inside a simulation process; boots every node). *)
+
+val node_count : t -> int
+
+val nodes : t -> Seuss.Node.t list
+
+val registry : t -> Registry.t
+
+val invoke :
+  t -> Seuss.Node.fn -> args:string -> (string, Seuss.Node.invoke_error) result * source
+(** Route one invocation: least-loaded node; remote fetch on local miss
+    when some other node holds the snapshot. *)
+
+val invoke_unregistered :
+  t -> Seuss.Node.fn -> args:string -> (string, Seuss.Node.invoke_error) result * source
+(** Same routing, but without consulting or feeding the registry: every
+    per-node miss is a full cold start. The control arm of the DR-SEUSS
+    experiment. *)
+
+val stats : t -> stats
+
+val transfer_time : Seuss.Snapshot.t -> float
+(** Modeled fetch time for a snapshot diff over the LAN. *)

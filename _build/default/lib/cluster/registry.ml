@@ -1,0 +1,35 @@
+type location = { node_id : int; snapshot : Seuss.Snapshot.t }
+
+type t = { table : (string, location list) Hashtbl.t }
+
+let create () = { table = Hashtbl.create 256 }
+
+let publish t ~fn_id ~node_id snapshot =
+  let existing = Option.value (Hashtbl.find_opt t.table fn_id) ~default:[] in
+  let others = List.filter (fun l -> l.node_id <> node_id) existing in
+  Hashtbl.replace t.table fn_id ({ node_id; snapshot } :: others)
+
+let locate t ~fn_id =
+  match Hashtbl.find_opt t.table fn_id with
+  | None -> []
+  | Some locations ->
+      let live =
+        List.filter
+          (fun l -> not (Seuss.Snapshot.is_deleted l.snapshot))
+          locations
+      in
+      if List.length live <> List.length locations then
+        Hashtbl.replace t.table fn_id live;
+      live
+
+let holder_other_than t ~fn_id ~node_id =
+  List.find_opt (fun l -> l.node_id <> node_id) (locate t ~fn_id)
+
+let forget_node t ~node_id =
+  Hashtbl.iter
+    (fun fn_id locations ->
+      Hashtbl.replace t.table fn_id
+        (List.filter (fun l -> l.node_id <> node_id) locations))
+    (Hashtbl.copy t.table)
+
+let entries t = Hashtbl.length t.table

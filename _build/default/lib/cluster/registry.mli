@@ -1,0 +1,25 @@
+(** The DR-SEUSS global snapshot registry (§9, future work).
+
+    Tracks which compute nodes hold a function snapshot. Entries are
+    metadata only — snapshots themselves are immutable page images that
+    stay on their node until fetched. *)
+
+type location = { node_id : int; snapshot : Seuss.Snapshot.t }
+
+type t
+
+val create : unit -> t
+
+val publish : t -> fn_id:string -> node_id:int -> Seuss.Snapshot.t -> unit
+(** Record that [node_id] holds a snapshot for [fn_id]. Re-publishing
+    from the same node replaces the entry. *)
+
+val locate : t -> fn_id:string -> location list
+(** All live holders (deleted snapshots are filtered and dropped). *)
+
+val holder_other_than : t -> fn_id:string -> node_id:int -> location option
+(** A live holder on some other node, if any. *)
+
+val forget_node : t -> node_id:int -> unit
+
+val entries : t -> int

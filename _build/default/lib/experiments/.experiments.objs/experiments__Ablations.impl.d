@@ -1,0 +1,1 @@
+lib/experiments/ablations.ml: Harness Int64 Mem Option Platform Printf Report Seuss Sim Stats Unikernel

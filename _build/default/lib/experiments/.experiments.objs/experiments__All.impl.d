@@ -1,0 +1,1 @@
+lib/experiments/all.ml: Ablations Auto_ao Buffer Drseuss_exp Fig4 Fig5 Fig_burst Int64 Ksm_exp List Mem Printf Table1 Table2 Table3

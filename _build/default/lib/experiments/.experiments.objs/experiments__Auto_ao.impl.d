@@ -1,0 +1,1 @@
+lib/experiments/auto_ao.ml: Float List Printf Report Stats Table2 Unikernel

@@ -1,0 +1,1 @@
+lib/experiments/auto_ao.mli:

@@ -1,0 +1,1 @@
+lib/experiments/drseuss_exp.ml: Buffer Cluster Harness Int64 List Mem Printf Report Seuss Sim Stats Unikernel

@@ -1,0 +1,1 @@
+lib/experiments/drseuss_exp.mli:

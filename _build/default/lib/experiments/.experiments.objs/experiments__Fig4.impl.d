@@ -1,0 +1,1 @@
+lib/experiments/fig4.ml: Float Harness List Platform Printf Report Stats

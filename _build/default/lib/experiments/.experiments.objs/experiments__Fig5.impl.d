@@ -1,0 +1,1 @@
+lib/experiments/fig5.ml: Harness List Platform Printf Report Stats

@@ -1,0 +1,1 @@
+lib/experiments/fig_burst.ml: Array Baselines Float Harness Platform Printf Report Stats

@@ -1,0 +1,1 @@
+lib/experiments/harness.ml: Baselines Mem Net Platform Seuss Sim

@@ -1,0 +1,1 @@
+lib/experiments/ksm_exp.ml: Baselines Harness Int64 Mem Option Printf Report Seuss Sim Unikernel

@@ -1,0 +1,1 @@
+lib/experiments/ksm_exp.mli:

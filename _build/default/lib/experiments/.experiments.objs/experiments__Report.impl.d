@@ -1,0 +1,1 @@
+lib/experiments/report.ml: Int64 List Mem Printf Stats String

@@ -1,0 +1,1 @@
+lib/experiments/table1.ml: Harness Int64 Mem Option Platform Printf Report Seuss Sim Stats Unikernel

@@ -1,0 +1,1 @@
+lib/experiments/table2.ml: Harness Int64 Mem Platform Printf Report Seuss Sim Stats Unikernel

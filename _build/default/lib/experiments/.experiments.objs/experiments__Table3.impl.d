@@ -1,0 +1,1 @@
+lib/experiments/table3.ml: Baselines Harness Int64 List Net Printf Report Seuss Sim Unikernel

@@ -1,0 +1,66 @@
+type scale = Quick | Full
+
+let progress fmt =
+  Printf.ksprintf
+    (fun s ->
+      prerr_endline ("[experiments] " ^ s);
+      flush stderr)
+    fmt
+
+let run ?(scale = Quick) ?(seed = 7L) () =
+  let buf = Buffer.create 16_384 in
+  let add s =
+    Buffer.add_string buf s;
+    Buffer.add_char buf '\n'
+  in
+  let t1_invocations = match scale with Quick -> 60 | Full -> 475 in
+  progress "Table 1 (microbenchmarks, %d invocations/path)..." t1_invocations;
+  add (Table1.render (Table1.run ~invocations:t1_invocations ~seed ()));
+  let t2_invocations = match scale with Quick -> 15 | Full -> 50 in
+  progress "Table 2 (AO levels)...";
+  add (Table2.render (Table2.run ~invocations:t2_invocations ~seed ()));
+  progress "Table 3 (density & creation rates)...";
+  let t3 =
+    match scale with
+    | Quick ->
+        Table3.run ~budget_bytes:(Int64.of_int (Mem.Mconfig.mib 6144))
+          ~rate_sample:200 ~seed ()
+    | Full -> Table3.run ~seed ()
+  in
+  add (Table3.render t3);
+  progress "Figure 4 (throughput vs set size)...";
+  let fig4 =
+    match scale with
+    | Quick -> Fig4.run ~set_sizes:[ 64; 256; 1024; 4096 ] ~seed ()
+    | Full -> Fig4.run ~seed ()
+  in
+  add (Fig4.render fig4);
+  progress "Figure 5 (latency percentiles)...";
+  let fig5 =
+    match scale with
+    | Quick -> Fig5.run ~set_sizes:[ 64; 2048 ] ~requests:768 ~seed ()
+    | Full -> Fig5.run ~seed ()
+  in
+  add (Fig5.render fig5);
+  let burst_periods, duration =
+    match scale with
+    | Quick -> ([ 16.0 ], 96.0)
+    | Full -> ([ 32.0; 16.0; 8.0 ], 300.0)
+  in
+  List.iter
+    (fun period ->
+      progress "Figures 6-8 (burst every %.0f s)..." period;
+      add (Fig_burst.render (Fig_burst.run ~period ~duration ~seed ())))
+    burst_periods;
+  progress "DR-SEUSS extension...";
+  let dr_functions = match scale with Quick -> 12 | Full -> 40 in
+  add (Drseuss_exp.render (Drseuss_exp.run ~functions:dr_functions ~seed ()));
+  progress "Auto-AO discovery...";
+  add (Auto_ao.render (Auto_ao.run ~invocations:(match scale with Quick -> 8 | Full -> 20) ~seed ()));
+  progress "KSM ablation...";
+  let ksm_mib = match scale with Quick -> 1536 | Full -> 4096 in
+  add (Ksm_exp.render (Ksm_exp.run ~budget_mib:ksm_mib ~seed ()));
+  progress "Ablations...";
+  let ablation_invocations = match scale with Quick -> 10 | Full -> 30 in
+  add (Ablations.render (Ablations.run ~invocations:ablation_invocations ~seed ()));
+  Buffer.contents buf

@@ -1,0 +1,12 @@
+(** Run the complete reproduction: every table and figure, rendered as
+    one report. *)
+
+type scale = Quick | Full
+(** [Quick] trims counts/ladders for a fast smoke run (a few minutes on
+    one core); [Full] uses the paper's parameters (475-invocation
+    microbenchmarks, 88 GB density sweeps, 300 s bursts at all three
+    periods). *)
+
+val run : ?scale:scale -> ?seed:int64 -> unit -> string
+(** Returns the full report text (each section printed as it is
+    produced on stderr progress). *)

@@ -1,0 +1,36 @@
+(** Figure 4 — OpenWhisk platform throughput vs. unique-function set
+    size, SEUSS node vs. Linux node.
+
+    Each trial doubles the set size M (paper: 64 … 65536); 32 client
+    threads send a continuous stream of NOP invocations; throughput is
+    measured after a warmup prefix. Every invocation is "logically
+    unique" (distinct function id, same NOP body). Each trial runs on a
+    fresh platform deployment. The stemcell cache is disabled on Linux
+    (as in the paper's throughput runs) and its container cache is
+    limited to 1024. *)
+
+type point = {
+  set_size : int;
+  throughput : float;  (** successful requests/s *)
+  errors : int;
+  mean_latency : float;
+}
+
+type result = { seuss : point list; linux : point list }
+
+val default_set_sizes : int list
+(** 64 … 16384 (the full 65536 is available via [~set_sizes]; see
+    DESIGN.md's scaling note). *)
+
+val run :
+  ?set_sizes:int list ->
+  ?client_threads:int ->
+  ?seed:int64 ->
+  unit ->
+  result
+
+val render : result -> string
+(** Comparison table plus an ASCII plot of both throughput curves. *)
+
+val write_csv : path:string -> result -> unit
+(** Columns: set_size, seuss_rps, linux_rps, seuss_errors, linux_errors. *)

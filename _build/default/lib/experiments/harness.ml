@@ -1,0 +1,39 @@
+let default_budget = Mem.Mconfig.default_budget_bytes
+
+let run_sim ?(seed = 7L) body =
+  let engine = Sim.Engine.create ~seed () in
+  let result = ref None in
+  Sim.Engine.spawn engine ~name:"experiment" (fun () ->
+      result := Some (body engine));
+  Sim.Engine.run engine;
+  match !result with
+  | Some v -> v
+  | None -> failwith "experiment did not complete"
+
+let make_seuss_env ?(budget_bytes = default_budget) ?(io_delay = 0.25) engine =
+  let env = Seuss.Osenv.create ~budget_bytes engine in
+  let io_listener = Net.Tcp.listener ~port:80 in
+  Net.Http.serve ~listener:io_listener (fun _ ->
+      Sim.Engine.sleep io_delay;
+      Net.Http.ok "OK");
+  Seuss.Osenv.register_host env "http://io-server" io_listener;
+  env
+
+let seuss_node ?config env =
+  let node = Seuss.Node.create ?config env in
+  Seuss.Node.start node;
+  node
+
+let seuss_controller ?config env =
+  let node = seuss_node ?config env in
+  let shim = Seuss.Shim.create env node in
+  (Platform.Controller.create env.Seuss.Osenv.engine
+     (Platform.Controller.Seuss_backend shim),
+   node)
+
+let linux_controller ?config env =
+  let node = Baselines.Linux_node.create ?config env in
+  Baselines.Linux_node.start node;
+  (Platform.Controller.create env.Seuss.Osenv.engine
+     (Platform.Controller.Linux_backend node),
+   node)

@@ -1,0 +1,29 @@
+(** Common experiment plumbing: build a simulated compute node (SEUSS or
+    Linux), the external IO endpoint, and the platform stack around it,
+    then run a body inside the simulation. One fresh deployment per
+    trial, like the paper. *)
+
+val run_sim : ?seed:int64 -> (Sim.Engine.t -> 'a) -> 'a
+(** Spawn the body as a simulation process and drive the engine until it
+    completes. *)
+
+val make_seuss_env :
+  ?budget_bytes:int64 -> ?io_delay:float -> Sim.Engine.t -> Seuss.Osenv.t
+(** An 88 GB/16-core environment with the external blocking HTTP
+    endpoint registered as ["http://io-server"]. *)
+
+val seuss_node :
+  ?config:Seuss.Config.t -> Seuss.Osenv.t -> Seuss.Node.t
+(** Create and start a SEUSS node (blocking: boots the runtime). *)
+
+val seuss_controller :
+  ?config:Seuss.Config.t -> Seuss.Osenv.t -> Platform.Controller.t * Seuss.Node.t
+(** Node + shim + OpenWhisk controller. *)
+
+val linux_controller :
+  ?config:Baselines.Linux_node.config ->
+  Seuss.Osenv.t ->
+  Platform.Controller.t * Baselines.Linux_node.t
+
+val default_budget : int64
+(** 88 GiB — the paper's compute node VM. *)

@@ -1,0 +1,26 @@
+(** Table 1 — SEUSS microbenchmarks.
+
+    Top half: memory footprint of the base (Node.js + invocation driver)
+    snapshot and of the NOP function snapshot, before and after AO.
+    Bottom half: invocation latency and memory footprint of NOP
+    JavaScript functions across the cold, warm and hot paths, averaged
+    over 475 invocations each (the paper's count), measured node-side —
+    no control plane or shim. *)
+
+type result = {
+  base_no_ao_bytes : int64;
+  base_ao_bytes : int64;
+  fn_no_ao_bytes : int64;
+  fn_ao_bytes : int64;
+  cold : Stats.Summary.digest;
+  warm : Stats.Summary.digest;
+  hot : Stats.Summary.digest;
+  cold_pages : float;  (** mean pages private to the UC after a cold run *)
+  warm_pages : float;
+  hot_pages : float;  (** mean pages newly copied during a hot run *)
+}
+
+val run : ?invocations:int -> ?seed:int64 -> unit -> result
+(** Default 475 invocations per path. *)
+
+val render : result -> string

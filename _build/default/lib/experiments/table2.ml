@@ -1,0 +1,58 @@
+type cell = { cold_ms : float; warm_ms : float }
+
+type result = { no_ao : cell; network_ao : cell; full_ao : cell }
+
+let nop_source = Platform.Workloads.source_of_action Platform.Workloads.nop
+
+let measure ~seed ~invocations ao =
+  Harness.run_sim ~seed (fun engine ->
+      let env =
+        Harness.make_seuss_env
+          ~budget_bytes:(Int64.of_int (Mem.Mconfig.mib 8192))
+          engine
+      in
+      let config = { Seuss.Config.default with Seuss.Config.ao } in
+      let node = Harness.seuss_node ~config env in
+      let cold = Stats.Summary.create () and warm = Stats.Summary.create () in
+      for i = 1 to invocations do
+        let fn =
+          {
+            Seuss.Node.fn_id = Printf.sprintf "nop-%d" i;
+            runtime = Unikernel.Image.Node;
+            source = nop_source;
+          }
+        in
+        let timed summary =
+          let t0 = Sim.Engine.now engine in
+          match Seuss.Node.invoke node fn ~args:"{}" with
+          | Ok _, _ -> Stats.Summary.add summary (Sim.Engine.now engine -. t0)
+          | Error _, _ -> failwith "Table2: invocation failed"
+        in
+        timed cold;
+        Seuss.Node.drop_idle node ~fn_id:fn.Seuss.Node.fn_id;
+        timed warm;
+        Seuss.Node.drop_idle node ~fn_id:fn.Seuss.Node.fn_id
+      done;
+      {
+        cold_ms = Stats.Summary.mean cold *. 1e3;
+        warm_ms = Stats.Summary.mean warm *. 1e3;
+      })
+
+let run ?(invocations = 50) ?(seed = 7L) () =
+  {
+    no_ao = measure ~seed ~invocations Seuss.Config.Ao_none;
+    network_ao = measure ~seed ~invocations Seuss.Config.Ao_network;
+    full_ao = measure ~seed ~invocations Seuss.Config.Ao_full;
+  }
+
+let render r =
+  let f = Printf.sprintf "%.1f ms" in
+  Report.comparison ~title:"Table 2: latency across AO levels" ~note:""
+    [
+      { Report.label = "Cold start, no AO"; paper = "42.0 ms"; measured = f r.no_ao.cold_ms };
+      { Report.label = "Cold start, network AO"; paper = "16.8 ms"; measured = f r.network_ao.cold_ms };
+      { Report.label = "Cold start, network+interp AO"; paper = "7.5 ms"; measured = f r.full_ao.cold_ms };
+      { Report.label = "Warm start, no AO"; paper = "7.6 ms"; measured = f r.no_ao.warm_ms };
+      { Report.label = "Warm start, network AO"; paper = "5.5 ms"; measured = f r.network_ao.warm_ms };
+      { Report.label = "Warm start, network+interp AO"; paper = "3.5 ms"; measured = f r.full_ao.warm_ms };
+    ]

@@ -1,0 +1,1 @@
+lib/interp/ast.ml: List

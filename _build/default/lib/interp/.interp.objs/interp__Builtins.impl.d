@@ -1,0 +1,1 @@
+lib/interp/builtins.ml: Array Char Eval Float Hashtbl List Printf String Value

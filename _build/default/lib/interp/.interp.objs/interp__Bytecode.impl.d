@@ -1,0 +1,1 @@
+lib/interp/bytecode.ml: Array Ast Format List String Value

@@ -1,0 +1,1 @@
+lib/interp/bytecode.mli: Ast Format Value

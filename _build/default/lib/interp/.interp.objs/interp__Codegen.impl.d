@@ -1,0 +1,1 @@
+lib/interp/codegen.ml: Array Ast Bytecode Eval List Value

@@ -1,0 +1,1 @@
+lib/interp/codegen.mli: Ast Bytecode

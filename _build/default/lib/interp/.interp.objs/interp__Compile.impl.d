@@ -1,0 +1,1 @@
+lib/interp/compile.ml: Ast Float Lexer List Parser Printf String

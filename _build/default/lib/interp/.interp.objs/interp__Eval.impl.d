@@ -1,0 +1,1 @@
+lib/interp/eval.ml: Array Ast Float Hashtbl List Option Printf String Value

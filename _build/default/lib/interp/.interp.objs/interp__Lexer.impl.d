@@ -1,0 +1,1 @@
+lib/interp/lexer.ml: Buffer List Printf String

@@ -1,0 +1,1 @@
+lib/interp/minijs.ml: Ast Builtins Compile Eval List Option Printf Value

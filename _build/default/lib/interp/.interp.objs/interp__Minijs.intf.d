@@ -1,0 +1,1 @@
+lib/interp/minijs.mli: Builtins Compile Eval Value

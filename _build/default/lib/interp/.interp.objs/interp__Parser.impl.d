@@ -1,0 +1,1 @@
+lib/interp/parser.ml: Array Ast Lexer List Printf

@@ -1,0 +1,1 @@
+lib/interp/value.ml: Array Ast Buffer Float Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/interp/vm.ml: Array Ast Bytecode Codegen Eval Float Hashtbl List Option Printf String Value

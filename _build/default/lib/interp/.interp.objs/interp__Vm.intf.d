@@ -1,0 +1,1 @@
+lib/interp/vm.mli: Ast Bytecode Eval Value

@@ -1,0 +1,79 @@
+type unop = Neg | Not
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Eq
+  | Neq
+  | Lt
+  | Le
+  | Gt
+  | Ge
+
+type expr =
+  | Num of float
+  | Str of string
+  | Bool of bool
+  | Null
+  | Var of string
+  | Array of expr list
+  | Object of (string * expr) list
+  | Index of expr * expr
+  | Field of expr * string
+  | Call of expr * expr list
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+  | And of expr * expr
+  | Or of expr * expr
+  | Ternary of expr * expr * expr
+  | Lambda of string list * block
+
+and stmt =
+  | Expr of expr
+  | Let of string * expr
+  | Assign of lvalue * expr
+  | If of expr * block * block
+  | While of expr * block
+  | Return of expr option
+  | Break
+  | Continue
+
+and lvalue = Lvar of string | Lindex of expr * expr | Lfield of expr * string
+
+and block = stmt list
+
+type program = block
+
+let rec expr_nodes = function
+  | Num _ | Str _ | Bool _ | Null | Var _ -> 1
+  | Array es -> 1 + sum_exprs es
+  | Object fields -> 1 + List.fold_left (fun n (_, e) -> n + expr_nodes e) 0 fields
+  | Index (a, b) | Binop (_, a, b) | And (a, b) | Or (a, b) ->
+      1 + expr_nodes a + expr_nodes b
+  | Field (e, _) | Unop (_, e) -> 1 + expr_nodes e
+  | Call (f, args) -> 1 + expr_nodes f + sum_exprs args
+  | Ternary (c, a, b) -> 1 + expr_nodes c + expr_nodes a + expr_nodes b
+  | Lambda (params, body) -> 1 + List.length params + block_nodes body
+
+and sum_exprs es = List.fold_left (fun n e -> n + expr_nodes e) 0 es
+
+and stmt_nodes = function
+  | Expr e -> 1 + expr_nodes e
+  | Let (_, e) -> 1 + expr_nodes e
+  | Assign (lv, e) -> 1 + lvalue_nodes lv + expr_nodes e
+  | If (c, a, b) -> 1 + expr_nodes c + block_nodes a + block_nodes b
+  | While (c, body) -> 1 + expr_nodes c + block_nodes body
+  | Return (Some e) -> 1 + expr_nodes e
+  | Return None | Break | Continue -> 1
+
+and lvalue_nodes = function
+  | Lvar _ -> 1
+  | Lindex (a, b) -> 1 + expr_nodes a + expr_nodes b
+  | Lfield (e, _) -> 1 + expr_nodes e
+
+and block_nodes block = List.fold_left (fun n s -> n + stmt_nodes s) 0 block
+
+let node_count = block_nodes

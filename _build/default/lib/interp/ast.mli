@@ -1,0 +1,59 @@
+(** Abstract syntax of MiniJS.
+
+    MiniJS is the high-level function language of the reproduction: a
+    JavaScript-like subset rich enough to express the paper's workloads
+    (NOP, CPU-bound and IO-bound functions) and the invocation driver,
+    while staying small enough to audit. *)
+
+type unop = Neg | Not
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Eq
+  | Neq
+  | Lt
+  | Le
+  | Gt
+  | Ge
+
+type expr =
+  | Num of float
+  | Str of string
+  | Bool of bool
+  | Null
+  | Var of string
+  | Array of expr list
+  | Object of (string * expr) list
+  | Index of expr * expr
+  | Field of expr * string
+  | Call of expr * expr list
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+  | And of expr * expr
+  | Or of expr * expr
+  | Ternary of expr * expr * expr
+  | Lambda of string list * block
+
+and stmt =
+  | Expr of expr
+  | Let of string * expr
+  | Assign of lvalue * expr
+  | If of expr * block * block
+  | While of expr * block
+  | Return of expr option
+  | Break
+  | Continue
+
+and lvalue = Lvar of string | Lindex of expr * expr | Lfield of expr * string
+
+and block = stmt list
+
+type program = block
+
+val node_count : program -> int
+(** Number of AST nodes: drives the simulated compile cost and the pages
+    a compilation dirties in the guest heap. *)

@@ -1,0 +1,57 @@
+type instr =
+  | Const of Value.t
+  | Load of string
+  | Store of string
+  | Define of string
+  | Pop
+  | Dup
+  | Make_array of int
+  | Make_object of string list
+  | Index_get
+  | Index_set
+  | Field_get of string
+  | Field_set of string
+  | Unop of Ast.unop
+  | Binop of Ast.binop
+  | Call of int
+  | Closure of proto
+  | Jump of int
+  | Jump_if_false of int
+  | Jump_if_true of int
+  | Push_scope
+  | Pop_scope
+  | Return
+
+and proto = { params : string list; code : instr array; fn_name : string }
+
+let pp_instr ppf = function
+  | Const v -> Format.fprintf ppf "const %s" (Value.to_string v)
+  | Load name -> Format.fprintf ppf "load %s" name
+  | Store name -> Format.fprintf ppf "store %s" name
+  | Define name -> Format.fprintf ppf "define %s" name
+  | Pop -> Format.pp_print_string ppf "pop"
+  | Dup -> Format.pp_print_string ppf "dup"
+  | Make_array n -> Format.fprintf ppf "make_array %d" n
+  | Make_object keys ->
+      Format.fprintf ppf "make_object {%s}" (String.concat "," keys)
+  | Index_get -> Format.pp_print_string ppf "index_get"
+  | Index_set -> Format.pp_print_string ppf "index_set"
+  | Field_get f -> Format.fprintf ppf "field_get %s" f
+  | Field_set f -> Format.fprintf ppf "field_set %s" f
+  | Unop Ast.Neg -> Format.pp_print_string ppf "neg"
+  | Unop Ast.Not -> Format.pp_print_string ppf "not"
+  | Binop _ -> Format.pp_print_string ppf "binop"
+  | Call n -> Format.fprintf ppf "call %d" n
+  | Closure p -> Format.fprintf ppf "closure %s/%d" p.fn_name (List.length p.params)
+  | Jump t -> Format.fprintf ppf "jump %d" t
+  | Jump_if_false t -> Format.fprintf ppf "jump_if_false %d" t
+  | Jump_if_true t -> Format.fprintf ppf "jump_if_true %d" t
+  | Push_scope -> Format.pp_print_string ppf "push_scope"
+  | Pop_scope -> Format.pp_print_string ppf "pop_scope"
+  | Return -> Format.pp_print_string ppf "return"
+
+let rec length proto =
+  Array.fold_left
+    (fun n instr ->
+      match instr with Closure p -> n + 1 + length p | _ -> n + 1)
+    0 proto.code

@@ -1,0 +1,44 @@
+(** Stack bytecode for MiniJS.
+
+    The reproduction's guest charges time for an "import and compile"
+    stage; this module is that stage made concrete: {!Codegen} lowers
+    the AST to this instruction set and {!Vm} executes it. The VM is a
+    second, independent execution engine — the test suite runs random
+    programs through both it and the tree-walking {!Eval} and demands
+    identical results, which is the strongest correctness check the
+    language layer has.
+
+    Variables are addressed by name through the same {!Value.env} scope
+    chain the tree-walker uses (an early-Python-style design): closures
+    capture their defining environment and need no upvalue analysis. *)
+
+type instr =
+  | Const of Value.t  (** push a literal (immediate values only) *)
+  | Load of string  (** push variable (scope-chain lookup) *)
+  | Store of string  (** pop into existing binding *)
+  | Define of string  (** pop into a new binding in the current scope *)
+  | Pop
+  | Dup
+  | Make_array of int  (** pop n elements (last on top) *)
+  | Make_object of string list  (** pop one value per key (last on top) *)
+  | Index_get  (** pop index, container; push element *)
+  | Index_set  (** pop value, index, container *)
+  | Field_get of string
+  | Field_set of string
+  | Unop of Ast.unop
+  | Binop of Ast.binop
+  | Call of int  (** pop n args (last on top) then callee; push result *)
+  | Closure of proto  (** push a closure over the current scope *)
+  | Jump of int  (** absolute target *)
+  | Jump_if_false of int  (** pop; jump when falsy *)
+  | Jump_if_true of int
+  | Push_scope  (** enter a block scope *)
+  | Pop_scope
+  | Return  (** pop return value, leave the function *)
+
+and proto = { params : string list; code : instr array; fn_name : string }
+
+val pp_instr : Format.formatter -> instr -> unit
+
+val length : proto -> int
+(** Total instructions including nested closures. *)

@@ -1,0 +1,187 @@
+type emitter = {
+  mutable buf : Bytecode.instr array;
+  mutable len : int;
+  (* Innermost loop: (continue target, forward-jump indices to patch to
+     the loop end, scope depth at loop entry). *)
+  mutable loops : (int * int list ref * int) list;
+  mutable scope_depth : int;
+}
+
+let create () = { buf = Array.make 64 Bytecode.Return; len = 0; loops = []; scope_depth = 0 }
+
+let emit e instr =
+  if e.len = Array.length e.buf then begin
+    let buf = Array.make (2 * e.len) Bytecode.Return in
+    Array.blit e.buf 0 buf 0 e.len;
+    e.buf <- buf
+  end;
+  e.buf.(e.len) <- instr;
+  e.len <- e.len + 1
+
+let here e = e.len
+
+(* Emit a jump with a dummy target; patch later. *)
+let emit_jump e make =
+  let at = e.len in
+  emit e (make 0);
+  at
+
+let patch e at target =
+  e.buf.(at) <-
+    (match e.buf.(at) with
+    | Bytecode.Jump _ -> Bytecode.Jump target
+    | Bytecode.Jump_if_false _ -> Bytecode.Jump_if_false target
+    | Bytecode.Jump_if_true _ -> Bytecode.Jump_if_true target
+    | _ -> invalid_arg "Codegen.patch: not a jump")
+
+let const_of_literal (expr : Ast.expr) =
+  match expr with
+  | Ast.Num n -> Some (Value.Num n)
+  | Ast.Str s -> Some (Value.Str s)
+  | Ast.Bool b -> Some (Value.Bool b)
+  | Ast.Null -> Some Value.Null
+  | _ -> None
+
+let rec expr e (x : Ast.expr) =
+  match const_of_literal x with
+  | Some v -> emit e (Bytecode.Const v)
+  | None -> (
+      match x with
+      | Ast.Num _ | Ast.Str _ | Ast.Bool _ | Ast.Null -> assert false
+      | Ast.Var name -> emit e (Bytecode.Load name)
+      | Ast.Array elements ->
+          List.iter (expr e) elements;
+          emit e (Bytecode.Make_array (List.length elements))
+      | Ast.Object fields ->
+          List.iter (fun (_, v) -> expr e v) fields;
+          emit e (Bytecode.Make_object (List.map fst fields))
+      | Ast.Index (a, i) ->
+          expr e a;
+          expr e i;
+          emit e Bytecode.Index_get
+      | Ast.Field (o, f) ->
+          expr e o;
+          emit e (Bytecode.Field_get f)
+      | Ast.Call (callee, args) ->
+          expr e callee;
+          List.iter (expr e) args;
+          emit e (Bytecode.Call (List.length args))
+      | Ast.Unop (op, operand) ->
+          expr e operand;
+          emit e (Bytecode.Unop op)
+      | Ast.Binop (op, a, b) ->
+          expr e a;
+          expr e b;
+          emit e (Bytecode.Binop op)
+      | Ast.And (a, b) ->
+          (* truthy a ? eval b : false *)
+          expr e a;
+          let to_false = emit_jump e (fun t -> Bytecode.Jump_if_false t) in
+          expr e b;
+          let to_end = emit_jump e (fun t -> Bytecode.Jump t) in
+          patch e to_false (here e);
+          emit e (Bytecode.Const (Value.Bool false));
+          patch e to_end (here e)
+      | Ast.Or (a, b) ->
+          (* truthy a ? a : eval b *)
+          expr e a;
+          emit e Bytecode.Dup;
+          let keep_a = emit_jump e (fun t -> Bytecode.Jump_if_true t) in
+          emit e Bytecode.Pop;
+          expr e b;
+          patch e keep_a (here e)
+      | Ast.Ternary (c, a, b) ->
+          expr e c;
+          let to_else = emit_jump e (fun t -> Bytecode.Jump_if_false t) in
+          expr e a;
+          let to_end = emit_jump e (fun t -> Bytecode.Jump t) in
+          patch e to_else (here e);
+          expr e b;
+          patch e to_end (here e)
+      | Ast.Lambda (params, body) ->
+          emit e (Bytecode.Closure (compile_proto ~name:"<lambda>" params body)))
+
+and stmt e (s : Ast.stmt) =
+  match s with
+  | Ast.Expr x ->
+      expr e x;
+      emit e Bytecode.Pop
+  | Ast.Let (name, x) ->
+      expr e x;
+      emit e (Bytecode.Define name)
+  | Ast.Assign (Ast.Lvar name, x) ->
+      expr e x;
+      emit e (Bytecode.Store name)
+  | Ast.Assign (Ast.Lindex (a, i), x) ->
+      expr e a;
+      expr e i;
+      expr e x;
+      emit e Bytecode.Index_set
+  | Ast.Assign (Ast.Lfield (o, f), x) ->
+      expr e o;
+      expr e x;
+      emit e (Bytecode.Field_set f)
+  | Ast.If (c, then_, else_) ->
+      expr e c;
+      let to_else = emit_jump e (fun t -> Bytecode.Jump_if_false t) in
+      scoped_block e then_;
+      let to_end = emit_jump e (fun t -> Bytecode.Jump t) in
+      patch e to_else (here e);
+      scoped_block e else_;
+      patch e to_end (here e)
+  | Ast.While (c, body) ->
+      let top = here e in
+      expr e c;
+      let to_end = emit_jump e (fun t -> Bytecode.Jump_if_false t) in
+      let breaks = ref [] in
+      e.loops <- (top, breaks, e.scope_depth) :: e.loops;
+      scoped_block e body;
+      e.loops <- List.tl e.loops;
+      emit e (Bytecode.Jump top);
+      patch e to_end (here e);
+      List.iter (fun at -> patch e at (here e)) !breaks
+  | Ast.Return None ->
+      emit e (Bytecode.Const Value.Null);
+      emit e Bytecode.Return
+  | Ast.Return (Some x) ->
+      expr e x;
+      emit e Bytecode.Return
+  | Ast.Break -> (
+      match e.loops with
+      | [] -> raise (Eval.Runtime_error "break outside loop")
+      | (_, breaks, depth) :: _ ->
+          unwind_scopes e ~to_depth:depth;
+          breaks := emit_jump e (fun t -> Bytecode.Jump t) :: !breaks)
+  | Ast.Continue -> (
+      match e.loops with
+      | [] -> raise (Eval.Runtime_error "continue outside loop")
+      | (top, _, depth) :: _ ->
+          unwind_scopes e ~to_depth:depth;
+          emit e (Bytecode.Jump top))
+
+and unwind_scopes e ~to_depth =
+  for _ = to_depth + 1 to e.scope_depth do
+    emit e Bytecode.Pop_scope
+  done
+
+and scoped_block e block =
+  if block = [] then ()
+  else begin
+    emit e Bytecode.Push_scope;
+    e.scope_depth <- e.scope_depth + 1;
+    List.iter (stmt e) block;
+    e.scope_depth <- e.scope_depth - 1;
+    emit e Bytecode.Pop_scope
+  end
+
+and compile_proto ~name params body =
+  let e = create () in
+  List.iter (stmt e) body;
+  (* Fall off the end: return null. *)
+  emit e (Bytecode.Const Value.Null);
+  emit e Bytecode.Return;
+  { Bytecode.params; code = Array.sub e.buf 0 e.len; fn_name = name }
+
+let compile_function ~name params body = compile_proto ~name params body
+
+let compile_program program = compile_proto ~name:"<main>" [] program

@@ -1,0 +1,12 @@
+(** AST to bytecode lowering.
+
+    Control flow becomes jumps (with short-circuit [&&]/[||] and
+    ternaries), [break]/[continue] unwind the block scopes they crossed,
+    and lambdas become nested {!Bytecode.proto}s closing over their
+    defining scope. *)
+
+val compile_program : Ast.program -> Bytecode.proto
+(** The whole program as a zero-argument proto (top-level scope is the
+    caller's environment). *)
+
+val compile_function : name:string -> string list -> Ast.block -> Bytecode.proto

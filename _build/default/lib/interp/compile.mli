@@ -1,0 +1,22 @@
+(** The "import and compile" stage of a function's lifecycle.
+
+    The paper measures roughly 5 ms to import and compile even a one-line
+    NOP function (Table 1 discussion) — compilation is the dominant cold
+    path cost that function-specific snapshots exist to skip. Our compile
+    stage is real work: lexing, parsing and a constant-folding pass over
+    the AST. The caller charges simulated time and guest-heap allocations
+    proportional to the measured node counts. *)
+
+type t = {
+  ast : Ast.program;  (** folded program, ready to execute *)
+  source_bytes : int;
+  nodes : int;  (** post-fold AST size *)
+  raw_nodes : int;  (** pre-fold AST size (parser allocation proxy) *)
+}
+
+val compile : string -> (t, string) result
+(** [Error msg] carries a located syntax-error message. *)
+
+val fold_program : Ast.program -> Ast.program
+(** Constant folding: arithmetic/comparison on literals, branch pruning
+    on constant conditions. Exposed for tests. *)

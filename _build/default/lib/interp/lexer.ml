@@ -1,0 +1,157 @@
+type token =
+  | Tnum of float
+  | Tstr of string
+  | Tident of string
+  | Tkeyword of string
+  | Tpunct of string
+  | Teof
+
+type located = { token : token; line : int; col : int }
+
+exception Lex_error of string * int * int
+
+let keywords =
+  [ "let"; "var"; "function"; "return"; "if"; "else"; "while"; "for";
+    "true"; "false"; "null"; "break"; "continue" ]
+
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = '$'
+let is_ident_char c = is_ident_start c || is_digit c
+
+(* Two-character operators must be matched before their one-character
+   prefixes. *)
+let puncts2 = [ "=="; "!="; "<="; ">="; "&&"; "||"; "+="; "-=" ]
+let puncts1 = [ "("; ")"; "{"; "}"; "["; "]"; ","; ";"; ":"; "."; "=";
+                "+"; "-"; "*"; "/"; "%"; "<"; ">"; "!"; "?" ]
+
+type state = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable col : int;
+}
+
+let peek st off =
+  if st.pos + off < String.length st.src then Some st.src.[st.pos + off] else None
+
+let advance st =
+  (match peek st 0 with
+  | Some '\n' ->
+      st.line <- st.line + 1;
+      st.col <- 1
+  | Some _ -> st.col <- st.col + 1
+  | None -> ());
+  st.pos <- st.pos + 1
+
+let error st msg = raise (Lex_error (msg, st.line, st.col))
+
+let rec skip_trivia st =
+  match peek st 0 with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+      advance st;
+      skip_trivia st
+  | Some '/' when peek st 1 = Some '/' ->
+      while peek st 0 <> None && peek st 0 <> Some '\n' do
+        advance st
+      done;
+      skip_trivia st
+  | Some '/' when peek st 1 = Some '*' ->
+      advance st;
+      advance st;
+      let rec close () =
+        match (peek st 0, peek st 1) with
+        | Some '*', Some '/' ->
+            advance st;
+            advance st
+        | Some _, _ ->
+            advance st;
+            close ()
+        | None, _ -> error st "unterminated comment"
+      in
+      close ();
+      skip_trivia st
+  | _ -> ()
+
+let lex_number st =
+  let start = st.pos in
+  while (match peek st 0 with Some c -> is_digit c | None -> false) do
+    advance st
+  done;
+  if peek st 0 = Some '.' && (match peek st 1 with Some c -> is_digit c | None -> false)
+  then begin
+    advance st;
+    while (match peek st 0 with Some c -> is_digit c | None -> false) do
+      advance st
+    done
+  end;
+  let text = String.sub st.src start (st.pos - start) in
+  Tnum (float_of_string text)
+
+let lex_string st quote =
+  advance st;
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st 0 with
+    | None -> error st "unterminated string"
+    | Some c when c = quote -> advance st
+    | Some '\\' -> (
+        advance st;
+        match peek st 0 with
+        | Some 'n' -> Buffer.add_char buf '\n'; advance st; go ()
+        | Some 't' -> Buffer.add_char buf '\t'; advance st; go ()
+        | Some ('\\' | '"' | '\'' as c) -> Buffer.add_char buf c; advance st; go ()
+        | Some c -> error st (Printf.sprintf "bad escape '\\%c'" c)
+        | None -> error st "unterminated string")
+    | Some c ->
+        Buffer.add_char buf c;
+        advance st;
+        go ()
+  in
+  go ();
+  Tstr (Buffer.contents buf)
+
+let lex_ident st =
+  let start = st.pos in
+  while (match peek st 0 with Some c -> is_ident_char c | None -> false) do
+    advance st
+  done;
+  let text = String.sub st.src start (st.pos - start) in
+  if List.mem text keywords then Tkeyword text else Tident text
+
+let lex_punct st =
+  let try_match candidates len =
+    if st.pos + len <= String.length st.src then begin
+      let text = String.sub st.src st.pos len in
+      if List.mem text candidates then Some text else None
+    end
+    else None
+  in
+  match try_match puncts2 2 with
+  | Some p ->
+      advance st;
+      advance st;
+      Tpunct p
+  | None -> (
+      match try_match puncts1 1 with
+      | Some p ->
+          advance st;
+          Tpunct p
+      | None -> error st (Printf.sprintf "unexpected character %C" st.src.[st.pos]))
+
+let tokenize src =
+  let st = { src; pos = 0; line = 1; col = 1 } in
+  let rec go acc =
+    skip_trivia st;
+    let line = st.line and col = st.col in
+    match peek st 0 with
+    | None -> List.rev ({ token = Teof; line; col } :: acc)
+    | Some c ->
+        let token =
+          if is_digit c then lex_number st
+          else if c = '"' || c = '\'' then lex_string st c
+          else if is_ident_start c then lex_ident st
+          else lex_punct st
+        in
+        go ({ token; line; col } :: acc)
+  in
+  go []

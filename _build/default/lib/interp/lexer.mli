@@ -1,0 +1,18 @@
+(** Hand-written lexer for MiniJS source text. *)
+
+type token =
+  | Tnum of float
+  | Tstr of string
+  | Tident of string
+  | Tkeyword of string  (** let, function, return, if, else, while, for, true, false, null, break, continue *)
+  | Tpunct of string  (** operators and delimiters *)
+  | Teof
+
+type located = { token : token; line : int; col : int }
+
+exception Lex_error of string * int * int
+(** Message, line, column (1-based). *)
+
+val tokenize : string -> located list
+(** @raise Lex_error on invalid input. Comments ([// ...] and
+    [/* ... */]) and whitespace are skipped. *)

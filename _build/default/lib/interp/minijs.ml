@@ -1,0 +1,58 @@
+type t = {
+  compiled : Compile.t;
+  env : Value.env;
+  hooks : Eval.hooks;
+}
+
+let load ?(hooks = Eval.default_hooks) ~host source =
+  match Compile.compile source with
+  | Error _ as e -> e
+  | Ok compiled -> (
+      let globals = Value.new_env () in
+      List.iter
+        (fun (name, v) -> Value.define globals name v)
+        (Builtins.install host);
+      let env = Value.new_env ~parent:globals () in
+      match Eval.exec_program hooks ~env compiled.Compile.ast with
+      | () -> Ok { compiled; env; hooks }
+      | exception Eval.Runtime_error msg -> Error ("runtime error: " ^ msg)
+      | exception Eval.Ops_exhausted -> Error "runtime error: step budget exhausted")
+
+let compiled t = t.compiled
+
+let clone ?hooks ~host t =
+  let hooks = Option.value hooks ~default:t.hooks in
+  let builtins = Builtins.install host in
+  let rebind_builtin name = List.assoc_opt name builtins in
+  { compiled = t.compiled; env = Value.deep_copy_env ~rebind_builtin t.env; hooks }
+
+let call t ~fname args =
+  match Value.lookup t.env fname with
+  | None -> Error (Printf.sprintf "no function '%s'" fname)
+  | Some f -> (
+      match Eval.call t.hooks f args with
+      | v -> Ok v
+      | exception Eval.Runtime_error msg -> Error ("runtime error: " ^ msg)
+      | exception Eval.Ops_exhausted -> Error "runtime error: step budget exhausted")
+
+let parse_literal t source =
+  match Compile.compile source with
+  | Error _ as e -> e
+  | Ok { Compile.ast; _ } -> (
+      match ast with
+      | [ Ast.Expr e ] -> (
+          match Eval.eval_expr t.hooks ~env:t.env e with
+          | v -> Ok v
+          | exception Eval.Runtime_error msg -> Error ("runtime error: " ^ msg)
+          | exception Eval.Ops_exhausted ->
+              Error "runtime error: step budget exhausted")
+      | [] -> Ok Value.Null
+      | _ -> Error "expected a single expression")
+
+let run_main t ~args_literal =
+  match parse_literal t args_literal with
+  | Error msg -> Error ("bad arguments: " ^ msg)
+  | Ok args -> (
+      match call t ~fname:"main" [ args ] with
+      | Ok v -> Ok (Value.to_string v)
+      | Error _ as e -> e)

@@ -1,0 +1,309 @@
+exception Parse_error of string * int * int
+
+type state = { tokens : Lexer.located array; mutable pos : int; mutable in_for : bool }
+
+let current st = st.tokens.(st.pos)
+
+let error st msg =
+  let { Lexer.line; col; _ } = current st in
+  raise (Parse_error (msg, line, col))
+
+let advance st = if st.pos < Array.length st.tokens - 1 then st.pos <- st.pos + 1
+
+let check_punct st p =
+  match (current st).Lexer.token with Lexer.Tpunct q -> q = p | _ -> false
+
+let check_keyword st k =
+  match (current st).Lexer.token with Lexer.Tkeyword q -> q = k | _ -> false
+
+let eat_punct st p =
+  if check_punct st p then advance st
+  else error st (Printf.sprintf "expected '%s'" p)
+
+let accept_punct st p =
+  if check_punct st p then begin
+    advance st;
+    true
+  end
+  else false
+
+let ident st =
+  match (current st).Lexer.token with
+  | Lexer.Tident name ->
+      advance st;
+      name
+  | _ -> error st "expected identifier"
+
+(* Comma-separated list until [close]; the closing token is consumed.
+   Defined outside the parsing recursion so it stays polymorphic in the
+   item type. *)
+let sep_list st ~close ~item =
+  if accept_punct st close then []
+  else begin
+    let first = item st in
+    let rec rest acc =
+      if accept_punct st close then List.rev acc
+      else begin
+        eat_punct st ",";
+        rest (item st :: acc)
+      end
+    in
+    rest [ first ]
+  end
+
+let rec params st =
+  eat_punct st "(";
+  sep_list st ~close:")" ~item:ident
+
+(* {1 Expressions, by descending precedence} *)
+
+and expr st = ternary st
+
+and ternary st =
+  let cond = logical_or st in
+  if accept_punct st "?" then begin
+    let then_ = expr st in
+    eat_punct st ":";
+    let else_ = expr st in
+    Ast.Ternary (cond, then_, else_)
+  end
+  else cond
+
+and logical_or st =
+  let lhs = logical_and st in
+  if accept_punct st "||" then Ast.Or (lhs, logical_or st) else lhs
+
+and logical_and st =
+  let lhs = equality st in
+  if accept_punct st "&&" then Ast.And (lhs, logical_and st) else lhs
+
+and binop_level st ~ops ~next =
+  let lhs = ref (next st) in
+  let rec go () =
+    match
+      List.find_opt (fun (p, _) -> check_punct st p) ops
+    with
+    | Some (p, op) ->
+        eat_punct st p;
+        let rhs = next st in
+        lhs := Ast.Binop (op, !lhs, rhs);
+        go ()
+    | None -> !lhs
+  in
+  go ()
+
+and equality st =
+  binop_level st ~ops:[ ("==", Ast.Eq); ("!=", Ast.Neq) ] ~next:comparison
+
+and comparison st =
+  binop_level st
+    ~ops:[ ("<=", Ast.Le); (">=", Ast.Ge); ("<", Ast.Lt); (">", Ast.Gt) ]
+    ~next:additive
+
+and additive st =
+  binop_level st ~ops:[ ("+", Ast.Add); ("-", Ast.Sub) ] ~next:multiplicative
+
+and multiplicative st =
+  binop_level st
+    ~ops:[ ("*", Ast.Mul); ("/", Ast.Div); ("%", Ast.Mod) ]
+    ~next:unary
+
+and unary st =
+  if accept_punct st "!" then Ast.Unop (Ast.Not, unary st)
+  else if accept_punct st "-" then Ast.Unop (Ast.Neg, unary st)
+  else postfix st
+
+and postfix st =
+  let base = ref (primary st) in
+  let rec go () =
+    if accept_punct st "(" then begin
+      let args = sep_list st ~close:")" ~item:expr in
+      base := Ast.Call (!base, args);
+      go ()
+    end
+    else if accept_punct st "[" then begin
+      let idx = expr st in
+      eat_punct st "]";
+      base := Ast.Index (!base, idx);
+      go ()
+    end
+    else if accept_punct st "." then begin
+      base := Ast.Field (!base, ident st);
+      go ()
+    end
+    else !base
+  in
+  go ()
+
+and primary st =
+  match (current st).Lexer.token with
+  | Lexer.Tnum n ->
+      advance st;
+      Ast.Num n
+  | Lexer.Tstr s ->
+      advance st;
+      Ast.Str s
+  | Lexer.Tkeyword "true" ->
+      advance st;
+      Ast.Bool true
+  | Lexer.Tkeyword "false" ->
+      advance st;
+      Ast.Bool false
+  | Lexer.Tkeyword "null" ->
+      advance st;
+      Ast.Null
+  | Lexer.Tkeyword "function" ->
+      advance st;
+      let ps = params st in
+      Ast.Lambda (ps, braced_block st)
+  | Lexer.Tident name ->
+      advance st;
+      Ast.Var name
+  | Lexer.Tpunct "(" ->
+      advance st;
+      let e = expr st in
+      eat_punct st ")";
+      e
+  | Lexer.Tpunct "[" ->
+      advance st;
+      Ast.Array (sep_list st ~close:"]" ~item:expr)
+  | Lexer.Tpunct "{" ->
+      advance st;
+      let field st =
+        let key =
+          match (current st).Lexer.token with
+          | Lexer.Tident k | Lexer.Tstr k ->
+              advance st;
+              k
+          | _ -> error st "expected object key"
+        in
+        eat_punct st ":";
+        (key, expr st)
+      in
+      Ast.Object (sep_list st ~close:"}" ~item:field)
+  | _ -> error st "expected expression"
+
+(* {1 Statements} *)
+
+and braced_block st =
+  eat_punct st "{";
+  let rec go acc =
+    if accept_punct st "}" then List.rev acc else go (stmt st :: acc)
+  in
+  go []
+
+and block_or_stmt st = if check_punct st "{" then braced_block st else [ stmt st ]
+
+and lvalue_of_expr st = function
+  | Ast.Var name -> Ast.Lvar name
+  | Ast.Index (a, i) -> Ast.Lindex (a, i)
+  | Ast.Field (e, f) -> Ast.Lfield (e, f)
+  | _ -> error st "invalid assignment target"
+
+and stmt st =
+  match (current st).Lexer.token with
+  | Lexer.Tkeyword ("let" | "var") ->
+      advance st;
+      let name = ident st in
+      eat_punct st "=";
+      let value = expr st in
+      ignore (accept_punct st ";");
+      Ast.Let (name, value)
+  | Lexer.Tkeyword "function" ->
+      (* Distinguish a declaration from a lambda expression by the
+         identifier that follows. *)
+      if
+        st.pos + 1 < Array.length st.tokens
+        &&
+        match st.tokens.(st.pos + 1).Lexer.token with
+        | Lexer.Tident _ -> true
+        | _ -> false
+      then begin
+        advance st;
+        let name = ident st in
+        let ps = params st in
+        let body = braced_block st in
+        Ast.Let (name, Ast.Lambda (ps, body))
+      end
+      else expr_stmt st
+  | Lexer.Tkeyword "return" ->
+      advance st;
+      if accept_punct st ";" then Ast.Return None
+      else begin
+        let e = expr st in
+        ignore (accept_punct st ";");
+        Ast.Return (Some e)
+      end
+  | Lexer.Tkeyword "break" ->
+      advance st;
+      ignore (accept_punct st ";");
+      Ast.Break
+  | Lexer.Tkeyword "continue" ->
+      if st.in_for then error st "continue is not supported inside for loops";
+      advance st;
+      ignore (accept_punct st ";");
+      Ast.Continue
+  | Lexer.Tkeyword "if" ->
+      advance st;
+      eat_punct st "(";
+      let cond = expr st in
+      eat_punct st ")";
+      let then_ = block_or_stmt st in
+      let else_ =
+        if check_keyword st "else" then begin
+          advance st;
+          block_or_stmt st
+        end
+        else []
+      in
+      Ast.If (cond, then_, else_)
+  | Lexer.Tkeyword "while" ->
+      advance st;
+      eat_punct st "(";
+      let cond = expr st in
+      eat_punct st ")";
+      Ast.While (cond, block_or_stmt st)
+  | Lexer.Tkeyword "for" ->
+      advance st;
+      eat_punct st "(";
+      let init = stmt st in
+      let cond = expr st in
+      eat_punct st ";";
+      let was_in_for = st.in_for in
+      st.in_for <- true;
+      let step = stmt st in
+      eat_punct st ")";
+      let body = block_or_stmt st in
+      st.in_for <- was_in_for;
+      (* Desugar: the step runs after the body on every iteration. *)
+      Ast.If (Ast.Bool true, [ init; Ast.While (cond, body @ [ step ]) ], [])
+  | _ -> expr_stmt st
+
+and expr_stmt st =
+  let e = expr st in
+  let result =
+    if check_punct st "=" then begin
+      advance st;
+      let lv = lvalue_of_expr st e in
+      Ast.Assign (lv, expr st)
+    end
+    else if check_punct st "+=" || check_punct st "-=" then begin
+      let op = if check_punct st "+=" then Ast.Add else Ast.Sub in
+      advance st;
+      let lv = lvalue_of_expr st e in
+      Ast.Assign (lv, Ast.Binop (op, e, expr st))
+    end
+    else Ast.Expr e
+  in
+  ignore (accept_punct st ";");
+  result
+
+let parse src =
+  let tokens = Array.of_list (Lexer.tokenize src) in
+  let st = { tokens; pos = 0; in_for = false } in
+  let rec go acc =
+    match (current st).Lexer.token with
+    | Lexer.Teof -> List.rev acc
+    | _ -> go (stmt st :: acc)
+  in
+  go []

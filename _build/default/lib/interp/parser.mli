@@ -1,0 +1,14 @@
+(** Recursive-descent parser for MiniJS.
+
+    Grammar notes:
+    - [function f(a, b) { ... }] declares [f] as a binding of a lambda;
+    - [for (init; cond; step) body] is desugared to a [while] loop with
+      the step appended to the body (so [continue] inside a [for] is
+      rejected at parse time rather than silently skipping the step);
+    - assignment is a statement, not an expression. *)
+
+exception Parse_error of string * int * int
+(** Message, line, column of the offending token. *)
+
+val parse : string -> Ast.program
+(** @raise Parse_error or [Lexer.Lex_error] on invalid source. *)

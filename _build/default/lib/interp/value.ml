@@ -1,0 +1,187 @@
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of arr
+  | Obj of (string, t) Hashtbl.t
+  | Closure of closure
+  | Builtin of string * (t list -> t)
+
+and arr = { mutable items : t array; mutable len : int }
+
+and closure = { params : string list; body : Ast.block; env : env }
+
+and env = { vars : (string, t) Hashtbl.t; mutable parent : env option }
+
+let arr_of_list vs =
+  let items = Array.of_list vs in
+  Arr { items; len = Array.length items }
+
+let arr_items a = Array.to_list (Array.sub a.items 0 a.len)
+
+let arr_push a v =
+  if a.len = Array.length a.items then begin
+    let cap = max 4 (2 * Array.length a.items) in
+    let items = Array.make cap Null in
+    Array.blit a.items 0 items 0 a.len;
+    a.items <- items
+  end;
+  a.items.(a.len) <- v;
+  a.len <- a.len + 1
+
+let obj_of_list fields =
+  let h = Hashtbl.create (max 4 (List.length fields)) in
+  List.iter (fun (k, v) -> Hashtbl.replace h k v) fields;
+  Obj h
+
+let truthy = function
+  | Null -> false
+  | Bool b -> b
+  | Num n -> n <> 0.0 && not (Float.is_nan n)
+  | Str s -> s <> ""
+  | Arr _ | Obj _ | Closure _ | Builtin _ -> true
+
+let equal a b =
+  match (a, b) with
+  | Null, Null -> true
+  | Bool x, Bool y -> x = y
+  | Num x, Num y -> x = y
+  | Str x, Str y -> x = y
+  | Arr x, Arr y -> x == y
+  | Obj x, Obj y -> x == y
+  | Closure x, Closure y -> x == y
+  | Builtin (_, f), Builtin (_, g) -> f == g
+  | _ -> false
+
+let type_name = function
+  | Null -> "null"
+  | Bool _ -> "bool"
+  | Num _ -> "number"
+  | Str _ -> "string"
+  | Arr _ -> "array"
+  | Obj _ -> "object"
+  | Closure _ | Builtin _ -> "function"
+
+let number_to_string n =
+  if Float.is_integer n && Float.abs n < 1e15 then
+    Printf.sprintf "%.0f" n
+  else Printf.sprintf "%g" n
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let rec to_string = function
+  | Null -> "null"
+  | Bool b -> if b then "true" else "false"
+  | Num n -> number_to_string n
+  | Str s -> Printf.sprintf "\"%s\"" (escape s)
+  | Arr a ->
+      let body = List.map to_string (arr_items a) in
+      Printf.sprintf "[%s]" (String.concat ", " body)
+  | Obj h ->
+      let fields =
+        Hashtbl.fold (fun k v acc -> (k, v) :: acc) h []
+        |> List.sort (fun (a, _) (b, _) -> compare a b)
+        |> List.map (fun (k, v) -> Printf.sprintf "\"%s\": %s" (escape k) (to_string v))
+      in
+      Printf.sprintf "{%s}" (String.concat ", " fields)
+  | Closure _ | Builtin _ -> "<function>"
+
+let heap_bytes = function
+  | Null | Bool _ | Num _ -> 0
+  | Str s -> 24 + String.length s
+  | Arr a -> 32 + (16 * Array.length a.items)
+  | Obj h -> 64 + (48 * Hashtbl.length h)
+  | Closure c -> 64 + (16 * List.length c.params)
+  | Builtin _ -> 0
+
+(* Deep copy with physical-identity memoization. The memo tables must be
+   seeded *before* recursing into children because environment graphs are
+   cyclic (an env binds a closure whose env is that same env). Identity
+   lists are O(n^2) but guest programs are small. *)
+type memo = {
+  mutable envs : (env * env) list;
+  mutable vals : (t * t) list;
+  rebind : string -> t option;
+}
+
+let rec copy_value memo v =
+  match v with
+  | Null | Bool _ | Num _ | Str _ -> v
+  | Builtin (name, _) -> (
+      match memo.rebind name with Some fresh -> fresh | None -> v)
+  | Arr a -> (
+      match List.find_opt (fun (orig, _) -> orig == v) memo.vals with
+      | Some (_, copy) -> copy
+      | None ->
+          let fresh = { items = Array.make (Array.length a.items) Null; len = a.len } in
+          let copy = Arr fresh in
+          memo.vals <- (v, copy) :: memo.vals;
+          for i = 0 to a.len - 1 do
+            fresh.items.(i) <- copy_value memo a.items.(i)
+          done;
+          copy)
+  | Obj h -> (
+      match List.find_opt (fun (orig, _) -> orig == v) memo.vals with
+      | Some (_, copy) -> copy
+      | None ->
+          let fresh = Hashtbl.create (max 4 (Hashtbl.length h)) in
+          let copy = Obj fresh in
+          memo.vals <- (v, copy) :: memo.vals;
+          Hashtbl.iter (fun k x -> Hashtbl.replace fresh k (copy_value memo x)) h;
+          copy)
+  | Closure c -> (
+      match List.find_opt (fun (orig, _) -> orig == v) memo.vals with
+      | Some (_, copy) -> copy
+      | None ->
+          let copy = Closure { c with env = copy_env_memo memo c.env } in
+          memo.vals <- (v, copy) :: memo.vals;
+          copy)
+
+and copy_env_memo memo env =
+  match List.find_opt (fun (orig, _) -> orig == env) memo.envs with
+  | Some (_, copy) -> copy
+  | None ->
+      (* Seed before touching parent or values: the graph may reach this
+         env again through either. *)
+      let fresh =
+        { vars = Hashtbl.create (max 8 (Hashtbl.length env.vars)); parent = None }
+      in
+      memo.envs <- (env, fresh) :: memo.envs;
+      (match env.parent with
+      | Some p -> fresh.parent <- Some (copy_env_memo memo p)
+      | None -> ());
+      Hashtbl.iter
+        (fun name v -> Hashtbl.replace fresh.vars name (copy_value memo v))
+        env.vars;
+      fresh
+
+let deep_copy_env ~rebind_builtin env =
+  copy_env_memo { envs = []; vals = []; rebind = rebind_builtin } env
+
+let new_env ?parent () = { vars = Hashtbl.create 8; parent }
+
+let define env name v = Hashtbl.replace env.vars name v
+
+let rec lookup env name =
+  match Hashtbl.find_opt env.vars name with
+  | Some v -> Some v
+  | None -> ( match env.parent with Some p -> lookup p name | None -> None)
+
+let rec assign env name v =
+  if Hashtbl.mem env.vars name then begin
+    Hashtbl.replace env.vars name v;
+    true
+  end
+  else match env.parent with Some p -> assign p name v | None -> false

@@ -1,0 +1,65 @@
+(** Runtime values and environments of MiniJS. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of arr
+  | Obj of (string, t) Hashtbl.t
+  | Closure of closure
+  | Builtin of string * (t list -> t)
+
+and arr = { mutable items : t array; mutable len : int }
+
+and closure = { params : string list; body : Ast.block; env : env }
+
+and env = { vars : (string, t) Hashtbl.t; mutable parent : env option }
+
+val arr_of_list : t list -> t
+
+val arr_items : arr -> t list
+
+val arr_push : arr -> t -> unit
+
+val obj_of_list : (string * t) list -> t
+
+val truthy : t -> bool
+(** JS-like: [null], [false], [0], [""] are falsy. *)
+
+val equal : t -> t -> bool
+(** Structural on primitives, physical on arrays/objects/functions. *)
+
+val type_name : t -> string
+
+val to_string : t -> string
+(** Display form; JSON-compatible for null/bool/num/str/array/object
+    trees (functions render as ["<function>"]). *)
+
+val heap_bytes : t -> int
+(** Approximate guest-heap size of freshly constructing this value
+    (shallow) — drives the allocation metering. *)
+
+val deep_copy_env : rebind_builtin:(string -> t option) -> env -> env
+(** Structure-preserving deep copy of an environment graph: arrays,
+    objects, closures and scope chains are duplicated (sharing and cycles
+    preserved via physical memoization), so mutations on the copy never
+    reach the original. Builtins are replaced through [rebind_builtin]
+    (they capture per-instance host hooks); unknown names keep the
+    original builtin.
+
+    This is how a snapshot freezes a guest's interpreter state: the
+    capture takes a copy as an immutable template, and every UC deployed
+    from the snapshot clones its own working copy. *)
+
+(** {1 Environments} *)
+
+val new_env : ?parent:env -> unit -> env
+
+val define : env -> string -> t -> unit
+
+val lookup : env -> string -> t option
+(** Searches the scope chain. *)
+
+val assign : env -> string -> t -> bool
+(** Updates the innermost binding; [false] if unbound. *)

@@ -1,0 +1,248 @@
+exception Vm_error of string
+
+type ctx = { hooks : Eval.hooks; mutable ops : int; mutable unbilled : int }
+
+let bill_batch = 4096
+
+let step ctx =
+  ctx.ops <- ctx.ops + 1;
+  ctx.unbilled <- ctx.unbilled + 1;
+  if ctx.ops > ctx.hooks.Eval.max_ops then raise Eval.Ops_exhausted;
+  if ctx.unbilled >= bill_batch then begin
+    ctx.hooks.Eval.work (float_of_int ctx.unbilled *. Eval.seconds_per_op);
+    ctx.unbilled <- 0
+  end
+
+let flush ctx =
+  if ctx.unbilled > 0 then begin
+    ctx.hooks.Eval.work (float_of_int ctx.unbilled *. Eval.seconds_per_op);
+    ctx.unbilled <- 0
+  end
+
+let error fmt = Printf.ksprintf (fun s -> raise (Eval.Runtime_error s)) fmt
+
+let note_alloc ctx v =
+  let bytes = Value.heap_bytes v in
+  if bytes > 0 then ctx.hooks.Eval.alloc bytes
+
+(* Shared with the tree-walker so the engines cannot drift on operator
+   semantics: re-evaluate through Eval's binop by building a tiny
+   expression? No — expose identical logic locally instead. Kept in sync
+   by the differential tests. *)
+let binop ctx op a b =
+  let open Value in
+  let v =
+    match (op, a, b) with
+    | Ast.Add, Num x, Num y -> Num (x +. y)
+    | Ast.Add, Str x, Str y -> Str (x ^ y)
+    | Ast.Add, Str x, y -> Str (x ^ Value.to_string y)
+    | Ast.Add, x, Str y -> Str (Value.to_string x ^ y)
+    | Ast.Sub, Num x, Num y -> Num (x -. y)
+    | Ast.Mul, Num x, Num y -> Num (x *. y)
+    | Ast.Div, Num x, Num y ->
+        if y = 0.0 then error "division by zero" else Num (x /. y)
+    | Ast.Mod, Num x, Num y ->
+        if y = 0.0 then error "modulo by zero" else Num (Float.rem x y)
+    | Ast.Eq, x, y -> Bool (Value.equal x y)
+    | Ast.Neq, x, y -> Bool (not (Value.equal x y))
+    | Ast.Lt, Num x, Num y -> Bool (x < y)
+    | Ast.Le, Num x, Num y -> Bool (x <= y)
+    | Ast.Gt, Num x, Num y -> Bool (x > y)
+    | Ast.Ge, Num x, Num y -> Bool (x >= y)
+    | Ast.Lt, Str x, Str y -> Bool (x < y)
+    | Ast.Le, Str x, Str y -> Bool (x <= y)
+    | Ast.Gt, Str x, Str y -> Bool (x > y)
+    | Ast.Ge, Str x, Str y -> Bool (x >= y)
+    | (Ast.Add | Ast.Sub | Ast.Mul | Ast.Div | Ast.Mod), x, y ->
+        error "arithmetic on %s and %s" (Value.type_name x) (Value.type_name y)
+    | (Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge), x, y ->
+        error "comparison of %s and %s" (Value.type_name x) (Value.type_name y)
+  in
+  note_alloc ctx v;
+  v
+
+(* One frame of VM execution. [env] is the frame's innermost scope and
+   mutates as Push_scope/Pop_scope execute. *)
+let rec run ctx env0 (proto : Bytecode.proto) =
+  let env = ref env0 in
+  let stack = ref [] in
+  let push v = stack := v :: !stack in
+  let pop () =
+    match !stack with
+    | v :: rest ->
+        stack := rest;
+        v
+    | [] -> raise (Vm_error (proto.Bytecode.fn_name ^ ": operand stack underflow"))
+  in
+  let code = proto.Bytecode.code in
+  let result = ref Value.Null in
+  let pc = ref 0 in
+  let running = ref true in
+  while !running do
+    if !pc < 0 || !pc >= Array.length code then
+      raise (Vm_error (proto.Bytecode.fn_name ^ ": pc out of bounds"));
+    step ctx;
+    let instr = code.(!pc) in
+    incr pc;
+    match instr with
+    | Bytecode.Const v -> push v
+    | Bytecode.Load name -> (
+        match Value.lookup !env name with
+        | Some v -> push v
+        | None -> error "unbound variable '%s'" name)
+    | Bytecode.Store name ->
+        let v = pop () in
+        if not (Value.assign !env name v) then
+          error "assignment to unbound '%s'" name
+    | Bytecode.Define name ->
+        let v = pop () in
+        ctx.hooks.Eval.alloc 32;
+        Value.define !env name v
+    | Bytecode.Pop -> ignore (pop ())
+    | Bytecode.Dup ->
+        let v = pop () in
+        push v;
+        push v
+    | Bytecode.Make_array n ->
+        let rec take k acc = if k = 0 then acc else take (k - 1) (pop () :: acc) in
+        let v = Value.arr_of_list (take n []) in
+        note_alloc ctx v;
+        push v
+    | Bytecode.Make_object keys ->
+        let values =
+          List.rev_map (fun _ -> pop ()) keys
+        in
+        let v = Value.obj_of_list (List.combine keys values) in
+        note_alloc ctx v;
+        push v
+    | Bytecode.Index_get -> (
+        let idx = pop () in
+        let container = pop () in
+        match (container, idx) with
+        | Value.Arr arr, Value.Num n ->
+            let i = int_of_float n in
+            if i < 0 || i >= arr.Value.len then
+              error "array index %d out of bounds (length %d)" i arr.Value.len
+            else push arr.Value.items.(i)
+        | Value.Obj h, Value.Str key ->
+            push (Option.value (Hashtbl.find_opt h key) ~default:Value.Null)
+        | Value.Str s, Value.Num n ->
+            let i = int_of_float n in
+            if i < 0 || i >= String.length s then
+              error "string index out of bounds"
+            else push (Value.Str (String.make 1 s.[i]))
+        | v, _ -> error "cannot index %s" (Value.type_name v))
+    | Bytecode.Index_set -> (
+        let v = pop () in
+        let idx = pop () in
+        let container = pop () in
+        match (container, idx) with
+        | Value.Arr arr, Value.Num n ->
+            let i = int_of_float n in
+            if i = arr.Value.len then begin
+              Value.arr_push arr v;
+              ctx.hooks.Eval.alloc 16
+            end
+            else if i < 0 || i > arr.Value.len then
+              error "array store index %d out of bounds" i
+            else arr.Value.items.(i) <- v
+        | Value.Obj h, Value.Str key ->
+            if not (Hashtbl.mem h key) then ctx.hooks.Eval.alloc 48;
+            Hashtbl.replace h key v
+        | c, _ -> error "cannot index-assign %s" (Value.type_name c))
+    | Bytecode.Field_get name -> (
+        match pop () with
+        | Value.Obj h ->
+            push (Option.value (Hashtbl.find_opt h name) ~default:Value.Null)
+        | Value.Arr a when name = "length" ->
+            push (Value.Num (float_of_int a.Value.len))
+        | Value.Str s when name = "length" ->
+            push (Value.Num (float_of_int (String.length s)))
+        | v -> error "cannot access field '%s' of %s" name (Value.type_name v))
+    | Bytecode.Field_set name -> (
+        let v = pop () in
+        match pop () with
+        | Value.Obj h ->
+            if not (Hashtbl.mem h name) then ctx.hooks.Eval.alloc 48;
+            Hashtbl.replace h name v
+        | c -> error "cannot set field of %s" (Value.type_name c))
+    | Bytecode.Unop op -> (
+        let v = pop () in
+        match op with
+        | Ast.Neg -> (
+            match v with
+            | Value.Num n -> push (Value.Num (-.n))
+            | v -> error "unary -: expected number, got %s" (Value.type_name v))
+        | Ast.Not -> push (Value.Bool (not (Value.truthy v))))
+    | Bytecode.Binop op ->
+        let b = pop () in
+        let a = pop () in
+        push (binop ctx op a b)
+    | Bytecode.Call argc ->
+        let rec take k acc = if k = 0 then acc else take (k - 1) (pop () :: acc) in
+        let args = take argc [] in
+        let callee = pop () in
+        push (apply ctx callee args)
+    | Bytecode.Closure nested ->
+        let captured = !env in
+        let name = Printf.sprintf "<vm:%s>" nested.Bytecode.fn_name in
+        let fn args = call_proto ctx captured nested args in
+        let v = Value.Builtin (name, fn) in
+        ctx.hooks.Eval.alloc (64 + (16 * List.length nested.Bytecode.params));
+        push v
+    | Bytecode.Jump target -> pc := target
+    | Bytecode.Jump_if_false target ->
+        if not (Value.truthy (pop ())) then pc := target
+    | Bytecode.Jump_if_true target -> if Value.truthy (pop ()) then pc := target
+    | Bytecode.Push_scope -> env := Value.new_env ~parent:!env ()
+    | Bytecode.Pop_scope -> (
+        match !env.Value.parent with
+        | Some parent -> env := parent
+        | None -> raise (Vm_error "pop_scope at frame root"))
+    | Bytecode.Return ->
+        result := pop ();
+        running := false
+  done;
+  !result
+
+and apply ctx callee args =
+  match callee with
+  | Value.Builtin (_, f) -> f args
+  | Value.Closure _ ->
+      (* Tree closures can reach the VM through shared globals; delegate
+         to the tree-walker so semantics stay uniform. *)
+      Eval.call ctx.hooks callee args
+  | v -> error "cannot call %s" (Value.type_name v)
+
+and call_proto ctx captured (proto : Bytecode.proto) args =
+  if List.length proto.Bytecode.params <> List.length args then
+    error "arity mismatch: expected %d arguments, got %d"
+      (List.length proto.Bytecode.params)
+      (List.length args);
+  let frame = Value.new_env ~parent:captured () in
+  ctx.hooks.Eval.alloc (48 + (16 * List.length proto.Bytecode.params));
+  List.iter2 (Value.define frame) proto.Bytecode.params args;
+  run ctx frame proto
+
+let with_ctx hooks f =
+  let ctx = { hooks; ops = 0; unbilled = 0 } in
+  match f ctx with
+  | v ->
+      flush ctx;
+      v
+  | exception exn ->
+      flush ctx;
+      raise exn
+
+let run_proto hooks ~env proto =
+  with_ctx hooks (fun ctx -> run ctx env proto)
+
+let exec_program hooks ~env program =
+  let proto = Codegen.compile_program program in
+  ignore (run_proto hooks ~env proto)
+
+let eval_expr hooks ~env expr =
+  let proto = Codegen.compile_program [ Ast.Return (Some expr) ] in
+  run_proto hooks ~env proto
+
+let call hooks callee args = with_ctx hooks (fun ctx -> apply ctx callee args)

@@ -1,0 +1,26 @@
+(** The bytecode virtual machine: MiniJS's second execution engine.
+
+    Runs {!Codegen} output with the same metering hooks, the same
+    builtins and the same observable semantics as the tree-walking
+    {!Eval} — the differential test suite holds the two engines to
+    identical results on random programs. VM closures are represented as
+    host functions ({!Value.Builtin}), so values flow freely between
+    engines; note that unlike tree closures they are opaque to
+    {!Value.deep_copy_env}, which is why the snapshot/guest pipeline
+    uses the tree-walker and the VM serves as the validation and
+    compile-cost reference engine. *)
+
+exception Vm_error of string
+(** Internal invariant violation (a miscompile); user-level errors raise
+    {!Eval.Runtime_error} exactly as the tree-walker does. *)
+
+val exec_program : Eval.hooks -> env:Value.env -> Ast.program -> unit
+(** Compile and run top-level statements, binding into [env]. *)
+
+val eval_expr : Eval.hooks -> env:Value.env -> Ast.expr -> Value.t
+
+val call : Eval.hooks -> Value.t -> Value.t list -> Value.t
+(** Apply a VM closure or builtin. *)
+
+val run_proto : Eval.hooks -> env:Value.env -> Bytecode.proto -> Value.t
+(** Execute a compiled proto in (a child scope of) [env]. *)

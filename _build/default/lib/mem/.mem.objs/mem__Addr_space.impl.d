@@ -1,0 +1,1 @@
+lib/mem/addr_space.ml: Frame Mconfig Page_table Printf

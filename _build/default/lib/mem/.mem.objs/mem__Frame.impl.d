@@ -1,0 +1,1 @@
+lib/mem/frame.ml: Array Int64 Mconfig Printf

@@ -1,0 +1,1 @@
+lib/mem/mconfig.ml: Int64

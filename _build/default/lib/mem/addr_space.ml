@@ -1,0 +1,120 @@
+type t = {
+  frames : Frame.t;
+  pt : Page_table.t;
+  mutable zero_fills : int;
+  mutable cow_copies : int;
+  (* Incremental counters: captures and deploys must be O(root), never
+     O(mapped pages), for the 65k-function experiments to run. *)
+  mutable dirty_count : int;
+  mutable mapped_count : int;
+}
+
+type fault = No_fault | Zero_fill | Cow_copy
+
+type write_stats = { pages : int; zero_fills : int; cow_copies : int }
+
+let create frames =
+  {
+    frames;
+    pt = Page_table.create frames;
+    zero_fills = 0;
+    cow_copies = 0;
+    dirty_count = 0;
+    mapped_count = 0;
+  }
+
+(* The source must already be frozen (read-only + copy-on-write, clean
+   dirty bits) — [Snapshot.capture] guarantees this. Sweeping the leaves
+   here would make deploys O(mapped pages) instead of O(root). *)
+let of_table ?(mapped_hint = -1) frames source =
+  let pt = Page_table.clone_shallow source in
+  let mapped =
+    if mapped_hint >= 0 then mapped_hint else Page_table.count_present pt
+  in
+  {
+    frames;
+    pt;
+    zero_fills = 0;
+    cow_copies = 0;
+    dirty_count = 0;
+    mapped_count = mapped;
+  }
+
+let table t = t.pt
+let allocator t = t.frames
+
+let touch_write t ~vpn =
+  let e = Page_table.get t.pt ~vpn in
+  if not (Page_table.Entry.present e) then begin
+    let frame = Frame.alloc t.frames in
+    Page_table.set t.pt ~vpn
+      (Page_table.Entry.make ~frame ~writable:true ~cow:false ~dirty:true
+         ~accessed:true);
+    t.zero_fills <- t.zero_fills + 1;
+    t.dirty_count <- t.dirty_count + 1;
+    t.mapped_count <- t.mapped_count + 1;
+    Zero_fill
+  end
+  else if Page_table.Entry.writable e then begin
+    if not (Page_table.Entry.dirty e) then t.dirty_count <- t.dirty_count + 1;
+    if not (Page_table.Entry.dirty e && Page_table.Entry.accessed e) then
+      Page_table.set t.pt ~vpn
+        (Page_table.Entry.with_flags ~dirty:true ~accessed:true e);
+    No_fault
+  end
+  else if Page_table.Entry.cow e then begin
+    (* Clone the shared frame into a private writable copy. *)
+    let frame = Frame.alloc t.frames in
+    Page_table.set t.pt ~vpn
+      (Page_table.Entry.make ~frame ~writable:true ~cow:false ~dirty:true
+         ~accessed:true);
+    t.cow_copies <- t.cow_copies + 1;
+    t.dirty_count <- t.dirty_count + 1;
+    Cow_copy
+  end
+  else
+    invalid_arg
+      (Printf.sprintf "Addr_space.touch_write: protection violation at vpn %d"
+         vpn)
+
+let touch_read t ~vpn =
+  let e = Page_table.get t.pt ~vpn in
+  if Page_table.Entry.present e && not (Page_table.Entry.accessed e) then
+    Page_table.set t.pt ~vpn (Page_table.Entry.with_flags ~accessed:true e)
+
+let write_range t ~vpn ~pages =
+  if pages < 0 then invalid_arg "Addr_space.write_range: negative count";
+  let zero = ref 0 and cow = ref 0 in
+  for p = vpn to vpn + pages - 1 do
+    match touch_write t ~vpn:p with
+    | No_fault -> ()
+    | Zero_fill -> incr zero
+    | Cow_copy -> incr cow
+  done;
+  { pages; zero_fills = !zero; cow_copies = !cow }
+
+let write_bytes t ~addr ~len =
+  if addr < 0 || len < 0 then invalid_arg "Addr_space.write_bytes: negative";
+  if len = 0 then { pages = 0; zero_fills = 0; cow_copies = 0 }
+  else begin
+    let first = addr / Mconfig.page_size in
+    let last = (addr + len - 1) / Mconfig.page_size in
+    write_range t ~vpn:first ~pages:(last - first + 1)
+  end
+
+let mapped_pages t = t.mapped_count
+let mapped_pages_slow t = Page_table.count_present t.pt
+let resident_bytes t = Mconfig.bytes_of_pages (mapped_pages t)
+let dirty_pages t = t.dirty_count
+let dirty_pages_slow t = Page_table.count_dirty t.pt
+
+let clear_dirty t =
+  Page_table.clear_dirty_all t.pt;
+  t.dirty_count <- 0
+
+let freeze t =
+  Page_table.mark_all_cow_clean t.pt;
+  t.dirty_count <- 0
+let lifetime_zero_fills (t : t) = t.zero_fills
+let lifetime_cow_copies (t : t) = t.cow_copies
+let release t = Page_table.release t.pt

@@ -1,0 +1,75 @@
+(** A unikernel context's flat virtual address space.
+
+    Wraps a {!Page_table.t} with x86-like fault semantics:
+
+    - a write to an absent page demand-allocates a zero frame;
+    - a write to a copy-on-write page clones the frame privately;
+    - a write to a writable page just sets the dirty bit;
+    - reads never allocate (absent reads hit the shared zero page).
+
+    Fault counts are exposed so the cost model can charge simulated time
+    per fault — the "pages copied during the execution" column of
+    Table 1 is read straight off these counters. *)
+
+type t
+
+type fault = No_fault | Zero_fill | Cow_copy
+
+type write_stats = { pages : int; zero_fills : int; cow_copies : int }
+
+val create : Frame.t -> t
+(** A fresh, empty address space. *)
+
+val of_table : ?mapped_hint:int -> Frame.t -> Page_table.t -> t
+(** Deploy over a *frozen* table (read-only + copy-on-write entries with
+    clean dirty bits, as produced by snapshot capture): shallow
+    page-table copy in O(root size) — the SEUSS deploy primitive.
+    [mapped_hint] seeds the O(1) mapped-page counter (snapshots know
+    their totals); without it the table is walked once. *)
+
+val table : t -> Page_table.t
+
+val allocator : t -> Frame.t
+
+val touch_write : t -> vpn:int -> fault
+(** Write one page. @raise Frame.Out_of_memory when a needed allocation
+    exceeds the budget (the page is left unmodified). *)
+
+val touch_read : t -> vpn:int -> unit
+(** Sets the accessed bit on a present page; no-op on absent pages. *)
+
+val write_range : t -> vpn:int -> pages:int -> write_stats
+(** Write [pages] consecutive pages starting at [vpn]. *)
+
+val write_bytes : t -> addr:int -> len:int -> write_stats
+(** Byte-addressed convenience over {!write_range}. *)
+
+val mapped_pages : t -> int
+(** O(1), maintained incrementally (exact when [of_table]'s hint was). *)
+
+val resident_bytes : t -> int64
+(** [mapped_pages * page_size]: what this space would charge a node if
+    nothing were shared. *)
+
+val dirty_pages : t -> int
+(** O(1): pages written since creation or the last {!clear_dirty} /
+    {!freeze} — the size of the diff a snapshot would capture. *)
+
+val mapped_pages_slow : t -> int
+(** Page-table walk; for tests cross-checking the counters. *)
+
+val dirty_pages_slow : t -> int
+
+val clear_dirty : t -> unit
+
+val freeze : t -> unit
+(** The capture barrier: every present mapping becomes read-only +
+    copy-on-write with clean dirty bits (visible through all tables
+    sharing these leaves), and the dirty counter resets. *)
+
+val lifetime_zero_fills : t -> int
+
+val lifetime_cow_copies : t -> int
+
+val release : t -> unit
+(** Return all private frames/leaves; the space must not be used after. *)

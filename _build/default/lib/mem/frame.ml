@@ -1,0 +1,84 @@
+type frame = int
+
+exception Out_of_memory
+
+type t = {
+  budget_frames : int;
+  (* refcounts.(id) = 0 means the slot is free (and sits on free_list). *)
+  mutable refcounts : int array;
+  mutable next_fresh : int;
+  mutable free_list : int list;
+  mutable live : int;
+  mutable peak : int;
+  mutable allocs : int;
+}
+
+let create ?(budget_bytes = Mconfig.default_budget_bytes) () =
+  let frames = Int64.div budget_bytes (Int64.of_int Mconfig.page_size) in
+  if Int64.compare frames 1L < 0 then invalid_arg "Frame.create: budget too small";
+  {
+    budget_frames = Int64.to_int frames;
+    refcounts = Array.make 4096 0;
+    next_fresh = 0;
+    free_list = [];
+    live = 0;
+    peak = 0;
+    allocs = 0;
+  }
+
+let budget_frames t = t.budget_frames
+let budget_bytes t = Mconfig.bytes_of_pages t.budget_frames
+
+let ensure_capacity t id =
+  if id >= Array.length t.refcounts then begin
+    let cap = max (id + 1) (2 * Array.length t.refcounts) in
+    let cap = min cap (max (id + 1) t.budget_frames) in
+    let refcounts = Array.make cap 0 in
+    Array.blit t.refcounts 0 refcounts 0 (Array.length t.refcounts);
+    t.refcounts <- refcounts
+  end
+
+let alloc t =
+  if t.live >= t.budget_frames then raise Out_of_memory;
+  let id =
+    match t.free_list with
+    | id :: rest ->
+        t.free_list <- rest;
+        id
+    | [] ->
+        let id = t.next_fresh in
+        t.next_fresh <- id + 1;
+        ensure_capacity t id;
+        id
+  in
+  t.refcounts.(id) <- 1;
+  t.live <- t.live + 1;
+  if t.live > t.peak then t.peak <- t.live;
+  t.allocs <- t.allocs + 1;
+  id
+
+let check_live t id name =
+  if id < 0 || id >= t.next_fresh || t.refcounts.(id) = 0 then
+    invalid_arg (Printf.sprintf "Frame.%s: dead frame %d" name id)
+
+let incref t id =
+  check_live t id "incref";
+  t.refcounts.(id) <- t.refcounts.(id) + 1
+
+let decref t id =
+  check_live t id "decref";
+  t.refcounts.(id) <- t.refcounts.(id) - 1;
+  if t.refcounts.(id) = 0 then begin
+    t.free_list <- id :: t.free_list;
+    t.live <- t.live - 1
+  end
+
+let refcount t id =
+  check_live t id "refcount";
+  t.refcounts.(id)
+
+let used_frames t = t.live
+let used_bytes t = Mconfig.bytes_of_pages t.live
+let free_bytes t = Mconfig.bytes_of_pages (t.budget_frames - t.live)
+let peak_frames t = t.peak
+let total_allocs t = t.allocs

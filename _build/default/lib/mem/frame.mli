@@ -1,0 +1,52 @@
+(** Physical frame allocator with reference counting.
+
+    Frames are metadata-only (an id plus a refcount): the simulation
+    accounts 4 KiB per frame against the node budget without backing each
+    frame with host memory, which is what makes the full 88 GB density
+    experiment (Table 3) runnable on a laptop.
+
+    Reference counts track *mappings*: a frame shared read-only between a
+    snapshot and the UCs deployed from it has one reference per page-table
+    leaf that names it, and is returned to the free list when the count
+    reaches zero. *)
+
+type t
+
+type frame = int
+(** Frame identifier. Valid ids are non-negative; ids are recycled. *)
+
+exception Out_of_memory
+(** Raised by {!alloc} when the node budget is exhausted. The SEUSS node
+    catches this to trigger its OOM reclaimer; the density experiments
+    catch it to find the capacity limit. *)
+
+val create : ?budget_bytes:int64 -> unit -> t
+(** [create ()] models the paper's 88 GB node; pass [budget_bytes] to
+    scale experiments down. *)
+
+val budget_bytes : t -> int64
+
+val budget_frames : t -> int
+
+val alloc : t -> frame
+(** A fresh frame with refcount 1. @raise Out_of_memory at budget. *)
+
+val incref : t -> frame -> unit
+
+val decref : t -> frame -> unit
+(** Frees the frame when the count reaches zero.
+    @raise Invalid_argument on a dead frame. *)
+
+val refcount : t -> frame -> int
+
+val used_frames : t -> int
+
+val used_bytes : t -> int64
+
+val free_bytes : t -> int64
+
+val peak_frames : t -> int
+(** High-water mark of simultaneously live frames. *)
+
+val total_allocs : t -> int
+(** Cumulative {!alloc} calls (allocation-rate sanity checks). *)

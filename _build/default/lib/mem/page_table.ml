@@ -1,0 +1,178 @@
+module Entry = struct
+  type t = int
+
+  let absent = 0
+  let present_bit = 1
+  let writable_bit = 2
+  let cow_bit = 4
+  let dirty_bit = 8
+  let accessed_bit = 16
+  let flag_bits = 5
+
+  let make ~frame ~writable ~cow ~dirty ~accessed =
+    (frame lsl flag_bits)
+    lor present_bit
+    lor (if writable then writable_bit else 0)
+    lor (if cow then cow_bit else 0)
+    lor (if dirty then dirty_bit else 0)
+    lor if accessed then accessed_bit else 0
+
+  let present e = e land present_bit <> 0
+  let frame e = e lsr flag_bits
+  let writable e = e land writable_bit <> 0
+  let cow e = e land cow_bit <> 0
+  let dirty e = e land dirty_bit <> 0
+  let accessed e = e land accessed_bit <> 0
+
+  let with_flags ?writable:w ?cow:c ?dirty:d ?accessed:a e =
+    let put bit value e =
+      match value with
+      | None -> e
+      | Some true -> e lor bit
+      | Some false -> e land lnot bit
+    in
+    e |> put writable_bit w |> put cow_bit c |> put dirty_bit d
+    |> put accessed_bit a
+end
+
+type leaf = { mutable rc : int; entries : int array }
+
+type t = {
+  frames : Frame.t;
+  dirs : leaf option array;
+  mutable released : bool;
+}
+
+let entries = Mconfig.entries_per_table
+let root_size = 512
+let max_vpn = root_size * entries
+
+let create frames =
+  { frames; dirs = Array.make root_size None; released = false }
+
+let check_alive t = if t.released then invalid_arg "Page_table: use after release"
+
+let clone_shallow t =
+  check_alive t;
+  Array.iter
+    (function Some leaf -> leaf.rc <- leaf.rc + 1 | None -> ())
+    t.dirs;
+  { frames = t.frames; dirs = Array.copy t.dirs; released = false }
+
+let split vpn =
+  if vpn < 0 || vpn >= max_vpn then invalid_arg "Page_table: vpn out of range";
+  (vpn / entries, vpn mod entries)
+
+let get t ~vpn =
+  check_alive t;
+  let dir, idx = split vpn in
+  match t.dirs.(dir) with None -> Entry.absent | Some leaf -> leaf.entries.(idx)
+
+(* A leaf this table is about to write through must be exclusively owned:
+   copy it if shared, taking a frame reference for every present entry the
+   copy now names. *)
+let private_leaf t dir =
+  match t.dirs.(dir) with
+  | None ->
+      let leaf = { rc = 1; entries = Array.make entries Entry.absent } in
+      t.dirs.(dir) <- Some leaf;
+      leaf
+  | Some leaf when leaf.rc = 1 -> leaf
+  | Some shared ->
+      shared.rc <- shared.rc - 1;
+      let copy = { rc = 1; entries = Array.copy shared.entries } in
+      Array.iter
+        (fun e -> if Entry.present e then Frame.incref t.frames (Entry.frame e))
+        copy.entries;
+      t.dirs.(dir) <- Some copy;
+      copy
+
+let set t ~vpn entry =
+  check_alive t;
+  let dir, idx = split vpn in
+  let leaf = private_leaf t dir in
+  let old = leaf.entries.(idx) in
+  leaf.entries.(idx) <- entry;
+  (* Same-frame updates (flag changes) keep the existing reference;
+     otherwise the old mapping's reference is dropped and the new entry's
+     reference was transferred in by the caller. *)
+  let same_frame =
+    Entry.present old && Entry.present entry
+    && Entry.frame old = Entry.frame entry
+  in
+  if (not same_frame) && Entry.present old then
+    Frame.decref t.frames (Entry.frame old)
+
+let in_place_map t f =
+  check_alive t;
+  Array.iter
+    (function
+      | None -> ()
+      | Some leaf ->
+          for i = 0 to entries - 1 do
+            let e = leaf.entries.(i) in
+            if Entry.present e then leaf.entries.(i) <- f e
+          done)
+    t.dirs
+
+let mark_all_cow_clean t =
+  in_place_map t (fun e ->
+      Entry.with_flags ~writable:false ~cow:true ~dirty:false e)
+
+let clear_dirty_all t = in_place_map t (fun e -> Entry.with_flags ~dirty:false e)
+
+let fold_present t ~init ~f =
+  check_alive t;
+  let acc = ref init in
+  Array.iteri
+    (fun dir leaf ->
+      match leaf with
+      | None -> ()
+      | Some leaf ->
+          for i = 0 to entries - 1 do
+            let e = leaf.entries.(i) in
+            if Entry.present e then acc := f !acc ~vpn:((dir * entries) + i) e
+          done)
+    t.dirs;
+  !acc
+
+let count_present t = fold_present t ~init:0 ~f:(fun n ~vpn:_ _ -> n + 1)
+
+let count_dirty t =
+  fold_present t ~init:0 ~f:(fun n ~vpn:_ e ->
+      if Entry.dirty e then n + 1 else n)
+
+let leaf_tables t =
+  check_alive t;
+  Array.fold_left
+    (fun n leaf -> match leaf with Some _ -> n + 1 | None -> n)
+    0 t.dirs
+
+let private_leaf_tables t =
+  check_alive t;
+  Array.fold_left
+    (fun n leaf -> match leaf with Some l when l.rc = 1 -> n + 1 | _ -> n)
+    0 t.dirs
+
+let structure_bytes t =
+  let word = 8 in
+  let root = root_size * word in
+  let leaf_bytes = entries * word in
+  root + (private_leaf_tables t * leaf_bytes)
+
+let release t =
+  check_alive t;
+  Array.iteri
+    (fun dir leaf ->
+      match leaf with
+      | None -> ()
+      | Some leaf ->
+          leaf.rc <- leaf.rc - 1;
+          if leaf.rc = 0 then
+            Array.iter
+              (fun e ->
+                if Entry.present e then Frame.decref t.frames (Entry.frame e))
+              leaf.entries;
+          t.dirs.(dir) <- None)
+    t.dirs;
+  t.released <- true

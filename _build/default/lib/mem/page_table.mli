@@ -1,0 +1,91 @@
+(** Two-level page tables with structural sharing.
+
+    This is the mechanism behind SEUSS's cheap deploys: "deployment
+    consists mainly of a memory copy of page table structures" (Table 3).
+    {!clone_shallow} copies only the root directory and shares the leaf
+    tables; a leaf is privatized (copied) the first time a table writes
+    through it, so the per-UC page-table overhead is proportional to the
+    pages the UC actually dirties.
+
+    Reference-count discipline: installing a present entry with {!set}
+    consumes one reference to its frame (the caller must hold it, e.g.
+    fresh from [Frame.alloc]); overwriting or clearing a present entry
+    releases the old frame's reference; privatizing or releasing a leaf
+    adjusts the references of every present entry it contains. *)
+
+(** Packed page-table entries ([int]-encoded, absent = {!Entry.absent}). *)
+module Entry : sig
+  type t = int
+
+  val absent : t
+
+  val make :
+    frame:Frame.frame ->
+    writable:bool ->
+    cow:bool ->
+    dirty:bool ->
+    accessed:bool ->
+    t
+
+  val present : t -> bool
+  val frame : t -> Frame.frame
+  val writable : t -> bool
+  val cow : t -> bool
+  val dirty : t -> bool
+  val accessed : t -> bool
+
+  val with_flags :
+    ?writable:bool -> ?cow:bool -> ?dirty:bool -> ?accessed:bool -> t -> t
+  (** Same frame, updated flags. *)
+end
+
+type t
+
+val max_vpn : int
+(** Virtual page numbers range over [\[0, max_vpn)] (1 GiB of VA with
+    x86-64-like 512-entry tables — ample for one unikernel context). *)
+
+val create : Frame.t -> t
+(** An empty table drawing frames' refcount operations from the given
+    allocator. *)
+
+val clone_shallow : t -> t
+(** Share all leaves with the source; O(root size). This is the deploy
+    and snapshot-freeze primitive. *)
+
+val get : t -> vpn:int -> Entry.t
+
+val set : t -> vpn:int -> Entry.t -> unit
+(** Install/replace/clear the entry for [vpn], privatizing the leaf if it
+    is shared. See the refcount discipline above. *)
+
+val mark_all_cow_clean : t -> unit
+(** In-place, across *shared* leaves: every present entry becomes
+    read-only + copy-on-write with the dirty bit cleared. This is the
+    snapshot-capture barrier — intentionally visible through every table
+    sharing these leaves (the captured UC keeps running but now faults on
+    write, exactly like the hardware after write-protecting a live
+    address space). *)
+
+val clear_dirty_all : t -> unit
+(** In-place dirty-bit reset (also applies to shared leaves). *)
+
+val fold_present : t -> init:'a -> f:('a -> vpn:int -> Entry.t -> 'a) -> 'a
+
+val count_present : t -> int
+
+val count_dirty : t -> int
+
+val leaf_tables : t -> int
+(** Materialized leaves reachable from this root. *)
+
+val private_leaf_tables : t -> int
+(** Leaves with reference count 1 (not shared with any other table). *)
+
+val structure_bytes : t -> int
+(** Host-page-table overhead accounted to this table: the root plus its
+    *private* share of leaves (shared leaves are charged to one owner). *)
+
+val release : t -> unit
+(** Drop this table: unshare every leaf, releasing frame references for
+    leaves whose count reaches zero. The table must not be used after. *)

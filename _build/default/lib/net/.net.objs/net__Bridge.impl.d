@@ -1,0 +1,1 @@
+lib/net/bridge.ml: Float Netconf Option Sim Tcp

@@ -1,0 +1,1 @@
+lib/net/http.ml: Option Printf Sim String Tcp

@@ -1,0 +1,1 @@
+lib/net/proxy.ml: Hashtbl Netconf Printf Sim Tcp

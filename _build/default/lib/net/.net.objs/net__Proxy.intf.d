@@ -1,0 +1,1 @@
+lib/net/proxy.mli: Tcp

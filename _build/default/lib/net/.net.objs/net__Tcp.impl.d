@@ -1,0 +1,1 @@
+lib/net/tcp.ml: Netconf Option Sim String

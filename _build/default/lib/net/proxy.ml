@@ -1,0 +1,35 @@
+type t = {
+  mappings : (int, Tcp.listener) Hashtbl.t;
+  mutable translations : int;
+}
+
+(* Flow-table insertion and header rewrite on the fast path. *)
+let translation_cost = 2e-6
+
+let create () = { mappings = Hashtbl.create 64; translations = 0 }
+
+let register t ~port l =
+  if Hashtbl.mem t.mappings port then
+    invalid_arg (Printf.sprintf "Proxy.register: port %d already mapped" port);
+  Hashtbl.replace t.mappings port l
+
+let unregister t ~port = Hashtbl.remove t.mappings port
+
+let lookup t ~port = Hashtbl.find_opt t.mappings port
+
+let connect t ~port =
+  match lookup t ~port with
+  | None -> None
+  | Some l ->
+      Sim.Engine.sleep translation_cost;
+      t.translations <- t.translations + 1;
+      Tcp.connect ~link:Netconf.internal l
+
+let outbound t l =
+  Sim.Engine.sleep translation_cost;
+  t.translations <- t.translations + 1;
+  Tcp.connect ~link:Netconf.lan l
+
+let active_mappings t = Hashtbl.length t.mappings
+
+let translations t = t.translations

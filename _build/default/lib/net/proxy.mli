@@ -1,0 +1,32 @@
+(** The SEUSS per-core network proxy.
+
+    Every UC boots with an identical IP and MAC; the proxy masquerades
+    traffic in and out, keying flows by TCP destination port (§6,
+    Networking). Internally it is a port-to-listener map plus a small
+    per-flow translation cost — deliberately cheap, which is exactly the
+    contrast with {!Bridge}: proxy cost is O(1) in the number of UCs. *)
+
+type t
+
+val create : unit -> t
+
+val register : t -> port:int -> Tcp.listener -> unit
+(** Map a UC's driver listener. @raise Invalid_argument on duplicate. *)
+
+val unregister : t -> port:int -> unit
+(** Unknown ports are ignored (UC teardown is idempotent). *)
+
+val lookup : t -> port:int -> Tcp.listener option
+
+val connect : t -> port:int -> Tcp.conn option
+(** Connect from SEUSS OS to the UC behind [port] over the internal
+    link; [None] if no mapping or the UC refuses. *)
+
+val outbound : t -> Tcp.listener -> Tcp.conn option
+(** A guest-initiated connection to an external service, masqueraded
+    through the proxy (the only direction the prototype supports). *)
+
+val active_mappings : t -> int
+
+val translations : t -> int
+(** Lifetime flow-translation count (both directions). *)

@@ -1,0 +1,94 @@
+type msg = { data : string; size : int }
+
+type frame = Data of msg | Fin
+
+type conn = {
+  out : frame Sim.Channel.t;
+  inc : frame Sim.Channel.t;
+  link : Netconf.link;
+  mutable closed_local : bool;
+  mutable closed_remote : bool;
+}
+
+type listener = { port : int; accepts : conn Sim.Channel.t }
+
+let listener ~port = { port; accepts = Sim.Channel.create () }
+
+let port l = l.port
+
+let syn_timeout = 1.0
+let syn_retries = 2
+
+let connect ?(admit = fun () -> true) ~link l =
+  let engine = Sim.Engine.self () in
+  let rec attempt tries =
+    if admit () then begin
+      (* Handshake: SYN, SYN/ACK, ACK before data can flow. *)
+      Sim.Engine.sleep (3.0 *. link.Netconf.latency);
+      let a2b = Sim.Channel.create () and b2a = Sim.Channel.create () in
+      let client =
+        { out = a2b; inc = b2a; link; closed_local = false; closed_remote = false }
+      in
+      let server =
+        { out = b2a; inc = a2b; link; closed_local = false; closed_remote = false }
+      in
+      Sim.Engine.schedule engine ~delay:link.Netconf.latency (fun () ->
+          Sim.Channel.send l.accepts server);
+      Some client
+    end
+    else if tries >= syn_retries then None
+    else begin
+      Sim.Engine.sleep syn_timeout;
+      attempt (tries + 1)
+    end
+  in
+  attempt 0
+
+let accept l = Sim.Channel.recv l.accepts
+
+let accept_timeout l ~timeout = Sim.Channel.recv_timeout l.accepts ~timeout
+
+let send conn ?size data =
+  if conn.closed_local then invalid_arg "Tcp.send: connection closed";
+  let size = Option.value size ~default:(String.length data) in
+  let link = conn.link in
+  Sim.Engine.sleep
+    (link.Netconf.per_message +. (float_of_int size /. link.Netconf.bandwidth));
+  let engine = Sim.Engine.self () in
+  Sim.Engine.schedule engine ~delay:link.Netconf.latency (fun () ->
+      Sim.Channel.send conn.out (Data { data; size }))
+
+let interpret conn = function
+  | Some (Data m) -> Some m
+  | Some Fin ->
+      conn.closed_remote <- true;
+      None
+  | None ->
+      (* Channels never yield None without timeout; treated as close. *)
+      conn.closed_remote <- true;
+      None
+
+let recv conn =
+  if conn.closed_remote then None
+  else interpret conn (Some (Sim.Channel.recv conn.inc))
+
+let recv_timeout conn ~timeout =
+  if conn.closed_remote then Some None
+  else
+    match Sim.Channel.recv_timeout conn.inc ~timeout with
+    | None -> None
+    | Some frame -> Some (interpret conn (Some frame))
+
+let close conn =
+  if not conn.closed_local then begin
+    conn.closed_local <- true;
+    match Sim.Engine.self () with
+    | engine ->
+        Sim.Engine.schedule engine ~delay:conn.link.Netconf.latency (fun () ->
+            Sim.Channel.send conn.out Fin)
+    | exception Invalid_argument _ ->
+        (* Closing outside a run (cleanup after the simulation ended). *)
+        Sim.Channel.send conn.out Fin
+  end
+
+let is_closed conn = conn.closed_local || conn.closed_remote

@@ -1,0 +1,56 @@
+(** Point-to-point reliable byte-stream connections.
+
+    A deliberately small TCP model: connections carry framed messages
+    with costs derived from a {!Netconf.link} (handshake = 1.5 RTT,
+    per-message cost = serialization + fixed overhead, delivery delayed
+    by the one-way latency). Loss is not modeled here — admission
+    failure and drop-induced timeouts live in {!Bridge}, where the paper
+    observed them. *)
+
+type msg = { data : string; size : int }
+(** [size] is the modeled wire size; it may exceed [String.length data]
+    (e.g. a 1 MB body carried as a short tag). *)
+
+type conn
+(** One endpoint's view of an established connection. *)
+
+type listener
+
+val listener : port:int -> listener
+
+val port : listener -> int
+
+val connect : ?admit:(unit -> bool) -> link:Netconf.link -> listener -> conn option
+(** Establish a connection from within a simulation process: sleeps the
+    handshake, then queues the peer endpoint on the listener's accept
+    queue. [admit] (default always-true) is consulted once per SYN; on
+    refusal the caller sleeps a retransmission timeout and retries, and
+    after the retry budget the connect fails with [None] — the behaviour
+    behind the paper's container connection timeouts. *)
+
+val accept : listener -> conn
+(** Blocks until a peer connects. *)
+
+val accept_timeout : listener -> timeout:float -> conn option
+
+val send : conn -> ?size:int -> string -> unit
+(** Blocks the sender for serialization + overhead; the peer receives the
+    message one latency later. [size] defaults to the string length.
+    @raise Invalid_argument if the connection is closed. *)
+
+val recv : conn -> msg option
+(** Blocks until a message or the peer's close arrives; [None] on close. *)
+
+val recv_timeout : conn -> timeout:float -> msg option option
+(** [Some (Some m)] message, [Some None] peer closed, [None] timed out. *)
+
+val close : conn -> unit
+(** Idempotent; wakes the peer's pending [recv] with end-of-stream. *)
+
+val is_closed : conn -> bool
+
+val syn_timeout : float
+(** Retransmission pause after a refused SYN (1 s, Linux-like initial
+    SYN retry). *)
+
+val syn_retries : int

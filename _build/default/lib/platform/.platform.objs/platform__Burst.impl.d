@@ -1,0 +1,1 @@
+lib/platform/burst.ml: Baselines Controller Printf Result Sim Stats Workloads

@@ -1,0 +1,1 @@
+lib/platform/burst.mli: Controller Stats Stdlib

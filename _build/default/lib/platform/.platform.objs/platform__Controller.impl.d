@@ -1,0 +1,1 @@
+lib/platform/controller.ml: Baselines Seuss Sim Unikernel Workloads

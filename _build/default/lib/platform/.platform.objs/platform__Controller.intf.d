@@ -1,0 +1,1 @@
+lib/platform/controller.mli: Baselines Seuss Sim

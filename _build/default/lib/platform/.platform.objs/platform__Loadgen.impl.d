@@ -1,0 +1,1 @@
+lib/platform/loadgen.ml: Array Result Sim Stats

@@ -1,0 +1,1 @@
+lib/platform/loadgen.mli: Stats Stdlib

@@ -1,0 +1,1 @@
+lib/platform/metrics.ml: Int64 List Printf Seuss Sim Stats

@@ -1,0 +1,1 @@
+lib/platform/workloads.ml: Baselines Printf

@@ -1,0 +1,33 @@
+(** The OpenWhisk control plane, reduced to its performance-relevant
+    behaviour.
+
+    Every request passes through the API gateway, Kafka bus, controller
+    scheduling and result persistence; on the paper's two-machine
+    deployment this pipeline saturates in the low hundreds of requests
+    per second regardless of backend. We model it as a serialized
+    per-request overhead — which is also what makes Linux ~21% faster
+    than SEUSS at small set sizes in Figure 4: SEUSS requests
+    additionally pass through the shim's serialized connection. *)
+
+type backend =
+  | Seuss_backend of Seuss.Shim.t
+  | Linux_backend of Baselines.Linux_node.t
+
+type fn_spec = { fn_id : string; action : Baselines.Backend_intf.action }
+
+type t
+
+val create : Sim.Engine.t -> backend -> t
+
+val backend : t -> backend
+
+val invoke : t -> fn_spec -> (unit, string) result
+(** Blocking end-to-end invocation; [Error] carries a reason label
+    (["timeout"], ["overloaded"], ...). *)
+
+val requests : t -> int
+
+val control_plane_overhead : float
+(** Serialized control-plane service time per request (6.5 ms),
+    calibrated so the hot-path plateau lands near the paper's Figure 4:
+    ~154 req/s for Linux and ~128 req/s for SEUSS (shim-bound). *)

@@ -1,0 +1,71 @@
+type config = {
+  invocations : int;
+  fn_set_size : int;
+  client_threads : int;
+  seed : int64;
+  warmup : int;
+}
+
+type result = {
+  latencies : Stats.Summary.t;
+  errors : int;
+  wall_time : float;
+  throughput : float;
+  requests : Stats.Series.t;
+}
+
+let send_order cfg =
+  if cfg.invocations <= 0 || cfg.fn_set_size <= 0 then
+    invalid_arg "Loadgen: empty trial";
+  if cfg.warmup >= cfg.invocations then
+    invalid_arg "Loadgen: warmup must leave invocations to measure";
+  let order = Array.init cfg.invocations (fun i -> i mod cfg.fn_set_size) in
+  Sim.Prng.shuffle (Sim.Prng.create cfg.seed) order;
+  order
+
+let run ~invoke cfg =
+  let engine = Sim.Engine.self () in
+  let order = send_order cfg in
+  let next = ref 0 in
+  let completed = ref 0 in
+  let errors = ref 0 in
+  let latencies = Stats.Summary.create () in
+  let requests = Stats.Series.create () in
+  let measure_started = ref 0.0 in
+  let all_done = Sim.Ivar.create () in
+  let worker () =
+    let rec loop () =
+      let i = !next in
+      if i < cfg.invocations then begin
+        incr next;
+        if i = cfg.warmup then measure_started := Sim.Engine.now engine;
+        let sent = Sim.Engine.now engine in
+        let outcome = invoke ~fn_index:order.(i) in
+        let latency = Sim.Engine.now engine -. sent in
+        if i >= cfg.warmup then begin
+          (match outcome with
+          | Ok () -> Stats.Summary.add latencies latency
+          | Error _ -> incr errors);
+          Stats.Series.add requests ~time:sent ~value:latency
+            ~ok:(Result.is_ok outcome)
+        end;
+        incr completed;
+        if !completed = cfg.invocations then Sim.Ivar.fill all_done ();
+        loop ()
+      end
+    in
+    loop ()
+  in
+  for _ = 1 to cfg.client_threads do
+    Sim.Engine.spawn engine ~name:"loadgen-worker" worker
+  done;
+  Sim.Ivar.read all_done;
+  let wall = Sim.Engine.now engine -. !measure_started in
+  let measured_ok = Stats.Summary.count latencies in
+  {
+    latencies;
+    errors = !errors;
+    wall_time = wall;
+    throughput = (if wall > 0.0 then float_of_int measured_ok /. wall else 0.0);
+    requests;
+  }

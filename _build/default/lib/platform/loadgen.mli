@@ -1,0 +1,33 @@
+(** The paper's custom FaaS load-generation benchmark (§7).
+
+    A trial has three parameters: invocation count (N), function set
+    size (M) and worker threads (C). N invocations are distributed
+    round-robin across the M functions, shuffled into a deterministic
+    random send order (the paper persists its order for repeatability;
+    we derive it from the seed). C workers pull one request at a time
+    from the shared queue and issue synchronous invocations, so at most
+    C requests are in flight. *)
+
+type config = {
+  invocations : int;  (** N *)
+  fn_set_size : int;  (** M *)
+  client_threads : int;  (** C *)
+  seed : int64;
+  warmup : int;
+      (** requests at the head of the order excluded from the stats
+          (lets throughput reach its stable point, as the paper's
+          "until the measured throughput reaches stability") *)
+}
+
+type result = {
+  latencies : Stats.Summary.t;  (** successful requests, seconds *)
+  errors : int;
+  wall_time : float;  (** simulated seconds for the measured portion *)
+  throughput : float;  (** measured successful requests per second *)
+  requests : Stats.Series.t;  (** every request: (send time, latency, ok) *)
+}
+
+val run :
+  invoke:(fn_index:int -> (unit, string) Stdlib.result) -> config -> result
+(** Execute a trial (blocking; call within a simulation process).
+    [invoke] receives the function index in [\[0, fn_set_size)]. *)

@@ -1,0 +1,86 @@
+type sample = {
+  time : float;
+  free_bytes : int64;
+  idle_ucs : int;
+  fn_snapshots : int;
+  cold : int;
+  warm : int;
+  hot : int;
+  errors : int;
+}
+
+type t = {
+  node : Seuss.Node.t;
+  interval : float;
+  mutable rev_samples : sample list;
+  stop_gate : unit Sim.Ivar.t;
+}
+
+let take t =
+  let s = Seuss.Node.stats t.node in
+  let engine = (Seuss.Node.env t.node).Seuss.Osenv.engine in
+  t.rev_samples <-
+    {
+      time = Sim.Engine.now engine;
+      free_bytes = Seuss.Node.free_bytes t.node;
+      idle_ucs = Seuss.Node.idle_uc_count t.node;
+      fn_snapshots = Seuss.Node.snapshot_count t.node;
+      cold = s.Seuss.Node.cold;
+      warm = s.Seuss.Node.warm;
+      hot = s.Seuss.Node.hot;
+      errors = s.Seuss.Node.errors;
+    }
+    :: t.rev_samples
+
+let watch ~interval node =
+  if interval <= 0.0 then invalid_arg "Metrics.watch: interval";
+  let t = { node; interval; rev_samples = []; stop_gate = Sim.Ivar.create () } in
+  let engine = (Seuss.Node.env node).Seuss.Osenv.engine in
+  Sim.Engine.spawn engine ~name:"metrics-sampler" (fun () ->
+      let rec loop () =
+        if not (Sim.Ivar.is_full t.stop_gate) then begin
+          take t;
+          Sim.Engine.sleep t.interval;
+          loop ()
+        end
+      in
+      loop ());
+  t
+
+let stop t =
+  if not (Sim.Ivar.is_full t.stop_gate) then begin
+    take t;
+    Sim.Ivar.fill t.stop_gate ()
+  end;
+  List.rev t.rev_samples
+
+let render samples =
+  let table =
+    Stats.Tablefmt.create
+      ~columns:
+        [
+          ("t (s)", Stats.Tablefmt.Right);
+          ("free MB", Stats.Tablefmt.Right);
+          ("idle UCs", Stats.Tablefmt.Right);
+          ("snapshots", Stats.Tablefmt.Right);
+          ("cold", Stats.Tablefmt.Right);
+          ("warm", Stats.Tablefmt.Right);
+          ("hot", Stats.Tablefmt.Right);
+          ("errors", Stats.Tablefmt.Right);
+        ]
+  in
+  List.iter
+    (fun s ->
+      Stats.Tablefmt.add_row table
+        [
+          Printf.sprintf "%.1f" s.time;
+          Printf.sprintf "%.0f" (Int64.to_float s.free_bytes /. 1048576.0);
+          string_of_int s.idle_ucs;
+          string_of_int s.fn_snapshots;
+          string_of_int s.cold;
+          string_of_int s.warm;
+          string_of_int s.hot;
+          string_of_int s.errors;
+        ])
+    samples;
+  Stats.Tablefmt.render table

@@ -1,0 +1,30 @@
+(** Periodic sampling of compute-node state over simulated time.
+
+    A background process records a gauge snapshot at a fixed interval —
+    free memory, cached snapshots, idle UCs, served paths — giving the
+    burst and density experiments a time axis for resource behaviour
+    (e.g. watching the OOM reclaimer hold the free-memory floor during a
+    burst storm). *)
+
+type sample = {
+  time : float;
+  free_bytes : int64;
+  idle_ucs : int;
+  fn_snapshots : int;
+  cold : int;
+  warm : int;
+  hot : int;
+  errors : int;
+}
+
+type t
+
+val watch : interval:float -> Seuss.Node.t -> t
+(** Spawn the sampler on the node's engine (call in-process). Sampling
+    continues until {!stop}. *)
+
+val stop : t -> sample list
+(** End sampling; samples in time order. *)
+
+val render : sample list -> string
+(** A compact table: one row per sample. *)

@@ -1,0 +1,18 @@
+let nop = Baselines.Backend_intf.Nop
+
+let cpu_burst = Baselines.Backend_intf.Cpu_ms 150.0
+
+let io_blocking ~url = Baselines.Backend_intf.Io_call (url, 0.250)
+
+let args_literal = "{}"
+
+let source_of_action = function
+  | Baselines.Backend_intf.Nop -> "function main(args) { return {}; }"
+  | Baselines.Backend_intf.Cpu_ms ms ->
+      Printf.sprintf
+        "function main(args) { work(%.3f); return {done: true}; }" ms
+  | Baselines.Backend_intf.Io_call (url, _) ->
+      Printf.sprintf
+        "function main(args) { let body = http_get(\"%s\"); return {ok: \
+         len(body) >= 0}; }"
+        url

@@ -1,0 +1,20 @@
+(** The paper's workload functions, in both representations: real MiniJS
+    source for the SEUSS node (which actually imports, compiles and runs
+    it) and a {!Baselines.Backend_intf.action} for the Linux container
+    model. *)
+
+val source_of_action : Baselines.Backend_intf.action -> string
+(** MiniJS for the action. The NOP matches the paper's single-line
+    JavaScript NOP; the CPU kernel occupies a core for the given
+    milliseconds; the IO function performs a blocking [http_get]. *)
+
+val nop : Baselines.Backend_intf.action
+
+val cpu_burst : Baselines.Backend_intf.action
+(** ~150 ms of compute (§7, burst experiments). *)
+
+val io_blocking : url:string -> Baselines.Backend_intf.action
+(** 250 ms blocking external call (§7, background stream). *)
+
+val args_literal : string
+(** The empty-argument payload used across experiments. *)

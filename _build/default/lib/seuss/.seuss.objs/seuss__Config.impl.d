@@ -1,0 +1,1 @@
+lib/seuss/config.ml: Int64 Mem Unikernel

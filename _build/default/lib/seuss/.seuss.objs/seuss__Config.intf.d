@@ -1,0 +1,1 @@
+lib/seuss/config.mli: Unikernel

@@ -1,0 +1,1 @@
+lib/seuss/cost.mli:

@@ -1,0 +1,1 @@
+lib/seuss/node.ml: Config Cost Hashtbl Int64 List Mem Osenv Printf Queue Sim Snapshot String Uc Unikernel

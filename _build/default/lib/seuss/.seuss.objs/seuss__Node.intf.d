@@ -1,0 +1,1 @@
+lib/seuss/node.mli: Config Osenv Snapshot Uc Unikernel

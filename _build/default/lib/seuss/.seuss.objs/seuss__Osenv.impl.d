@@ -1,0 +1,1 @@
+lib/seuss/osenv.ml: Hashtbl Mem Net Option Sim String

@@ -1,0 +1,1 @@
+lib/seuss/osenv.mli: Hashtbl Mem Net Sim

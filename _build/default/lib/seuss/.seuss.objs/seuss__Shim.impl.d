@@ -1,0 +1,1 @@
+lib/seuss/shim.ml: Cost Node Osenv Sim

@@ -1,0 +1,1 @@
+lib/seuss/shim.mli: Node Osenv Unikernel

@@ -1,0 +1,1 @@
+lib/seuss/snapshot.ml: Cost Mem Osenv Printf Sim Unikernel

@@ -1,0 +1,1 @@
+lib/seuss/snapshot.mli: Mem Osenv Unikernel

@@ -1,0 +1,1 @@
+lib/seuss/uc.ml: Cost Int64 Mem Net Osenv Printf Sim Snapshot Unikernel

@@ -1,0 +1,1 @@
+lib/seuss/uc.mli: Osenv Snapshot Unikernel

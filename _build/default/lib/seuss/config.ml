@@ -1,0 +1,29 @@
+type ao_level = Ao_none | Ao_network | Ao_full
+
+type t = {
+  cores : int;
+  ao : ao_level;
+  cache_function_snapshots : bool;
+  cache_idle_ucs : bool;
+  oom_headroom_bytes : int64;
+  max_function_snapshots : int;
+  invoke_timeout : float;
+  runtimes : Unikernel.Image.t list;
+}
+
+let default =
+  {
+    cores = 16;
+    ao = Ao_full;
+    cache_function_snapshots = true;
+    cache_idle_ucs = true;
+    oom_headroom_bytes = Int64.of_int (Mem.Mconfig.mib 1024);
+    max_function_snapshots = 200_000;
+    invoke_timeout = 60.0;
+    runtimes = [ Unikernel.Image.node ];
+  }
+
+let ao_name = function
+  | Ao_none -> "none"
+  | Ao_network -> "network"
+  | Ao_full -> "network+interpreter"

@@ -1,0 +1,30 @@
+(** SEUSS node configuration. *)
+
+type ao_level =
+  | Ao_none  (** capture the base snapshot right at driver start *)
+  | Ao_network  (** prime the TCP buffer pool and send path first *)
+  | Ao_full  (** network priming plus a dummy compile + run (§7) *)
+
+type t = {
+  cores : int;  (** compute-node VCPUs; the paper's VM has 16 *)
+  ao : ao_level;
+  cache_function_snapshots : bool;
+      (** snapshot stacks on/off — ablation: off makes every miss a full
+          cold path against the base snapshot *)
+  cache_idle_ucs : bool;  (** hot-path cache on/off *)
+  oom_headroom_bytes : int64;
+      (** reclaim idle UCs when free memory drops below this floor (§6:
+          "a pre-defined threshold") *)
+  max_function_snapshots : int;
+      (** bound on cached function snapshots; evictions respect §6's
+          deletion-safety rule (only snapshots with no active UCs and no
+          child snapshots are deleted, oldest first) *)
+  invoke_timeout : float;  (** seconds before an invocation errors out *)
+  runtimes : Unikernel.Image.t list;  (** images to boot at node start *)
+}
+
+val default : t
+(** 16 cores, full AO, both caches on, 1 GiB OOM headroom, 60 s timeout,
+    Node.js runtime. *)
+
+val ao_name : ao_level -> string

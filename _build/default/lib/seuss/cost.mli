@@ -1,0 +1,45 @@
+(** Host-side (SEUSS OS) cost model.
+
+    Each constant documents its provenance in the paper. Guest-side
+    costs live in {!Unikernel.Gconst}; page-fault hardware costs in
+    {!Mem.Mconfig}. The macro experiments inherit everything from here —
+    they introduce no latency constants of their own. *)
+
+val uc_create : float
+(** Allocating the UC structures and port mapping (~150 us). *)
+
+val pt_shallow_copy : float
+(** "Deployment consists mainly of a memory copy of page table
+    structures" (Table 3 caption): root directory copy + bookkeeping. *)
+
+val context_switch : float
+(** Mapping the new root, TLB flush, switch to ring 3 (§6). *)
+
+val regs_restore : float
+(** "Execution begins by triggering a breakpoint exception and
+    overwriting the exception frame with the register values contained
+    within the snapshot" (§6). *)
+
+val deploy_total : float
+(** Sum of the above — "deploying from a runtime snapshot is a
+    sub-millisecond operation" (§7): ~0.5 ms here. *)
+
+val capture_fixed : float
+(** Trap into the kernel-mode snapshot handler and record register
+    state. *)
+
+val capture_per_dirty_page : float
+(** Cloning each dirty page into the snapshot: Table 1 measures ~400 us
+    for a 512-page function snapshot, i.e. [Mem.Mconfig.page_copy_time]. *)
+
+val destroy : float
+(** Tearing down a UC (page-table release, proxy unmapping). *)
+
+val oom_scan : float
+(** Per-UC cost of the trivial OOM reclaimer's scan (§6). *)
+
+val shim_per_message : float
+(** The Linux-side shim relays each request and each response over its
+    single TCP connection; the two transfers serialize at ~3.9 ms each,
+    reproducing both Table 3's shim-bound 128.6 creations/s and the
+    "about 8 ms" the extra hop adds to hot round trips (§7). *)

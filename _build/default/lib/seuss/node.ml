@@ -1,0 +1,408 @@
+type fn = {
+  fn_id : string;
+  runtime : Unikernel.Image.runtime;
+  source : string;
+}
+
+type path = Cold | Warm | Hot
+
+type invoke_error =
+  [ `Compile_error of string
+  | `Runtime_error of string
+  | `Timeout
+  | `No_runtime
+  | `Overloaded ]
+
+type stats = {
+  cold : int;
+  warm : int;
+  hot : int;
+  errors : int;
+  reclaimed_ucs : int;
+  snapshots_captured : int;
+}
+
+type t = {
+  node_env : Osenv.t;
+  cfg : Config.t;
+  mutable bases : (Unikernel.Image.runtime * Snapshot.t) list;
+  fn_snapshots : (string, Snapshot.t) Hashtbl.t;
+  (* Insertion order of function snapshots, for bounded-cache eviction. *)
+  snap_order : string Queue.t;
+  idle : (string, Uc.t Queue.t) Hashtbl.t;
+  (* FIFO of (fn_id, uc) for oldest-first reclamation; entries go stale
+     when a UC is taken for a hot invocation, so consumers re-validate. *)
+  idle_order : (string * Uc.t) Queue.t;
+  mutable idle_total : int;
+  mutable s_cold : int;
+  mutable s_warm : int;
+  mutable s_hot : int;
+  mutable s_errors : int;
+  mutable s_reclaimed : int;
+  mutable s_captured : int;
+  mutable last_uc : Uc.t option;
+}
+
+let create ?(config = Config.default) node_env =
+  {
+    node_env;
+    cfg = config;
+    bases = [];
+    fn_snapshots = Hashtbl.create 1024;
+    snap_order = Queue.create ();
+    idle = Hashtbl.create 1024;
+    idle_order = Queue.create ();
+    idle_total = 0;
+    s_cold = 0;
+    s_warm = 0;
+    s_hot = 0;
+    s_errors = 0;
+    s_reclaimed = 0;
+    s_captured = 0;
+    last_uc = None;
+  }
+
+let config t = t.cfg
+let env t = t.node_env
+
+let free_bytes t = Mem.Frame.free_bytes t.node_env.Osenv.frames
+
+let base_snapshot t runtime = List.assoc_opt runtime t.bases
+
+let function_snapshot t fn_id = Hashtbl.find_opt t.fn_snapshots fn_id
+
+let snapshot_count t = Hashtbl.length t.fn_snapshots
+
+let snapshot_inventory t =
+  Hashtbl.fold (fun fn_id snap acc -> (fn_id, snap) :: acc) t.fn_snapshots []
+
+(* Keep the snapshot cache within its configured bound: walk the
+   insertion order looking for a snapshot that is safe to delete (§6: no
+   dependents). Entries whose snapshot is still in use are requeued. *)
+let evict_snapshots_if_needed t =
+  let attempts = ref (Queue.length t.snap_order) in
+  while
+    Hashtbl.length t.fn_snapshots >= t.cfg.Config.max_function_snapshots
+    && !attempts > 0
+  do
+    decr attempts;
+    match Queue.take_opt t.snap_order with
+    | None -> attempts := 0
+    | Some fn_id -> (
+        match Hashtbl.find_opt t.fn_snapshots fn_id with
+        | None -> () (* stale entry *)
+        | Some snap ->
+            if Snapshot.try_delete ~env:t.node_env snap then
+              Hashtbl.remove t.fn_snapshots fn_id
+            else Queue.add fn_id t.snap_order)
+  done
+
+let install_snapshot t ~fn_id snap =
+  if Hashtbl.mem t.fn_snapshots fn_id then
+    ignore (Snapshot.try_delete ~env:t.node_env snap)
+  else begin
+    evict_snapshots_if_needed t;
+    Hashtbl.replace t.fn_snapshots fn_id snap;
+    Queue.add fn_id t.snap_order;
+    t.s_captured <- t.s_captured + 1
+  end
+
+let idle_uc_count t = t.idle_total
+
+let idle_ucs t =
+  Hashtbl.fold
+    (fun _ q acc -> Queue.fold (fun acc uc -> uc :: acc) acc q)
+    t.idle []
+
+let stats t =
+  {
+    cold = t.s_cold;
+    warm = t.s_warm;
+    hot = t.s_hot;
+    errors = t.s_errors;
+    reclaimed_ucs = t.s_reclaimed;
+    snapshots_captured = t.s_captured;
+  }
+
+(* {1 Idle-UC cache} *)
+
+let push_idle t fn_id uc =
+  if t.cfg.Config.cache_idle_ucs && Uc.status uc = Uc.Running then begin
+    Uc.touch_lru uc;
+    let q =
+      match Hashtbl.find_opt t.idle fn_id with
+      | Some q -> q
+      | None ->
+          let q = Queue.create () in
+          Hashtbl.replace t.idle fn_id q;
+          q
+    in
+    Queue.add uc q;
+    Queue.add (fn_id, uc) t.idle_order;
+    t.idle_total <- t.idle_total + 1
+  end
+  else Uc.destroy uc
+
+let pop_idle t fn_id =
+  match Hashtbl.find_opt t.idle fn_id with
+  | None -> None
+  | Some q ->
+      let rec take () =
+        match Queue.take_opt q with
+        | None -> None
+        | Some uc ->
+            t.idle_total <- t.idle_total - 1;
+            if Uc.status uc = Uc.Running then Some uc else take ()
+      in
+      take ()
+
+let drop_idle t ~fn_id =
+  match Hashtbl.find_opt t.idle fn_id with
+  | None -> ()
+  | Some q ->
+      Queue.iter
+        (fun uc ->
+          if Uc.status uc = Uc.Running then Uc.destroy uc;
+          t.idle_total <- t.idle_total - 1)
+        q;
+      Queue.clear q
+
+(* The paper's trivial OOM daemon: reclaim idle UCs, oldest first, while
+   free memory sits below the headroom. *)
+let reclaim_idle_ucs t =
+  let reclaimed = ref 0 in
+  let continue_ () =
+    Int64.compare (free_bytes t) t.cfg.Config.oom_headroom_bytes < 0
+    && not (Queue.is_empty t.idle_order)
+  in
+  while continue_ () do
+    let fn_id, uc = Queue.take t.idle_order in
+    Osenv.burn t.node_env Cost.oom_scan;
+    (* Skip stale entries: the UC may have been taken hot or destroyed. *)
+    match Hashtbl.find_opt t.idle fn_id with
+    | Some q when Queue.fold (fun found u -> found || u == uc) false q ->
+        let fresh = Queue.create () in
+        Queue.iter (fun u -> if u != uc then Queue.add u fresh) q;
+        Hashtbl.replace t.idle fn_id fresh;
+        t.idle_total <- t.idle_total - 1;
+        if Uc.status uc = Uc.Running then begin
+          Uc.destroy uc;
+          incr reclaimed;
+          t.s_reclaimed <- t.s_reclaimed + 1
+        end
+    | _ -> ()
+  done;
+  !reclaimed
+
+(* {1 Node startup: boot, AO, base snapshot capture} *)
+
+let apply_ao t uc =
+  let timeout = t.cfg.Config.invoke_timeout in
+  match t.cfg.Config.ao with
+  | Config.Ao_none ->
+      (* Capture right at driver start: no connection has ever touched
+         this guest. *)
+      `Capture_now
+  | (Config.Ao_network | Config.Ao_full) as level ->
+      Uc.resume uc;
+      if not (Uc.connect uc) then `Failed "AO: cannot connect"
+      else begin
+        let ao_request cmd label =
+          match Uc.request uc cmd ~timeout with
+          | Ok (Unikernel.Driver.Ok_reply _) -> Ok ()
+          | Ok (Unikernel.Driver.Err_reply m) ->
+              Error (Printf.sprintf "AO %s failed: %s" label m)
+          | Ok Unikernel.Driver.Pong -> Ok ()
+          | Error _ -> Error (Printf.sprintf "AO %s failed" label)
+        in
+        let result =
+          match ao_request Unikernel.Driver.Warm_net "network" with
+          | Error _ as e -> e
+          | Ok () ->
+              if level = Config.Ao_full then
+                ao_request Unikernel.Driver.Warm_exec "interpreter"
+              else Ok ()
+        in
+        match result with
+        | Error msg -> `Failed msg
+        | Ok () -> (
+            ignore (Uc.send uc Unikernel.Driver.Checkpoint);
+            match Uc.await_breakpoint uc ~timeout with
+            | Some "checkpoint" -> `Capture_now
+            | Some other -> `Failed ("unexpected breakpoint: " ^ other)
+            | None -> `Failed "checkpoint timeout")
+      end
+
+let start t =
+  List.iter
+    (fun image ->
+      let uc = Uc.boot t.node_env image in
+      match Uc.await_breakpoint uc ~timeout:60.0 with
+      | Some "driver-started" -> (
+          match apply_ao t uc with
+          | `Capture_now ->
+              let name =
+                Printf.sprintf "%s-base"
+                  (Unikernel.Image.runtime_name image.Unikernel.Image.runtime)
+              in
+              let snap = Uc.capture uc ~env:t.node_env ~name in
+              t.bases <- (image.Unikernel.Image.runtime, snap) :: t.bases;
+              Uc.resume uc;
+              Uc.destroy uc
+          | `Failed msg -> failwith ("Node.start: " ^ msg))
+      | Some other -> failwith ("Node.start: unexpected breakpoint " ^ other)
+      | None -> failwith "Node.start: boot timeout")
+    t.cfg.Config.runtimes
+
+(* {1 Invocation paths} *)
+
+let headroom_check t =
+  if Int64.compare (free_bytes t) t.cfg.Config.oom_headroom_bytes < 0 then
+    ignore (reclaim_idle_ucs t)
+
+let run_on_uc t uc ~args =
+  match
+    Uc.request uc (Unikernel.Driver.Run args) ~timeout:t.cfg.Config.invoke_timeout
+  with
+  | Ok (Unikernel.Driver.Ok_reply result) -> Ok result
+  | Ok (Unikernel.Driver.Err_reply msg) -> Error (`Runtime_error msg)
+  | Ok Unikernel.Driver.Pong -> Error (`Runtime_error "protocol confusion")
+  | Error `Timeout -> Error `Timeout
+  | Error (`Closed | `No_connection) -> Error `Timeout
+
+let finish t fn uc result =
+  t.last_uc <- Some uc;
+  (match result with
+  | Ok _ -> push_idle t fn.fn_id uc
+  | Error _ ->
+      t.s_errors <- t.s_errors + 1;
+      Uc.destroy uc);
+  result
+
+let warm_invoke t fn snap ~args =
+  Sim.Trace.mark "node.path warm";
+  headroom_check t;
+  match Uc.deploy t.node_env snap with
+  | exception Mem.Frame.Out_of_memory ->
+      ignore (reclaim_idle_ucs t);
+      t.s_errors <- t.s_errors + 1;
+      Error `Overloaded
+  | uc ->
+      if not (Uc.connect uc) then begin
+        Uc.destroy uc;
+        t.s_errors <- t.s_errors + 1;
+        Error `Timeout
+      end
+      else finish t fn uc (run_on_uc t uc ~args)
+
+let cold_invoke t fn ~args =
+  Sim.Trace.mark "node.path cold";
+  match base_snapshot t fn.runtime with
+  | None ->
+      t.s_errors <- t.s_errors + 1;
+      Error `No_runtime
+  | Some base -> (
+      headroom_check t;
+      match Uc.deploy t.node_env base with
+      | exception Mem.Frame.Out_of_memory ->
+          ignore (reclaim_idle_ucs t);
+          t.s_errors <- t.s_errors + 1;
+          Error `Overloaded
+      | uc ->
+          if not (Uc.connect uc) then begin
+            Uc.destroy uc;
+            t.s_errors <- t.s_errors + 1;
+            Error `Timeout
+          end
+          else if not (Uc.send uc (Unikernel.Driver.Init fn.source)) then begin
+            Uc.destroy uc;
+            t.s_errors <- t.s_errors + 1;
+            Error `Timeout
+          end
+          else begin
+            match
+              Sim.Trace.span "node.await compile breakpoint" (fun () ->
+                  Uc.await_breakpoint uc ~timeout:t.cfg.Config.invoke_timeout)
+            with
+            | Some "compile-ok" ->
+                (* The guest is parked at the post-compile breakpoint:
+                   capture the function snapshot, then resume and run. *)
+                if
+                  t.cfg.Config.cache_function_snapshots
+                  && not (Hashtbl.mem t.fn_snapshots fn.fn_id)
+                then begin
+                  let snap =
+                    Uc.capture uc ~env:t.node_env ~name:("fn-" ^ fn.fn_id)
+                  in
+                  install_snapshot t ~fn_id:fn.fn_id snap
+                end;
+                Uc.resume uc;
+                finish t fn uc (run_on_uc t uc ~args)
+            | Some label
+              when String.length label >= 12
+                   && String.sub label 0 12 = "compile-err:" ->
+                Uc.resume uc;
+                Uc.destroy uc;
+                t.s_errors <- t.s_errors + 1;
+                Error
+                  (`Compile_error
+                    (String.sub label 12 (String.length label - 12)))
+            | Some other ->
+                Uc.destroy uc;
+                t.s_errors <- t.s_errors + 1;
+                Error (`Compile_error ("unexpected breakpoint " ^ other))
+            | None ->
+                Uc.destroy uc;
+                t.s_errors <- t.s_errors + 1;
+                Error `Timeout
+          end)
+
+let invoke t fn ~args =
+  match pop_idle t fn.fn_id with
+  | Some uc ->
+      Sim.Trace.mark "node.path hot";
+      t.s_hot <- t.s_hot + 1;
+      let result =
+        if Uc.connect uc then finish t fn uc (run_on_uc t uc ~args)
+        else begin
+          Uc.destroy uc;
+          t.s_errors <- t.s_errors + 1;
+          Error `Timeout
+        end
+      in
+      (result, Hot)
+  | None -> (
+      match function_snapshot t fn.fn_id with
+      | Some snap ->
+          t.s_warm <- t.s_warm + 1;
+          (warm_invoke t fn snap ~args, Warm)
+      | None ->
+          t.s_cold <- t.s_cold + 1;
+          (cold_invoke t fn ~args, Cold))
+
+let last_served_uc t = t.last_uc
+
+let deploy_idle t runtime =
+  match base_snapshot t runtime with
+  | None -> false
+  | Some base -> (
+      match Uc.deploy t.node_env base with
+      | exception Mem.Frame.Out_of_memory -> false
+      | uc ->
+          if Uc.connect uc then begin
+            match Uc.request uc Unikernel.Driver.Ping ~timeout:10.0 with
+            | Ok Unikernel.Driver.Pong ->
+                push_idle t
+                  (Printf.sprintf "idle-%s-%d"
+                     (Unikernel.Image.runtime_name runtime)
+                     (Uc.id uc))
+                  uc;
+                true
+            | _ ->
+                Uc.destroy uc;
+                false
+          end
+          else begin
+            Uc.destroy uc;
+            false
+          end)

@@ -1,0 +1,98 @@
+(** The SEUSS OS compute node: snapshot caches, idle-UC cache, and the
+    cold / warm / hot invocation paths of §4.
+
+    - {b cold}: no snapshot for the function — deploy from the base
+      runtime snapshot, import + compile the source, capture the
+      function snapshot at the compile breakpoint, then run;
+    - {b warm}: deploy from the function snapshot, import arguments, run;
+    - {b hot}: reuse an idle UC over its existing connection.
+
+    Memory pressure is handled by the paper's "trivial" OOM daemon:
+    idle UCs (never snapshots with dependents) are reclaimed, oldest
+    first, whenever free memory is below the configured headroom. *)
+
+type t
+
+type fn = {
+  fn_id : string;  (** unique per (client, function) — the isolation unit *)
+  runtime : Unikernel.Image.runtime;
+  source : string;
+}
+
+type path = Cold | Warm | Hot
+
+type invoke_error =
+  [ `Compile_error of string
+  | `Runtime_error of string
+  | `Timeout
+  | `No_runtime
+  | `Overloaded ]
+
+type stats = {
+  cold : int;
+  warm : int;
+  hot : int;
+  errors : int;
+  reclaimed_ucs : int;
+  snapshots_captured : int;
+}
+
+val create : ?config:Config.t -> Osenv.t -> t
+
+val config : t -> Config.t
+
+val env : t -> Osenv.t
+
+val start : t -> unit
+(** Boot one unikernel per configured runtime, apply the configured AO
+    level, and capture the base runtime snapshots. Must run inside a
+    simulation process; blocks for the boot time (seconds). *)
+
+val invoke : t -> fn -> args:string -> (string, invoke_error) result * path
+(** Process one invocation to completion (blocking). The returned path
+    tells the caller which case served it (the reported path is the one
+    *attempted first*; a hot UC that died mid-request is retried as
+    warm/cold internally). *)
+
+val deploy_idle : t -> Unikernel.Image.runtime -> bool
+(** Deploy one idle runtime UC from the base snapshot and leave it
+    listening (the Table 3 density/creation-rate instance). [false] on
+    out-of-memory or a missing runtime. *)
+
+val base_snapshot : t -> Unikernel.Image.runtime -> Snapshot.t option
+
+val function_snapshot : t -> string -> Snapshot.t option
+
+val install_snapshot : t -> fn_id:string -> Snapshot.t -> unit
+(** Adopt an externally-produced snapshot (e.g. fetched from a remote
+    node by the DR-SEUSS layer) into the function-snapshot cache. If the
+    function already has one, the new snapshot is discarded (deleted if
+    nothing depends on it). *)
+
+val snapshot_count : t -> int
+(** Function snapshots currently cached. *)
+
+val snapshot_inventory : t -> (string * Snapshot.t) list
+(** The cached function snapshots with their ids (insertion order not
+    guaranteed); bases via {!base_snapshot}. For inspection tools. *)
+
+val idle_uc_count : t -> int
+
+val idle_ucs : t -> Uc.t list
+
+val free_bytes : t -> int64
+
+val stats : t -> stats
+
+val last_served_uc : t -> Uc.t option
+(** The UC that served the most recent invocation — instrumentation for
+    the Table 1 memory-footprint microbenchmark (pages copied per
+    invocation type). *)
+
+val drop_idle : t -> fn_id:string -> unit
+(** Evict the idle UCs of one function (used by experiments to force
+    warm paths). *)
+
+val reclaim_idle_ucs : t -> int
+(** Force the OOM daemon's sweep: destroy idle UCs (oldest first) until
+    free memory exceeds the headroom; returns the number reclaimed. *)

@@ -1,0 +1,55 @@
+type t = {
+  engine : Sim.Engine.t;
+  frames : Mem.Frame.t;
+  proxy : Net.Proxy.t;
+  cpu : Sim.Semaphore.t;
+  rng : Sim.Prng.t;
+  mutable next_port : int;
+  mutable next_id : int;
+  hosts : (string, Net.Tcp.listener) Hashtbl.t;
+}
+
+let create ?budget_bytes ?(cores = 16) engine =
+  {
+    engine;
+    frames = Mem.Frame.create ?budget_bytes ();
+    proxy = Net.Proxy.create ();
+    cpu = Sim.Semaphore.create cores;
+    rng = Sim.Prng.split (Sim.Engine.rng engine);
+    next_port = 10_000;
+    next_id = 0;
+    hosts = Hashtbl.create 8;
+  }
+
+let burn t seconds =
+  if seconds > 0.0 then
+    Sim.Semaphore.with_permit t.cpu (fun () -> Sim.Engine.sleep seconds)
+
+let fresh_port t =
+  t.next_port <- t.next_port + 1;
+  t.next_port
+
+let fresh_id t =
+  t.next_id <- t.next_id + 1;
+  t.next_id
+
+let register_host t name listener = Hashtbl.replace t.hosts name listener
+
+let resolve t url =
+  Hashtbl.fold
+    (fun prefix listener best ->
+      let plen = String.length prefix in
+      let matches =
+        String.length url >= plen && String.sub url 0 plen = prefix
+      in
+      match (matches, best) with
+      | false, _ -> best
+      | true, Some (len, _) when len >= plen -> best
+      | true, _ -> Some (plen, listener))
+    t.hosts None
+  |> Option.map snd
+
+let outbound t url =
+  match resolve t url with
+  | None -> None
+  | Some listener -> Net.Proxy.outbound t.proxy listener

@@ -1,0 +1,36 @@
+(** Shared machinery of one SEUSS OS instance: the simulation engine,
+    the physical frame allocator, the per-core network proxy, the core
+    pool, and name resolution for guest-initiated outbound traffic. *)
+
+type t = {
+  engine : Sim.Engine.t;
+  frames : Mem.Frame.t;
+  proxy : Net.Proxy.t;
+  cpu : Sim.Semaphore.t;
+  rng : Sim.Prng.t;
+  mutable next_port : int;
+  mutable next_id : int;
+  hosts : (string, Net.Tcp.listener) Hashtbl.t;
+}
+
+val create :
+  ?budget_bytes:int64 -> ?cores:int -> Sim.Engine.t -> t
+(** Defaults: the paper's 88 GB / 16-core compute-node VM. *)
+
+val burn : t -> float -> unit
+(** Occupy one core for the given CPU time (queues when all cores are
+    busy). IO waits must NOT go through this. *)
+
+val fresh_port : t -> int
+
+val fresh_id : t -> int
+
+val register_host : t -> string -> Net.Tcp.listener -> unit
+(** Bind a URL prefix (e.g. ["http://io-server"]) for guest outbound
+    connections. *)
+
+val resolve : t -> string -> Net.Tcp.listener option
+(** Longest registered prefix wins. *)
+
+val outbound : t -> string -> Net.Tcp.conn option
+(** Resolve + connect through the proxy (the guest's [net_outbound]). *)

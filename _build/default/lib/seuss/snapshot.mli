@@ -1,0 +1,82 @@
+(** Immutable execution-state templates and snapshot stacks (§3).
+
+    A snapshot freezes a UC: its page table (entries read-only +
+    copy-on-write), its guest resume state, and the diff size — the
+    pages dirtied since the UC was created. The [parent] link forms the
+    snapshot stack: a function snapshot physically shares every page it
+    did not modify with the runtime snapshot below it, which is where
+    the 202 MB -> 102 MB example of §3 (and the 54,000-UC density of
+    Table 3) comes from.
+
+    Deletion safety (§6): a snapshot is deleted only when nothing
+    depends on it — dependents are live UCs deployed from it plus child
+    snapshots stacked on it. *)
+
+type t = private {
+  id : int;
+  name : string;
+  image : Unikernel.Image.t;
+  parent : t option;
+  table : Mem.Page_table.t;
+  guest : Unikernel.Guest.snapshot_state;
+  diff_pages : int;
+  total_pages : int;  (** full mapping, diff + everything shared below *)
+  mutable dependents : int;
+  mutable deleted : bool;
+}
+
+val capture :
+  env:Osenv.t ->
+  name:string ->
+  parent:t option ->
+  image:Unikernel.Image.t ->
+  space:Mem.Addr_space.t ->
+  guest:Unikernel.Guest.state ->
+  t
+(** Freeze the UC's current state. Must be called from a simulation
+    process while the guest is parked at a breakpoint; charges
+    [Cost.capture_fixed + diff_pages * Cost.capture_per_dirty_page] of
+    core time. The captured UC keeps running afterwards — its next write
+    to any frozen page takes a COW fault. Registers the parent
+    dependency. *)
+
+val import :
+  env:Osenv.t ->
+  name:string ->
+  local_base:t ->
+  remote:t ->
+  transfer_time:float ->
+  t
+(** DR-SEUSS (§9, future work): materialize a remote node's function
+    snapshot locally. Snapshots are immutable and location-independent
+    ("read-only and deploy-anywhere"), and both nodes share the same
+    base runtime image, so only the function diff travels: the local
+    copy stacks the remote's diff pages (freshly allocated frames) on
+    [local_base], reuses the remote's frozen guest state, and charges
+    [transfer_time] of wall-clock (network) plus the per-page install
+    cost of core time.
+    @raise Invalid_argument if images differ, [remote] is not a depth-2
+    function snapshot, or either snapshot is deleted. *)
+
+val addref : t -> unit
+(** Record a dependent (a deployed UC or a child snapshot).
+    @raise Invalid_argument on a deleted snapshot. *)
+
+val decref : t -> unit
+
+val dependents : t -> int
+
+val is_deleted : t -> bool
+
+val try_delete : env:Osenv.t -> t -> bool
+(** Delete if nothing depends on it: releases the table's frame
+    references and drops the parent dependency (cascading a parent
+    delete is the cache's policy decision, not automatic). Returns
+    [false] — and does nothing — while dependents remain. *)
+
+val diff_bytes : t -> int64
+
+val total_bytes : t -> int64
+
+val depth : t -> int
+(** 1 for a base runtime snapshot, 2 for a function snapshot, ... *)

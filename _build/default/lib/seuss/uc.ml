@@ -1,0 +1,203 @@
+type status = Running | Dead
+
+type t = {
+  uc_id : int;
+  env : Osenv.t;
+  image : Unikernel.Image.t;
+  space : Mem.Addr_space.t;
+  listener : Net.Tcp.listener;
+  uc_port : int;
+  source : Snapshot.t option;
+  breakpoints : string Sim.Channel.t;
+  mutable resume_gate : unit Sim.Ivar.t;
+  mutable guest : Unikernel.Guest.state option;
+  mutable conn : Net.Tcp.conn option;
+  mutable st : status;
+  mutable used_at : float;
+}
+
+let id t = t.uc_id
+let port t = t.uc_port
+let status t = t.st
+let source_snapshot t = t.source
+
+let guest_state t =
+  match t.guest with
+  | Some g when t.st = Running -> g
+  | _ -> invalid_arg "Uc.guest_state: guest not available"
+
+let hypercalls env t =
+  {
+    Unikernel.Hypercall.clock_wall = (fun () -> Sim.Engine.now env.Osenv.engine);
+    console_write = ignore;
+    poll = Sim.Engine.yield;
+    net_outbound = (fun url -> Osenv.outbound env url);
+    breakpoint =
+      (fun label ->
+        let gate = Sim.Ivar.create () in
+        t.resume_gate <- gate;
+        Sim.Channel.send t.breakpoints label;
+        Sim.Ivar.read gate);
+    halt = (fun _reason -> ());
+  }
+
+let guest_env env t =
+  {
+    Unikernel.Guest.image = t.image;
+    space = t.space;
+    listener = t.listener;
+    hypercalls = hypercalls env t;
+    rng = Sim.Prng.split env.Osenv.rng;
+    cpu_burn = Osenv.burn env;
+  }
+
+let make env ~image ~space ~source =
+  let uc_port = Osenv.fresh_port env in
+  let listener = Net.Tcp.listener ~port:uc_port in
+  let t =
+    {
+      uc_id = Osenv.fresh_id env;
+      env;
+      image;
+      space;
+      listener;
+      uc_port;
+      source;
+      breakpoints = Sim.Channel.create ();
+      resume_gate = Sim.Ivar.create ();
+      guest = None;
+      conn = None;
+      st = Running;
+      used_at = Sim.Engine.now env.Osenv.engine;
+    }
+  in
+  Net.Proxy.register env.Osenv.proxy ~port:uc_port listener;
+  t
+
+(* The guest runs as its own simulation process. A guest that exhausts
+   node memory mid-write simply halts: the invocation waiting on it
+   observes a timeout, the node destroys the UC, memory is reclaimed. *)
+let spawn_guest t body =
+  Sim.Engine.spawn t.env.Osenv.engine
+    ~name:(Printf.sprintf "uc-%d-guest" t.uc_id)
+    (fun () ->
+      try body () with
+      | Mem.Frame.Out_of_memory -> t.st <- Dead
+      | Invalid_argument _ when t.st = Dead ->
+          (* The UC was destroyed out from under the guest (its address
+             space is gone); the guest simply stops. *)
+          ())
+
+let boot env image =
+  Sim.Trace.mark "uc.boot";
+  Osenv.burn env Cost.uc_create;
+  let space = Mem.Addr_space.create env.Osenv.frames in
+  let t = make env ~image ~space ~source:None in
+  spawn_guest t (fun () ->
+      let genv = guest_env env t in
+      let state =
+        Unikernel.Guest.boot ~on_ready:(fun s -> t.guest <- Some s) genv
+      in
+      Unikernel.Guest.serve state);
+  t
+
+let deploy env (snap : Snapshot.t) =
+  if Snapshot.is_deleted snap then invalid_arg "Uc.deploy: deleted snapshot";
+  Sim.Trace.span
+    (Printf.sprintf "uc.deploy from '%s'" snap.Snapshot.name)
+    (fun () -> Osenv.burn env Cost.deploy_total);
+  let space =
+    Mem.Addr_space.of_table ~mapped_hint:snap.Snapshot.total_pages
+      env.Osenv.frames snap.Snapshot.table
+  in
+  Snapshot.addref snap;
+  let t = make env ~image:snap.Snapshot.image ~space ~source:(Some snap) in
+  spawn_guest t (fun () ->
+      let genv = guest_env env t in
+      let state = Unikernel.Guest.restore genv snap.Snapshot.guest in
+      t.guest <- Some state;
+      Unikernel.Guest.serve state);
+  t
+
+let await_breakpoint t ~timeout = Sim.Channel.recv_timeout t.breakpoints ~timeout
+
+let resume t = Sim.Ivar.fill t.resume_gate ()
+
+let rec connect t = Sim.Trace.span "uc.connect" (fun () -> connect_inner t)
+and connect_inner t =
+  match t.conn with
+  | Some conn when not (Net.Tcp.is_closed conn) -> true
+  | _ -> (
+      if t.st = Dead then false
+      else
+        match Net.Proxy.connect t.env.Osenv.proxy ~port:t.uc_port with
+        | None -> false
+        | Some conn ->
+            t.conn <- Some conn;
+            true)
+
+let send t cmd =
+  match t.conn with
+  | Some conn when not (Net.Tcp.is_closed conn) ->
+      Net.Tcp.send conn (Unikernel.Driver.encode_command cmd);
+      true
+  | _ -> false
+
+let rec request t cmd ~timeout =
+  let label =
+    match cmd with
+    | Unikernel.Driver.Run _ -> "uc.request run"
+    | Unikernel.Driver.Init _ -> "uc.request init"
+    | Unikernel.Driver.Ping -> "uc.request ping"
+    | Unikernel.Driver.Warm_net -> "uc.request warm_net"
+    | Unikernel.Driver.Warm_exec -> "uc.request warm_exec"
+    | Unikernel.Driver.Checkpoint -> "uc.request checkpoint"
+  in
+  Sim.Trace.span label (fun () -> request_inner t cmd ~timeout)
+
+and request_inner t cmd ~timeout =
+  match t.conn with
+  | Some conn when not (Net.Tcp.is_closed conn) -> (
+      Net.Tcp.send conn (Unikernel.Driver.encode_command cmd);
+      match Net.Tcp.recv_timeout conn ~timeout with
+      | None -> Error `Timeout
+      | Some None -> Error `Closed
+      | Some (Some m) -> (
+          match Unikernel.Driver.decode_reply m.Net.Tcp.data with
+          | Ok reply -> Ok reply
+          | Error _ -> Error `Closed))
+  | _ -> Error `No_connection
+
+let capture t ~env ~name =
+  Sim.Trace.span
+    (Printf.sprintf "snapshot.capture '%s'" name)
+    (fun () ->
+      Snapshot.capture ~env ~name ~parent:t.source ~image:t.image
+        ~space:t.space ~guest:(guest_state t))
+
+let destroy t =
+  if t.st = Running then begin
+    t.st <- Dead;
+    Osenv.burn t.env Cost.destroy;
+    (match t.conn with Some conn -> Net.Tcp.close conn | None -> ());
+    t.conn <- None;
+    Net.Proxy.unregister t.env.Osenv.proxy ~port:t.uc_port;
+    Mem.Addr_space.release t.space;
+    (match t.source with Some snap -> Snapshot.decref snap | None -> ());
+    (* The guest process stays parked on a dead listener/connection and
+       is collected with the simulation. *)
+    t.guest <- None
+  end
+
+let private_pages t =
+  Mem.Addr_space.lifetime_zero_fills t.space
+  + Mem.Addr_space.lifetime_cow_copies t.space
+
+let footprint_bytes t =
+  Int64.add
+    (Mem.Mconfig.bytes_of_pages (private_pages t))
+    (Int64.of_int (Mem.Page_table.structure_bytes (Mem.Addr_space.table t.space)))
+
+let last_used t = t.used_at
+
+let touch_lru t = t.used_at <- Sim.Engine.now t.env.Osenv.engine

@@ -1,0 +1,75 @@
+(** Unikernel contexts: the unit of deployment and isolation (§3).
+
+    A UC owns an address space, a driver port behind the per-core proxy,
+    and a guest simulation process. The host talks to it two ways: over
+    the driver TCP connection (run arguments, warm-ups) and through the
+    breakpoint hypercall (boot/compile completion, checkpoint requests)
+    — the latter models watching the x86 debug register. *)
+
+type t
+
+type status = Running | Dead
+
+val boot : Osenv.t -> Unikernel.Image.t -> t
+(** Cold-boot a fresh unikernel (used once per runtime, to build the
+    base snapshot). The guest will reach the ["driver-started"]
+    breakpoint; await it with {!await_breakpoint}. *)
+
+val deploy : Osenv.t -> Snapshot.t -> t
+(** Deploy from a snapshot: shallow page-table copy, guest state
+    restore, register state injection — charges {!Cost.deploy_total}.
+    Takes a dependency reference on the snapshot.
+    @raise Invalid_argument on a deleted snapshot. *)
+
+val id : t -> int
+
+val port : t -> int
+
+val status : t -> status
+
+val source_snapshot : t -> Snapshot.t option
+
+val guest_state : t -> Unikernel.Guest.state
+(** @raise Invalid_argument before the guest has started or after death. *)
+
+val await_breakpoint : t -> timeout:float -> string option
+(** Block until the guest reaches its next breakpoint; the guest stays
+    parked until {!resume}. *)
+
+val resume : t -> unit
+(** Release a guest parked at a breakpoint. *)
+
+val connect : t -> bool
+(** Establish (or reuse) the host-side driver connection. *)
+
+val send : t -> Unikernel.Driver.command -> bool
+(** Fire a command without waiting for a network reply ([Init],
+    [Checkpoint] — their ack is a breakpoint). [false] if no
+    connection. *)
+
+val request :
+  t ->
+  Unikernel.Driver.command ->
+  timeout:float ->
+  (Unikernel.Driver.reply, [ `Timeout | `Closed | `No_connection ]) result
+(** Send and await the driver's network reply. *)
+
+val capture : t -> env:Osenv.t -> name:string -> Snapshot.t
+(** Snapshot this UC (it must be parked at a breakpoint). The UC's
+    source snapshot becomes the parent. *)
+
+val destroy : t -> unit
+(** Kill the UC: close the connection, unmap the proxy port, release
+    all private frames, drop the snapshot reference. Idempotent. *)
+
+val private_pages : t -> int
+(** Frames exclusively owned by this UC (zero-fills + COW copies since
+    deploy) — its marginal memory footprint. *)
+
+val footprint_bytes : t -> int64
+(** [private_pages * page_size] plus private page-table structures. *)
+
+val last_used : t -> float
+
+val touch_lru : t -> unit
+(** Record use (for the OOM reclaimer's eviction order). *)

@@ -1,0 +1,1 @@
+lib/sim/trace.ml: Buffer Engine Float List Option Printf String

@@ -1,0 +1,51 @@
+type 'a t = {
+  items : 'a Queue.t;
+  (* Each waiter is woken at most once; a woken receiver re-checks the
+     queue because an item can be consumed by a non-blocked receiver that
+     runs first at the same timestamp. *)
+  readers : (unit -> unit) Queue.t;
+}
+
+let create () = { items = Queue.create (); readers = Queue.create () }
+
+let send t x =
+  Queue.add x t.items;
+  match Queue.take_opt t.readers with
+  | Some resume -> resume ()
+  | None -> ()
+
+let try_recv t = Queue.take_opt t.items
+
+let rec recv t =
+  match Queue.take_opt t.items with
+  | Some x -> x
+  | None ->
+      Engine.suspend (fun resume -> Queue.add resume t.readers);
+      recv t
+
+let recv_timeout t ~timeout =
+  match Queue.take_opt t.items with
+  | Some x -> Some x
+  | None ->
+      let deadline = Engine.now (Engine.self ()) +. timeout in
+      let rec wait () =
+        let race : [ `Ready | `Timeout ] Ivar.t = Ivar.create () in
+        let engine = Engine.self () in
+        let remaining = deadline -. Engine.now engine in
+        if remaining < 0.0 then Queue.take_opt t.items
+        else begin
+          Engine.schedule engine ~delay:remaining (fun () ->
+              ignore (Ivar.try_fill race `Timeout));
+          Queue.add (fun () -> ignore (Ivar.try_fill race `Ready)) t.readers;
+          match Ivar.read race with
+          | `Timeout -> Queue.take_opt t.items
+          | `Ready -> (
+              match Queue.take_opt t.items with
+              | Some x -> Some x
+              | None -> wait () (* item stolen at same timestamp; re-arm *))
+        end
+      in
+      wait ()
+
+let length t = Queue.length t.items
+let is_empty t = Queue.is_empty t.items

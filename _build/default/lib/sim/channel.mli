@@ -1,0 +1,26 @@
+(** Unbounded FIFO channels with blocking receive.
+
+    The message fabric of the simulation: the benchmark's shared work
+    queue, the Kafka-like bus partitions, and guest/host byte streams are
+    all channels. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val send : 'a t -> 'a -> unit
+(** Never blocks; wakes one waiting receiver if any. *)
+
+val recv : 'a t -> 'a
+(** Blocks the current process until an item is available. Competing
+    receivers are served in FIFO order. *)
+
+val try_recv : 'a t -> 'a option
+
+val recv_timeout : 'a t -> timeout:float -> 'a option
+(** [Some item] if one arrives for this receiver within [timeout]
+    simulated seconds, else [None]. *)
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool

@@ -1,0 +1,116 @@
+type event = { time : float; seq : int; thunk : unit -> unit }
+
+type t = {
+  mutable clock : float;
+  mutable seq : int;
+  events : event Heap.t;
+  prng : Prng.t;
+  mutable running : bool;
+  mutable executed : int;
+}
+
+exception Process_failure of string * exn
+
+type _ Effect.t +=
+  | Sleep : float -> unit Effect.t
+  | Suspend : ((unit -> unit) -> unit) -> unit Effect.t
+
+let cmp_event a b =
+  let c = compare a.time b.time in
+  if c <> 0 then c else compare a.seq b.seq
+
+let create ?(seed = 1L) () =
+  {
+    clock = 0.0;
+    seq = 0;
+    events = Heap.create ~cmp:cmp_event;
+    prng = Prng.create seed;
+    running = false;
+    executed = 0;
+  }
+
+let now t = t.clock
+let rng t = t.prng
+let events_executed t = t.executed
+
+let schedule t ~delay thunk =
+  if not (Float.is_finite delay) || delay < 0.0 then
+    invalid_arg "Engine.schedule: delay must be finite and non-negative";
+  t.seq <- t.seq + 1;
+  Heap.push t.events { time = t.clock +. delay; seq = t.seq; thunk }
+
+(* The engine currently dispatching an event; the simulator is
+   single-threaded so a global is unambiguous. *)
+let current : t option ref = ref None
+
+let self () =
+  match !current with
+  | Some t -> t
+  | None -> invalid_arg "Engine.self: no simulation is running"
+
+let sleep delay = Effect.perform (Sleep delay)
+let yield () = sleep 0.0
+let suspend register = Effect.perform (Suspend register)
+
+(* Run [f] as a process: a deep handler interprets Sleep/Suspend by parking
+   the continuation in the event queue or with the caller's registrar. The
+   handler stays attached when the continuation is resumed later. *)
+let exec t name f =
+  let open Effect.Deep in
+  match_with f ()
+    {
+      retc = (fun () -> ());
+      exnc = (fun exn -> raise (Process_failure (name, exn)));
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Sleep delay ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  schedule t ~delay (fun () -> continue k ()))
+          | Suspend register ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  let resumed = ref false in
+                  let resume () =
+                    if !resumed then
+                      invalid_arg "Engine: process resumed twice"
+                    else begin
+                      resumed := true;
+                      schedule t ~delay:0.0 (fun () -> continue k ())
+                    end
+                  in
+                  register resume)
+          | _ -> None);
+    }
+
+let spawn t ?(name = "process") f = schedule t ~delay:0.0 (fun () -> exec t name f)
+
+let run ?until t =
+  if t.running then invalid_arg "Engine.run: already running";
+  t.running <- true;
+  let finished = ref false in
+  let restore () =
+    t.running <- false;
+    current := None
+  in
+  (try
+     current := Some t;
+     while not !finished do
+       match Heap.peek t.events with
+       | None -> finished := true
+       | Some ev -> (
+           match until with
+           | Some limit when ev.time > limit ->
+               t.clock <- limit;
+               finished := true
+           | _ ->
+               ignore (Heap.pop t.events);
+               t.clock <- ev.time;
+               t.executed <- t.executed + 1;
+               ev.thunk ())
+     done
+   with exn ->
+     restore ();
+     raise exn);
+  restore ()

@@ -1,0 +1,47 @@
+type 'a state = Empty of (unit -> unit) Queue.t | Full of 'a
+
+type 'a t = { mutable state : 'a state }
+
+let create () = { state = Empty (Queue.create ()) }
+
+let try_fill t v =
+  match t.state with
+  | Full _ -> false
+  | Empty waiters ->
+      t.state <- Full v;
+      Queue.iter (fun resume -> resume ()) waiters;
+      true
+
+let fill t v =
+  if not (try_fill t v) then invalid_arg "Ivar.fill: already filled"
+
+let is_full t = match t.state with Full _ -> true | Empty _ -> false
+
+let peek t = match t.state with Full v -> Some v | Empty _ -> None
+
+let read t =
+  match t.state with
+  | Full v -> v
+  | Empty waiters ->
+      Engine.suspend (fun resume -> Queue.add resume waiters);
+      (match t.state with
+      | Full v -> v
+      | Empty _ -> assert false)
+
+let read_timeout t ~timeout =
+  match t.state with
+  | Full v -> Some v
+  | Empty _ ->
+      (* Race the fill against a timer through a secondary ivar so the
+         blocked reader is woken exactly once. *)
+      let race : [ `Value | `Timeout ] t = create () in
+      let engine = Engine.self () in
+      Engine.schedule engine ~delay:timeout (fun () ->
+          ignore (try_fill race `Timeout));
+      (match t.state with
+      | Full _ -> ()
+      | Empty waiters ->
+          Queue.add (fun () -> ignore (try_fill race `Value)) waiters);
+      (match read race with
+      | `Value -> peek t
+      | `Timeout -> peek t (* a fill at exactly the deadline still counts *))

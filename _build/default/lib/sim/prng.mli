@@ -1,0 +1,29 @@
+(** Deterministic pseudo-random numbers (splitmix64).
+
+    Every stochastic choice in the simulator draws from an explicit [Prng.t]
+    so that experiment runs are exactly reproducible from a seed — the
+    paper's benchmark likewise pre-computes and persists its random send
+    order "for repeatability". *)
+
+type t
+
+val create : int64 -> t
+(** [create seed] is a fresh generator; equal seeds give equal streams. *)
+
+val split : t -> t
+(** [split t] derives an independent generator, advancing [t]. *)
+
+val next : t -> int64
+(** Next raw 64-bit output. *)
+
+val float : t -> float
+(** Uniform draw in [\[0, 1)]. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. [bound] must be positive. *)
+
+val exponential : t -> mean:float -> float
+(** Exponentially distributed draw (for arrival jitter). *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)

@@ -1,0 +1,46 @@
+type t = {
+  capacity : int;
+  mutable avail : int;
+  waiters : (unit -> unit) Queue.t;
+}
+
+let create n =
+  if n < 0 then invalid_arg "Semaphore.create: negative capacity";
+  { capacity = n; avail = n; waiters = Queue.create () }
+
+let capacity t = t.capacity
+let available t = t.avail
+let waiting t = Queue.length t.waiters
+let in_use t = t.capacity - t.avail
+
+let try_acquire t =
+  if t.avail > 0 then begin
+    t.avail <- t.avail - 1;
+    true
+  end
+  else false
+
+let acquire t =
+  if not (try_acquire t) then
+    Engine.suspend (fun resume -> Queue.add resume t.waiters)
+(* The permit is handed directly to the woken waiter: [release] does not
+   increment [avail] when a waiter is pending, so no third party can steal
+   the permit between release and wakeup. *)
+
+let release t =
+  match Queue.take_opt t.waiters with
+  | Some resume -> resume ()
+  | None ->
+      if t.avail >= t.capacity then
+        invalid_arg "Semaphore.release: released above capacity";
+      t.avail <- t.avail + 1
+
+let with_permit t f =
+  acquire t;
+  match f () with
+  | v ->
+      release t;
+      v
+  | exception exn ->
+      release t;
+      raise exn

@@ -1,0 +1,80 @@
+type span = { name : string; depth : int; t_start : float; t_end : float }
+
+type t = {
+  engine : Engine.t;
+  mutable rev_spans : span list;
+  mutable depth : int;
+  mutable active : bool;
+}
+
+let ambient : t option ref = ref None
+
+let start engine =
+  if Option.is_some !ambient then invalid_arg "Trace.start: already tracing";
+  let t = { engine; rev_spans = []; depth = 0; active = true } in
+  ambient := Some t;
+  t
+
+let stop t =
+  t.active <- false;
+  ambient := None;
+  (* Spans are recorded at exit; present them in start order. *)
+  List.sort
+    (fun a b ->
+      match compare a.t_start b.t_start with
+      | 0 -> compare a.depth b.depth
+      | c -> c)
+    (List.rev t.rev_spans)
+
+let record t name depth t_start =
+  let t_end = Engine.now t.engine in
+  t.rev_spans <- { name; depth; t_start; t_end } :: t.rev_spans
+
+let span name f =
+  match !ambient with
+  | None -> f ()
+  | Some t when not t.active -> f ()
+  | Some t -> (
+      let t_start = Engine.now t.engine in
+      let depth = t.depth in
+      t.depth <- depth + 1;
+      match f () with
+      | v ->
+          t.depth <- depth;
+          record t name depth t_start;
+          v
+      | exception exn ->
+          t.depth <- depth;
+          record t (name ^ " [failed]") depth t_start;
+          raise exn)
+
+let mark name =
+  match !ambient with
+  | None -> ()
+  | Some t when not t.active -> ()
+  | Some t ->
+      let now = Engine.now t.engine in
+      t.rev_spans <- { name; depth = t.depth; t_start = now; t_end = now } :: t.rev_spans
+
+let render ?(unit_scale = 1e3) ?(unit_name = "ms") spans =
+  match spans with
+  | [] -> "(no spans)\n"
+  | first :: _ ->
+      let t0 =
+        List.fold_left (fun acc s -> Float.min acc s.t_start) first.t_start spans
+      in
+      let buf = Buffer.create 512 in
+      Buffer.add_string buf
+        (Printf.sprintf "%10s %10s %10s  operation\n" "start" "end" "dur");
+      List.iter
+        (fun s ->
+          Buffer.add_string buf
+            (Printf.sprintf "%10.3f %10.3f %10.3f  %s%s\n"
+               ((s.t_start -. t0) *. unit_scale)
+               ((s.t_end -. t0) *. unit_scale)
+               ((s.t_end -. s.t_start) *. unit_scale)
+               (String.make (2 * s.depth) ' ')
+               s.name))
+        spans;
+      Buffer.add_string buf (Printf.sprintf "(times in %s)\n" unit_name);
+      Buffer.contents buf

@@ -1,0 +1,35 @@
+(** Lightweight span tracing over simulated time.
+
+    A diagnostic facility: instrumented code wraps operations in
+    {!span}; when no trace is active the wrapper is a no-op. Because the
+    ambient trace is engine-global, traces are meant for inspecting
+    {e one} logical operation at a time (e.g. `seussctl trace` running a
+    single invocation) — concurrent processes would interleave their
+    spans. *)
+
+type span = {
+  name : string;
+  depth : int;  (** nesting level at entry *)
+  t_start : float;
+  t_end : float;
+}
+
+type t
+
+val start : Engine.t -> t
+(** Begin recording and install as the ambient trace.
+    @raise Invalid_argument if a trace is already active. *)
+
+val stop : t -> span list
+(** Uninstall and return the spans in start order. *)
+
+val span : string -> (unit -> 'a) -> 'a
+(** Record [f]'s simulated time window under [name] (including on
+    exception). No-op without an active trace. *)
+
+val mark : string -> unit
+(** A zero-width span. *)
+
+val render : ?unit_scale:float -> ?unit_name:string -> span list -> string
+(** A waterfall: start/end/duration columns with indentation, default in
+    milliseconds. *)

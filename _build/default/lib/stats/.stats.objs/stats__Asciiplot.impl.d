@@ -1,0 +1,1 @@
+lib/stats/asciiplot.ml: Array Buffer Float Format List Printf String

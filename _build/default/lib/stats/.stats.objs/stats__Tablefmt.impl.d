@@ -1,0 +1,1 @@
+lib/stats/tablefmt.ml: Buffer Format List String

@@ -1,0 +1,57 @@
+type t = {
+  lo : float;
+  bins_per_decade : int;
+  counts : int array;
+  mutable total : int;
+}
+
+let create ?(lo = 1e-4) ?(hi = 1e3) ?(bins_per_decade = 10) () =
+  if lo <= 0.0 || hi <= lo then invalid_arg "Histogram.create: bad range";
+  let decades = log10 hi -. log10 lo in
+  let nbins = int_of_float (ceil (decades *. float_of_int bins_per_decade)) in
+  { lo; bins_per_decade; counts = Array.make (max 1 nbins) 0; total = 0 }
+
+let bin_count t = Array.length t.counts
+
+let index_of t x =
+  if x <= t.lo then 0
+  else
+    let i =
+      int_of_float (floor (log10 (x /. t.lo) *. float_of_int t.bins_per_decade))
+    in
+    min i (bin_count t - 1)
+
+let add t x =
+  t.counts.(index_of t x) <- t.counts.(index_of t x) + 1;
+  t.total <- t.total + 1
+
+let count t = t.total
+
+let bin_bounds t i =
+  if i < 0 || i >= bin_count t then invalid_arg "Histogram.bin_bounds";
+  let decade b = t.lo *. (10.0 ** (float_of_int b /. float_of_int t.bins_per_decade)) in
+  (decade i, decade (i + 1))
+
+let bin_value t i =
+  if i < 0 || i >= bin_count t then invalid_arg "Histogram.bin_value";
+  t.counts.(i)
+
+let fold t ~init ~f =
+  let acc = ref init in
+  for i = 0 to bin_count t - 1 do
+    let lo, hi = bin_bounds t i in
+    acc := f !acc ~lo ~hi ~count:t.counts.(i)
+  done;
+  !acc
+
+let pp ppf t =
+  let peak = Array.fold_left max 1 t.counts in
+  for i = 0 to bin_count t - 1 do
+    if t.counts.(i) > 0 then begin
+      let lo, hi = bin_bounds t i in
+      let width = t.counts.(i) * 40 / peak in
+      Format.fprintf ppf "%10.4g-%-10.4g |%s %d@." lo hi
+        (String.make (max 1 width) '#')
+        t.counts.(i)
+    end
+  done

@@ -1,0 +1,28 @@
+(** Fixed-layout log-binned histograms.
+
+    Latencies in the burst experiments span four orders of magnitude
+    (sub-ms hot starts to 60 s container cold starts); a logarithmic
+    histogram summarises them compactly without retaining every sample. *)
+
+type t
+
+val create : ?lo:float -> ?hi:float -> ?bins_per_decade:int -> unit -> t
+(** Default layout: [lo = 1e-4] s, [hi = 1e3] s, 10 bins per decade.
+    Samples outside the range clamp to the edge bins. *)
+
+val add : t -> float -> unit
+
+val count : t -> int
+
+val bin_count : t -> int
+
+val bin_bounds : t -> int -> float * float
+(** Lower/upper bound of a bin index. *)
+
+val bin_value : t -> int -> int
+(** Number of samples in a bin. *)
+
+val fold : t -> init:'a -> f:('a -> lo:float -> hi:float -> count:int -> 'a) -> 'a
+
+val pp : Format.formatter -> t -> unit
+(** Compact bar rendering of non-empty bins. *)

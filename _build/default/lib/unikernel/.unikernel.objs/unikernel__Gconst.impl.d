@@ -1,0 +1,1 @@
+lib/unikernel/gconst.ml:

@@ -1,0 +1,1 @@
+lib/unikernel/guest.ml: Driver Galloc Gconst Hypercall Image Interp Lazy Mem Net Option Printf Sim

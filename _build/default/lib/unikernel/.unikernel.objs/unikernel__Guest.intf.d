@@ -1,0 +1,1 @@
+lib/unikernel/guest.mli: Hypercall Image Mem Net Sim

@@ -1,0 +1,1 @@
+lib/unikernel/hypercall.ml: List Net

@@ -1,0 +1,60 @@
+type command =
+  | Init of string
+  | Run of string
+  | Ping
+  | Warm_net
+  | Warm_exec
+  | Checkpoint
+
+type reply = Ok_reply of string | Err_reply of string | Pong
+
+let encode_command = function
+  | Init source -> "INIT\n" ^ source
+  | Run args -> "RUN\n" ^ args
+  | Ping -> "PING\n"
+  | Warm_net -> "WARMNET\n"
+  | Warm_exec -> "WARMEXEC\n"
+  | Checkpoint -> "CHECKPOINT\n"
+
+let split s =
+  match String.index_opt s '\n' with
+  | None -> (s, "")
+  | Some i -> (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+
+let decode_command s =
+  let verb, body = split s in
+  match verb with
+  | "INIT" -> Ok (Init body)
+  | "RUN" -> Ok (Run body)
+  | "PING" -> Ok Ping
+  | "WARMNET" -> Ok Warm_net
+  | "WARMEXEC" -> Ok Warm_exec
+  | "CHECKPOINT" -> Ok Checkpoint
+  | other -> Error (Printf.sprintf "unknown command %S" other)
+
+let encode_reply = function
+  | Ok_reply body -> "OK\n" ^ body
+  | Err_reply msg -> "ERR\n" ^ msg
+  | Pong -> "PONG\n"
+
+let decode_reply s =
+  let verb, body = split s in
+  match verb with
+  | "OK" -> Ok (Ok_reply body)
+  | "ERR" -> Ok (Err_reply body)
+  | "PONG" -> Ok Pong
+  | other -> Error (Printf.sprintf "unknown reply %S" other)
+
+let dummy_script =
+  {|
+function fib(n) { return n < 2 ? n : fib(n - 1) + fib(n - 2); }
+function main(args) {
+  let parts = split("a,b,c,d", ",");
+  let bag = {count: 0, text: ""};
+  for (let i = 0; i < len(parts); i += 1) {
+    bag.count = bag.count + fib(8);
+    bag.text = bag.text + parts[i];
+  }
+  return {warmed: true, count: bag.count, text: bag.text};
+}
+|}

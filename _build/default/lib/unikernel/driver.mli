@@ -1,0 +1,31 @@
+(** Wire protocol between SEUSS OS and the invocation driver inside a UC.
+
+    Mirrors the OpenWhisk action interface the paper's driver script
+    implements (init with function code, run with arguments), plus the
+    host-driven warm-up commands used for anticipatory optimization and
+    the explicit checkpoint request. [Init] carries no network reply —
+    completion is signalled by the guest reaching the compile breakpoint
+    (the host is watching the debug register, §6). *)
+
+type command =
+  | Init of string  (** function source code *)
+  | Run of string  (** arguments as a MiniJS/JSON literal *)
+  | Ping
+  | Warm_net  (** AO: push an HTTP request through the guest stack *)
+  | Warm_exec  (** AO: compile + run a dummy script, then discard it *)
+  | Checkpoint  (** reach a breakpoint so the host can snapshot *)
+
+type reply = Ok_reply of string | Err_reply of string | Pong
+
+val encode_command : command -> string
+
+val decode_command : string -> (command, string) result
+
+val encode_reply : reply -> string
+
+val decode_reply : string -> (reply, string) result
+
+val dummy_script : string
+(** The AO dummy function: exercises parser tables, codegen, inline
+    caches and string/array/object paths without touching anything
+    function-specific. *)

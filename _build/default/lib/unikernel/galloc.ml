@@ -1,0 +1,60 @@
+type policy = Bump | Ring
+
+type t = {
+  space : Mem.Addr_space.t;
+  base_vpn : int;
+  capacity : int;  (* bytes *)
+  policy : policy;
+  mutable cursor : int;
+  mutable total : int;
+}
+
+let create space ~base_vpn ~pages ~policy =
+  if pages <= 0 then invalid_arg "Galloc.create: empty arena";
+  {
+    space;
+    base_vpn;
+    capacity = pages * Mem.Mconfig.page_size;
+    policy;
+    cursor = 0;
+    total = 0;
+  }
+
+let touch t ~from_byte ~to_byte =
+  let first = from_byte / Mem.Mconfig.page_size in
+  let last = (to_byte - 1) / Mem.Mconfig.page_size in
+  Mem.Addr_space.write_range t.space ~vpn:(t.base_vpn + first)
+    ~pages:(last - first + 1)
+
+let no_faults = { Mem.Addr_space.pages = 0; zero_fills = 0; cow_copies = 0 }
+
+let alloc t bytes =
+  if bytes < 0 then invalid_arg "Galloc.alloc: negative size";
+  if bytes = 0 then no_faults
+  else begin
+    let stats =
+      match t.policy with
+      | Bump ->
+          if t.cursor + bytes > t.capacity then
+            invalid_arg "Galloc.alloc: bump arena exhausted";
+          let stats = touch t ~from_byte:t.cursor ~to_byte:(t.cursor + bytes) in
+          t.cursor <- t.cursor + bytes;
+          stats
+      | Ring ->
+          let bytes = min bytes t.capacity in
+          if t.cursor + bytes > t.capacity then t.cursor <- 0;
+          let stats = touch t ~from_byte:t.cursor ~to_byte:(t.cursor + bytes) in
+          t.cursor <- t.cursor + bytes;
+          stats
+    in
+    t.total <- t.total + bytes;
+    stats
+  end
+
+let cursor t = t.cursor
+
+let set_cursor t c =
+  if c < 0 || c > t.capacity then invalid_arg "Galloc.set_cursor: out of range";
+  t.cursor <- c
+
+let used_bytes t = t.total

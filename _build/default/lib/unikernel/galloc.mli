@@ -1,0 +1,32 @@
+(** Guest heap arenas over a UC address space.
+
+    MiniJS allocation metering lands here: a {b bump} arena models the
+    persistent heap (compile artifacts survive until the UC dies) and a
+    {b ring} arena models the GC nursery (per-invocation garbage reuses
+    the same window of pages, so hot UCs do not grow without bound).
+    Every byte allocated turns into page writes on the underlying
+    {!Mem.Addr_space.t} — which is how running real code produces the
+    dirty-page counts the snapshots measure. *)
+
+type policy = Bump | Ring
+
+type t
+
+val create :
+  Mem.Addr_space.t -> base_vpn:int -> pages:int -> policy:policy -> t
+
+val alloc : t -> int -> Mem.Addr_space.write_stats
+(** Allocate [bytes]; touches every page the allocation spans and
+    returns the fault counts so the caller can charge simulated fault
+    time. @raise Invalid_argument on negative size, or on overflow of a
+    [Bump] arena. *)
+
+val cursor : t -> int
+(** Byte offset within the arena — part of the guest state captured by
+    snapshots (a deployed sibling continues from the same cursor). *)
+
+val set_cursor : t -> int -> unit
+(** Restore a captured cursor at deploy time. *)
+
+val used_bytes : t -> int
+(** Bytes allocated through this arena (lifetime for [Ring]). *)

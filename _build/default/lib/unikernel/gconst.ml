@@ -1,0 +1,41 @@
+(* First-use costs: times solve Table 2 (see the interface comment);
+   pages are chosen so the four components sum to ~1250 pages = 4.9 MB
+   (Table 1's base-snapshot growth under AO) with the pool + compiler
+   share (~717 pages = 2.8 MB) matching the function-snapshot shrink
+   from 4.8 MB to 2.0 MB. *)
+let net_pool_init_time = 23.1e-3
+let net_pool_init_pages = 420
+let net_send_init_time = 2.1e-3
+let net_send_init_pages = 120
+let compiler_init_time = 7.3e-3
+let compiler_init_pages = 297
+let exec_init_time = 2.0e-3
+let exec_init_pages = 180
+
+(* Steady costs: chosen so a fully-warm cold path lands near 7.5 ms and
+   hot (args + run + reply on a cached UC) near 0.8 ms. *)
+let accept_time = 0.45e-3
+let accept_pages = 40
+let args_import_time = 0.10e-3
+let args_import_pages = 8
+let reply_time = 0.25e-3
+let reply_pages = 20
+let run_scratch_time = 0.35e-3
+let run_scratch_pages = 100
+let resume_time = 1.4e-3
+let resume_pages = 365
+let compile_base_time = 3.4e-3
+let compile_time_per_node = 20e-6
+let compile_steady_pages = 140
+
+(* Layout: one UC sees 1 GiB of VA (Page_table.max_vpn pages). *)
+let kernel_base = 0
+let runtime_base = 7_000
+let driver_base = 26_500
+let scratch_base = 36_864
+let resume_base = 38_912
+let net_region_base = 40_960
+let heap_base = 65_536
+let nursery_base = 131_072
+let nursery_pages = 512
+let conn_ring_pages = 2_048

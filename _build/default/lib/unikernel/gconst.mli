@@ -1,0 +1,82 @@
+(** Guest-side cost constants, calibrated against the paper's Tables 1-2.
+
+    The guest stack has four lazily-initialized components whose
+    first-use costs are the whole story of Anticipatory Optimization.
+    The values below are *derived* from Table 2 rather than guessed:
+    with [cold_base = 7.5 ms] and [warm_base = 3.5 ms],
+
+    - cold(no AO)   = cold_base + pool + send + compiler + exec = 42.0 ms
+    - cold(net AO)  = cold_base + compiler + exec               = 16.8 ms
+    - warm(no AO)   = warm_base + send + exec                   =  7.6 ms
+    - warm(net AO)  = warm_base + exec                          =  5.5 ms
+
+    solving to [exec = 2.0], [send = 2.1], [compiler = 7.3],
+    [pool = 23.1] (ms). The split works because the function snapshot is
+    captured after import+compile but *before* run/reply (§4), so the
+    send path and execution caches warmed by a cold invocation are never
+    part of the function snapshot — only AO can move them into the
+    shared base. First-use page counts follow Table 1's footprints: the
+    four components sum to ~1250 pages, the paper's "AO bloats the base
+    snapshot by 4.9 MB". *)
+
+(** {1 Lazily-initialized component first-use costs} *)
+
+val net_pool_init_time : float
+val net_pool_init_pages : int
+(** TCP buffer-pool priming on the first connection ever accepted in a
+    UC lineage. *)
+
+val net_send_init_time : float
+val net_send_init_pages : int
+(** Send-path structures, first transmission in a lineage. *)
+
+val compiler_init_time : float
+val compiler_init_pages : int
+(** Parser/codegen tables, first compilation in a lineage. *)
+
+val exec_init_time : float
+val exec_init_pages : int
+(** Execution caches (inline caches, shapes), first function run. *)
+
+(** {1 Steady-state per-operation costs} *)
+
+val accept_time : float
+val accept_pages : int
+(** Accepting + setting up one driver connection. *)
+
+val args_import_time : float
+val args_import_pages : int
+
+val reply_time : float
+val reply_pages : int
+
+val run_scratch_time : float
+val run_scratch_pages : int
+(** Stack/driver scratch re-dirtied by every invocation. *)
+
+val resume_time : float
+val resume_pages : int
+(** Per-deployment guest state written when a UC resumes from a
+    snapshot (timers, GC bookkeeping, event-loop state). Dominates an
+    idle UC's private footprint: ~390 private pages per UC lands at the
+    paper's ~1.6 MB/instance, i.e. ~54,000 UCs in 88 GB (Table 3). *)
+
+val compile_base_time : float
+val compile_time_per_node : float
+val compile_steady_pages : int
+(** Import + compile: the paper puts ~5 ms on even a one-line NOP
+    (Table 1 discussion); grows with the AST size. *)
+
+(** {1 Virtual address layout (page numbers)} *)
+
+val kernel_base : int
+val runtime_base : int
+val driver_base : int
+val scratch_base : int
+val resume_base : int
+val net_region_base : int
+val heap_base : int
+val nursery_base : int
+val nursery_pages : int
+val conn_ring_pages : int
+(** Per-connection state cycles through a ring after the buffer pool. *)

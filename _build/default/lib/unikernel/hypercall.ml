@@ -1,0 +1,36 @@
+type t = {
+  clock_wall : unit -> float;
+  console_write : string -> unit;
+  poll : unit -> unit;
+  net_outbound : string -> Net.Tcp.conn option;
+  breakpoint : string -> unit;
+  halt : string -> unit;
+}
+
+let call_names =
+  [
+    "walltime";
+    "clock_monotonic";
+    "poll";
+    "console_write";
+    "net_info";
+    "net_read";
+    "net_write";
+    "blk_info";
+    "blk_read";
+    "blk_write";
+    "halt";
+    "dbg_breakpoint";
+  ]
+
+let interface_size = List.length call_names
+
+let null =
+  {
+    clock_wall = (fun () -> 0.0);
+    console_write = ignore;
+    poll = (fun () -> ());
+    net_outbound = (fun _ -> None);
+    breakpoint = ignore;
+    halt = ignore;
+  }

@@ -1,0 +1,36 @@
+(** The narrow domain interface between a UC and the trusted OS.
+
+    The prototype's ukvm/Solo5 interface "exposes only 12 system calls"
+    versus >300 Linux syscalls behind a Docker seccomp profile (§5). We
+    document the full surface ({!call_names}) and implement the subset
+    the guest software actually exercises, as a record of capabilities
+    granted by the host when the UC is created — the guest has no other
+    way to reach the world. *)
+
+type t = {
+  clock_wall : unit -> float;  (** seconds since host epoch *)
+  console_write : string -> unit;
+  poll : unit -> unit;  (** cooperative yield *)
+  net_outbound : string -> Net.Tcp.conn option;
+      (** open a masqueraded outbound TCP connection to a URL (§6: the
+          only guest-initiated direction supported); the host resolves
+          the name and routes through the per-core proxy *)
+  breakpoint : string -> unit;
+      (** the snapshot trigger: models the x86 debug-register exception
+          (§6, Triggering Snapshots). The guest blocks inside the call
+          while the host records its state; the label tells the host
+          which pinpointed instruction was reached (e.g. ["driver-started"],
+          ["compile-ok"]). *)
+  halt : string -> unit;  (** terminate the UC with a reason *)
+}
+
+val call_names : string list
+(** The modeled 12-call surface (Solo5/ukvm-style): walltime, monotonic
+    clock, poll, console write, net info/read/write, block info/read/
+    write, halt, plus the debug breakpoint used as the snapshot trigger. *)
+
+val interface_size : int
+(** [List.length call_names = 12]. *)
+
+val null : t
+(** Inert hypercalls for host-side unit tests. *)

@@ -1,0 +1,48 @@
+type runtime = Node | Python
+
+type t = {
+  runtime : runtime;
+  kernel_pages : int;
+  kernel_boot_time : float;
+  runtime_pages : int;
+  runtime_init_time : float;
+  driver_pages : int;
+  driver_start_time : float;
+}
+
+let node =
+  {
+    runtime = Node;
+    kernel_pages = 7_000;
+    kernel_boot_time = 1.6;
+    runtime_pages = 19_500;
+    runtime_init_time = 1.15;
+    driver_pages = 1_550;
+    driver_start_time = 0.15;
+  }
+
+let python =
+  {
+    runtime = Python;
+    kernel_pages = 7_000;
+    kernel_boot_time = 1.6;
+    runtime_pages = 9_800;
+    runtime_init_time = 0.6;
+    driver_pages = 1_200;
+    driver_start_time = 0.12;
+  }
+
+let specialized_node =
+  {
+    runtime = Node;
+    kernel_pages = 900;
+    kernel_boot_time = 0.045;
+    runtime_pages = 14_800;
+    runtime_init_time = 0.65;
+    driver_pages = 700;
+    driver_start_time = 0.06;
+  }
+
+let total_pages t = t.kernel_pages + t.runtime_pages + t.driver_pages
+
+let runtime_name = function Node -> "nodejs" | Python -> "python"

@@ -1,0 +1,37 @@
+(** Unikernel image configurations: Rumprun linked with an interpreter
+    port and the OpenWhisk invocation driver.
+
+    The prototype deliberately adopts a *general-purpose* unikernel: it
+    boots slower and is bigger than a specialised one, but runs stock
+    interpreters (§6). Boot happens once per runtime per node — the base
+    runtime snapshot amortises it over every subsequent UC. Sizes target
+    Table 1's 109.6 MB Node.js base snapshot. *)
+
+type runtime = Node | Python
+
+type t = {
+  runtime : runtime;
+  kernel_pages : int;  (** Rumprun/NetBSD libs + ramdisk fs *)
+  kernel_boot_time : float;
+  runtime_pages : int;  (** interpreter text + initialized heap *)
+  runtime_init_time : float;
+  driver_pages : int;  (** invocation driver (script) footprint *)
+  driver_start_time : float;
+}
+
+val node : t
+(** Node.js: 28,050 pages (~109.6 MB) total, ~2.9 s boot-to-driver. *)
+
+val python : t
+(** CPython: smaller image, comparable boot. *)
+
+val specialized_node : t
+(** The design alternative of §6 footnote 2: a highly-specialized
+    unikernel (library OS trimmed to one interpreter, no POSIX layer)
+    with low-millisecond-class boot and a much smaller image. SEUSS
+    snapshotting works identically on it; what the general-purpose
+    choice buys is out-of-the-box interpreter support, not speed. *)
+
+val total_pages : t -> int
+
+val runtime_name : runtime -> string

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Baselines Int64 Mem Net Printf Seuss Sim Unikernel

@@ -1,0 +1,1 @@
+test/test_cluster.ml: Alcotest Cluster Int64 List Mem Option Printf Seuss Sim Unikernel

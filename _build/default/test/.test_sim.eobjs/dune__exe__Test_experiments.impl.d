@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Array Experiments Float Int64 List Mem Stats String

@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Interp List Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Gen List Net Option QCheck QCheck_alcotest Sim

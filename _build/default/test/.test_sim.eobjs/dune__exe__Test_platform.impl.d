@@ -1,0 +1,1 @@
+test/test_platform.ml: Alcotest Array Baselines Hashtbl Int64 Interp List Mem Net Option Platform Printf Seuss Sim Stats String

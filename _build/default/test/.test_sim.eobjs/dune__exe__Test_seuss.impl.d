@@ -1,0 +1,1 @@
+test/test_seuss.ml: Alcotest Gen Int64 List Mem Option Printf QCheck QCheck_alcotest Seuss Sim Unikernel

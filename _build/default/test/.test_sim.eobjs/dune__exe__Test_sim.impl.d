@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Fun Hashtbl List QCheck QCheck_alcotest Sim String

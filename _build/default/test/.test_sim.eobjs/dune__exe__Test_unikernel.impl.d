@@ -1,0 +1,1 @@
+test/test_unikernel.ml: Alcotest Int64 List Mem Net Sim String Unikernel

@@ -1,0 +1,1 @@
+test/test_vm.ml: Alcotest Array Buffer Format Interp List Platform Printf QCheck QCheck_alcotest String Unikernel

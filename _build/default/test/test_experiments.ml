@@ -1,0 +1,184 @@
+(* Smoke tests for the experiment harness: each table/figure module runs
+   at reduced scale and must reproduce the paper's orderings. These are
+   the repository's executable claims about the reproduction. *)
+
+let test_table1_shapes () =
+  let r = Experiments.Table1.run ~invocations:20 () in
+  let open Experiments.Table1 in
+  (* Memory: AO grows the base, shrinks the function snapshot. *)
+  Alcotest.(check bool) "base grows under AO" true
+    (Int64.compare r.base_ao_bytes r.base_no_ao_bytes > 0);
+  Alcotest.(check bool) "fn snapshot shrinks under AO" true
+    (Int64.compare r.fn_ao_bytes r.fn_no_ao_bytes < 0);
+  (* Latency ordering and magnitudes. *)
+  let cold = r.cold.Stats.Summary.mean
+  and warm = r.warm.Stats.Summary.mean
+  and hot = r.hot.Stats.Summary.mean in
+  Alcotest.(check bool) "cold > warm > hot" true (cold > warm && warm > hot);
+  Alcotest.(check bool) "cold ~7.5ms" true (cold > 5e-3 && cold < 11e-3);
+  Alcotest.(check bool) "warm ~3.5ms" true (warm > 2e-3 && warm < 6e-3);
+  Alcotest.(check bool) "hot ~0.8ms" true (hot > 0.3e-3 && hot < 1.6e-3);
+  (* Footprints: cold leaves the most private pages, hot the fewest. *)
+  Alcotest.(check bool) "footprint ordering" true
+    (r.cold_pages > r.warm_pages && r.warm_pages > r.hot_pages);
+  let render = Experiments.Table1.render r in
+  Alcotest.(check bool) "renders" true (String.length render > 100)
+
+let test_table2_ladder () =
+  let r = Experiments.Table2.run ~invocations:8 () in
+  let open Experiments.Table2 in
+  Alcotest.(check bool) "cold ladder" true
+    (r.no_ao.cold_ms > r.network_ao.cold_ms
+    && r.network_ao.cold_ms > r.full_ao.cold_ms);
+  Alcotest.(check bool) "warm ladder" true
+    (r.no_ao.warm_ms > r.network_ao.warm_ms
+    && r.network_ao.warm_ms > r.full_ao.warm_ms);
+  (* Paper magnitudes within generous bands. *)
+  Alcotest.(check bool) "no-AO cold near 42 ms" true
+    (r.no_ao.cold_ms > 30.0 && r.no_ao.cold_ms < 55.0);
+  Alcotest.(check bool) "full-AO cold near 7.5 ms" true
+    (r.full_ao.cold_ms > 5.0 && r.full_ao.cold_ms < 11.0)
+
+let test_table3_orderings () =
+  (* Reduced memory budget keeps the test fast; ratios survive. *)
+  let r =
+    Experiments.Table3.run
+      ~budget_bytes:(Int64.of_int (Mem.Mconfig.mib 3072))
+      ~rate_sample:60 ()
+  in
+  let open Experiments.Table3 in
+  Alcotest.(check bool) "density: seuss > process > docker > microvm" true
+    (r.seuss.density > r.process.density
+    && r.process.density > r.docker.density
+    && r.docker.density > r.firecracker.density);
+  Alcotest.(check bool) "seuss density dominates by >5x" true
+    (r.seuss.density > 5 * r.process.density);
+  Alcotest.(check bool) "rate: seuss > process > docker > microvm" true
+    (r.seuss.rate > r.process.rate
+    && r.process.rate > r.docker.rate
+    && r.docker.rate > r.firecracker.rate);
+  Alcotest.(check bool) "seuss shim-bound near 128/s" true
+    (r.seuss.rate > 100.0 && r.seuss.rate < 140.0)
+
+let test_fig4_crossover () =
+  let r =
+    Experiments.Fig4.run ~set_sizes:[ 64; 1024 ] ~client_threads:16 ()
+  in
+  let open Experiments.Fig4 in
+  match (r.seuss, r.linux) with
+  | [ s64; s1024 ], [ l64; l1024 ] ->
+      (* Small sets: Linux ahead (shim hop); large sets: SEUSS wins big. *)
+      Alcotest.(check bool) "linux ahead at 64" true
+        (l64.throughput > s64.throughput);
+      Alcotest.(check bool) "seuss ahead at 1024" true
+        (s1024.throughput > 3.0 *. l1024.throughput);
+      Alcotest.(check bool) "seuss roughly flat" true
+        (s1024.throughput > 0.8 *. s64.throughput)
+  | _ -> Alcotest.fail "unexpected series shape"
+
+let test_fig5_percentiles () =
+  let panels =
+    Experiments.Fig5.run ~set_sizes:[ 32; 512 ] ~requests:256
+      ~client_threads:16 ()
+  in
+  match panels with
+  | [ small; big ] ->
+      (* Linux p50 deteriorates by orders of magnitude across the cache
+         cliff; SEUSS barely moves. *)
+      let l_small = small.Experiments.Fig5.linux.Stats.Summary.p50 in
+      let l_big = big.Experiments.Fig5.linux.Stats.Summary.p50 in
+      let s_small = small.Experiments.Fig5.seuss.Stats.Summary.p50 in
+      let s_big = big.Experiments.Fig5.seuss.Stats.Summary.p50 in
+      Alcotest.(check bool) "linux collapses" true (l_big > 5.0 *. l_small);
+      Alcotest.(check bool) "seuss stable" true (s_big < 2.0 *. s_small)
+  | _ -> Alcotest.fail "expected two panels"
+
+let test_burst_contrast () =
+  let r =
+    Experiments.Fig_burst.run ~period:8.0 ~duration:64.0 ~burst_size:24 ()
+  in
+  let open Experiments.Fig_burst in
+  Alcotest.(check int) "seuss serves everything" 0
+    (Stats.Series.failures r.seuss.background
+    + Stats.Series.failures r.seuss.bursts);
+  (* Same offered load on both sides. *)
+  Alcotest.(check int) "same request count"
+    (Stats.Series.length r.seuss.background + Stats.Series.length r.seuss.bursts)
+    (Stats.Series.length r.linux.background + Stats.Series.length r.linux.bursts);
+  (* SEUSS burst p99 far below Linux's. *)
+  let p99 series =
+    let s = Stats.Summary.create () in
+    Array.iter
+      (fun p -> Stats.Summary.add s p.Stats.Series.value)
+      (Stats.Series.points series);
+    Stats.Summary.percentile s 99.0
+  in
+  Alcotest.(check bool) "seuss burst p99 lower" true
+    (p99 r.seuss.bursts < p99 r.linux.bursts)
+
+let test_ablations_ordering () =
+  let r = Experiments.Ablations.run ~invocations:5 () in
+  let open Experiments.Ablations in
+  Alcotest.(check bool) "stacks make repeat misses cheaper" true
+    (r.warm_with_stacks_ms < r.miss_without_stacks_ms);
+  Alcotest.(check bool) "idle cache makes repeats cheaper" true
+    (r.hot_with_cache_ms < r.repeat_without_cache_ms);
+  Alcotest.(check bool) "shim adds 6-10 ms" true
+    (r.hot_via_shim_ms -. r.hot_direct_ms > 6.0
+    && r.hot_via_shim_ms -. r.hot_direct_ms < 10.0);
+  (* The specialized image boots much faster and is smaller, but cold
+     starts match the general-purpose image: snapshots amortize boot. *)
+  Alcotest.(check bool) "specialized boots faster" true
+    (r.specialized_boot_s < 0.5 *. r.general_boot_s);
+  Alcotest.(check bool) "specialized image smaller" true
+    (r.specialized_base_mb < r.general_base_mb);
+  Alcotest.(check bool) "cold starts equivalent" true
+    (Float.abs (r.specialized_cold_ms -. r.general_cold_ms) < 1.0)
+
+let test_auto_ao_recovers_costs () =
+  let r = Experiments.Auto_ao.run ~invocations:6 () in
+  Alcotest.(check int) "four components" 4
+    (List.length r.Experiments.Auto_ao.components);
+  (* Black-box inference must recover the modeled first-use costs. *)
+  Alcotest.(check bool) "within 15%" true
+    (r.Experiments.Auto_ao.max_relative_error < 0.15);
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) "positive cost" true
+        (c.Experiments.Auto_ao.inferred_ms > 0.0))
+    r.Experiments.Auto_ao.components
+
+let test_report_rendering () =
+  let text =
+    Experiments.Report.comparison ~title:"T" ~note:"n"
+      [ { Experiments.Report.label = "a"; paper = "1"; measured = "2" } ]
+  in
+  Alcotest.(check bool) "contains fields" true
+    (String.length text > 10);
+  Alcotest.(check string) "ms format" "7.5 ms" (Experiments.Report.ms 7.5e-3);
+  Alcotest.(check string) "mb format" "2.0 MB"
+    (Experiments.Report.mb (Int64.of_int (2 * 1024 * 1024)))
+
+let () =
+  let case name f = Alcotest.test_case name `Slow f in
+  Alcotest.run "experiments"
+    [
+      ( "tables",
+        [
+          case "table1 shapes" test_table1_shapes;
+          case "table2 ladder" test_table2_ladder;
+          case "table3 orderings" test_table3_orderings;
+        ] );
+      ( "figures",
+        [
+          case "fig4 crossover" test_fig4_crossover;
+          case "fig5 percentiles" test_fig5_percentiles;
+          case "burst contrast" test_burst_contrast;
+        ] );
+      ( "misc",
+        [
+          case "ablations ordering" test_ablations_ordering;
+          case "auto-ao recovers costs" test_auto_ao_recovers_costs;
+          case "report rendering" test_report_rendering;
+        ] );
+    ]

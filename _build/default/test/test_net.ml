@@ -1,0 +1,377 @@
+(* Tests for the simulated network: TCP costs and semantics, HTTP
+   framing, the SEUSS proxy and the Linux bridge bottleneck model. *)
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let run f =
+  let engine = Sim.Engine.create () in
+  f engine;
+  Sim.Engine.run engine;
+  engine
+
+let test_tcp_connect_and_roundtrip () =
+  let got = ref "" in
+  ignore
+    (run (fun e ->
+         let l = Net.Tcp.listener ~port:8080 in
+         Sim.Engine.spawn e (fun () ->
+             let conn = Net.Tcp.accept l in
+             match Net.Tcp.recv conn with
+             | Some m ->
+                 Net.Tcp.send conn ("pong:" ^ m.Net.Tcp.data);
+                 Net.Tcp.close conn
+             | None -> ());
+         Sim.Engine.spawn e (fun () ->
+             match Net.Tcp.connect ~link:Net.Netconf.lan l with
+             | None -> Alcotest.fail "connect refused"
+             | Some conn -> (
+                 Net.Tcp.send conn "ping";
+                 (match Net.Tcp.recv conn with
+                 | Some m -> got := m.Net.Tcp.data
+                 | None -> ());
+                 Net.Tcp.close conn))));
+  Alcotest.(check string) "reply" "pong:ping" !got
+
+let test_tcp_costs_accumulate () =
+  (* One connect + send + reply over the LAN link should take at least
+     the handshake plus two one-way latencies. *)
+  let finished_at = ref 0.0 in
+  let engine =
+    run (fun e ->
+        let l = Net.Tcp.listener ~port:1 in
+        Sim.Engine.spawn e (fun () ->
+            let conn = Net.Tcp.accept l in
+            match Net.Tcp.recv conn with
+            | Some _ -> Net.Tcp.send conn "r"
+            | None -> ());
+        Sim.Engine.spawn e (fun () ->
+            match Net.Tcp.connect ~link:Net.Netconf.lan l with
+            | None -> ()
+            | Some conn ->
+                Net.Tcp.send conn "m";
+                ignore (Net.Tcp.recv conn);
+                finished_at := Sim.Engine.now e))
+  in
+  ignore engine;
+  let lat = Net.Netconf.lan.Net.Netconf.latency in
+  Alcotest.(check bool) "took at least handshake + 2 hops" true
+    (!finished_at >= 5.0 *. lat)
+
+let test_tcp_close_wakes_receiver () =
+  let got = ref (Some ()) in
+  ignore
+    (run (fun e ->
+         let l = Net.Tcp.listener ~port:1 in
+         Sim.Engine.spawn e (fun () ->
+             let conn = Net.Tcp.accept l in
+             Net.Tcp.close conn);
+         Sim.Engine.spawn e (fun () ->
+             match Net.Tcp.connect ~link:Net.Netconf.lan l with
+             | None -> ()
+             | Some conn -> (
+                 match Net.Tcp.recv conn with
+                 | None -> got := None
+                 | Some _ -> ()))));
+  Alcotest.(check (option unit)) "eof" None !got
+
+let test_tcp_admit_refusal_fails_after_retries () =
+  let result = ref (Some ()) and duration = ref 0.0 in
+  ignore
+    (run (fun e ->
+         let l = Net.Tcp.listener ~port:1 in
+         Sim.Engine.spawn e (fun () ->
+             let started = Sim.Engine.now e in
+             (match Net.Tcp.connect ~admit:(fun () -> false) ~link:Net.Netconf.lan l with
+             | None -> result := None
+             | Some _ -> ());
+             duration := Sim.Engine.now e -. started)));
+  Alcotest.(check (option unit)) "failed" None !result;
+  check_float "slept through retries"
+    (float_of_int Net.Tcp.syn_retries *. Net.Tcp.syn_timeout)
+    !duration
+
+let test_tcp_send_on_closed_rejected () =
+  ignore
+    (run (fun e ->
+         let l = Net.Tcp.listener ~port:1 in
+         Sim.Engine.spawn e (fun () -> ignore (Net.Tcp.accept l));
+         Sim.Engine.spawn e (fun () ->
+             match Net.Tcp.connect ~link:Net.Netconf.lan l with
+             | None -> ()
+             | Some conn ->
+                 Net.Tcp.close conn;
+                 Alcotest.(check bool) "send after close raises" true
+                   (match Net.Tcp.send conn "x" with
+                   | () -> false
+                   | exception Invalid_argument _ -> true))))
+
+let test_http_roundtrip () =
+  let status = ref 0 and body = ref "" in
+  ignore
+    (run (fun e ->
+         let l = Net.Tcp.listener ~port:80 in
+         Sim.Engine.spawn e (fun () ->
+             Net.Http.serve ~listener:l (fun req ->
+                 Net.Http.ok ("echo:" ^ req.Net.Http.path ^ ":" ^ req.Net.Http.body));
+             match Net.Http.get ~link:Net.Netconf.lan l ~path:"/run" with
+             | Ok r ->
+                 status := r.Net.Http.status;
+                 body := r.Net.Http.body
+             | Error _ -> Alcotest.fail "http error")));
+  Alcotest.(check int) "status" 200 !status;
+  Alcotest.(check string) "body" "echo:/run:" !body
+
+let test_http_blocking_handler () =
+  (* The burst experiment's external endpoint: replies OK after 250 ms. *)
+  let elapsed = ref 0.0 in
+  ignore
+    (run (fun e ->
+         let l = Net.Tcp.listener ~port:80 in
+         Sim.Engine.spawn e (fun () ->
+             Net.Http.serve ~listener:l (fun _ ->
+                 Sim.Engine.sleep 0.250;
+                 Net.Http.ok "OK");
+             let started = Sim.Engine.now e in
+             match Net.Http.get ~link:Net.Netconf.lan l ~path:"/io" with
+             | Ok _ -> elapsed := Sim.Engine.now e -. started
+             | Error _ -> Alcotest.fail "http error")));
+  Alcotest.(check bool) "blocked for the server delay" true (!elapsed >= 0.250)
+
+let test_http_concurrent_connections () =
+  let done_count = ref 0 in
+  ignore
+    (run (fun e ->
+         let l = Net.Tcp.listener ~port:80 in
+         Sim.Engine.spawn e (fun () ->
+             Net.Http.serve ~listener:l (fun _ ->
+                 Sim.Engine.sleep 0.1;
+                 Net.Http.ok "OK"));
+         for _ = 1 to 8 do
+           Sim.Engine.spawn e (fun () ->
+               match Net.Http.get ~link:Net.Netconf.lan l ~path:"/x" with
+               | Ok _ -> incr done_count
+               | Error _ -> ())
+         done));
+  Alcotest.(check int) "all served concurrently" 8 !done_count
+
+let test_proxy_register_connect () =
+  let replied = ref "" in
+  ignore
+    (run (fun e ->
+         let proxy = Net.Proxy.create () in
+         let l = Net.Tcp.listener ~port:9000 in
+         Net.Proxy.register proxy ~port:9000 l;
+         Alcotest.(check int) "mapping count" 1 (Net.Proxy.active_mappings proxy);
+         Sim.Engine.spawn e (fun () ->
+             let conn = Net.Tcp.accept l in
+             match Net.Tcp.recv conn with
+             | Some _ -> Net.Tcp.send conn "driver-ack"
+             | None -> ());
+         Sim.Engine.spawn e (fun () ->
+             match Net.Proxy.connect proxy ~port:9000 with
+             | None -> Alcotest.fail "proxy connect failed"
+             | Some conn -> (
+                 Net.Tcp.send conn "args";
+                 match Net.Tcp.recv conn with
+                 | Some m -> replied := m.Net.Tcp.data
+                 | None -> ()))));
+  Alcotest.(check string) "through proxy" "driver-ack" !replied
+
+let test_proxy_duplicate_rejected () =
+  let proxy = Net.Proxy.create () in
+  let l = Net.Tcp.listener ~port:1 in
+  Net.Proxy.register proxy ~port:1 l;
+  Alcotest.(check bool) "duplicate raises" true
+    (match Net.Proxy.register proxy ~port:1 l with
+    | () -> false
+    | exception Invalid_argument _ -> true)
+
+let test_proxy_unknown_port () =
+  let connected = ref true in
+  ignore
+    (run (fun e ->
+         let proxy = Net.Proxy.create () in
+         Sim.Engine.spawn e (fun () ->
+             connected := Option.is_some (Net.Proxy.connect proxy ~port:7))));
+  Alcotest.(check bool) "no mapping" false !connected
+
+let test_proxy_unregister () =
+  let proxy = Net.Proxy.create () in
+  let l = Net.Tcp.listener ~port:1 in
+  Net.Proxy.register proxy ~port:1 l;
+  Net.Proxy.unregister proxy ~port:1;
+  Net.Proxy.unregister proxy ~port:1;
+  Alcotest.(check int) "empty" 0 (Net.Proxy.active_mappings proxy)
+
+let test_bridge_creation_slows_with_population () =
+  (* Endpoint attachment is O(existing endpoints): attaching the 1000th
+     endpoint takes ~1000x the first. *)
+  let t_first = ref 0.0 and t_last = ref 0.0 in
+  ignore
+    (run (fun e ->
+         Sim.Engine.spawn e (fun () ->
+             let bridge = Net.Bridge.create ~rng:(Sim.Prng.create 1L) () in
+             let t0 = Sim.Engine.now e in
+             Net.Bridge.add_endpoint bridge;
+             t_first := Sim.Engine.now e -. t0;
+             for _ = 2 to 999 do
+               Net.Bridge.add_endpoint bridge
+             done;
+             let t1 = Sim.Engine.now e in
+             Net.Bridge.add_endpoint bridge;
+             t_last := Sim.Engine.now e -. t1)));
+  Alcotest.(check bool) "linear growth" true (!t_last > 500.0 *. !t_first)
+
+let test_bridge_drops_under_saturation () =
+  let failures = ref 0 in
+  ignore
+    (run (fun e ->
+         let config =
+           { Net.Bridge.default_config with Net.Bridge.safe_endpoints = 10 }
+         in
+         let bridge = Net.Bridge.create ~config ~rng:(Sim.Prng.create 7L) () in
+         let l = Net.Tcp.listener ~port:1 in
+         Sim.Engine.spawn e (fun () ->
+             let rec accept_all () =
+               let conn = Net.Tcp.accept l in
+               Net.Tcp.close conn;
+               accept_all ()
+             in
+             accept_all ());
+         Sim.Engine.spawn e (fun () ->
+             (* Grossly oversubscribed: 60 endpoints on a 10-port bridge. *)
+             for _ = 1 to 60 do
+               Net.Bridge.add_endpoint bridge
+             done;
+             Alcotest.(check bool) "high drop probability" true
+               (Net.Bridge.drop_probability bridge > 0.5);
+             for _ = 1 to 20 do
+               if Option.is_none (Net.Bridge.connect bridge l) then incr failures
+             done)));
+  Alcotest.(check bool) "some connects failed" true (!failures > 0)
+
+let test_bridge_healthy_when_small () =
+  let failures = ref 0 in
+  ignore
+    (run (fun e ->
+         let bridge = Net.Bridge.create ~rng:(Sim.Prng.create 3L) () in
+         let l = Net.Tcp.listener ~port:1 in
+         Sim.Engine.spawn e (fun () ->
+             let rec accept_all () =
+               let conn = Net.Tcp.accept l in
+               Net.Tcp.close conn;
+               accept_all ()
+             in
+             accept_all ());
+         Sim.Engine.spawn e (fun () ->
+             for _ = 1 to 50 do
+               Net.Bridge.add_endpoint bridge
+             done;
+             for _ = 1 to 50 do
+               if Option.is_none (Net.Bridge.connect bridge l) then incr failures
+             done)));
+  Alcotest.(check int) "no failures at low population" 0 !failures
+
+let test_bridge_remove_endpoint () =
+  let bridge = Net.Bridge.create ~rng:(Sim.Prng.create 1L) () in
+  Alcotest.(check bool) "remove on empty raises" true
+    (match Net.Bridge.remove_endpoint bridge with
+    | () -> false
+    | exception Invalid_argument _ -> true)
+
+let bridge_drop_probability_monotone =
+  QCheck.Test.make ~name:"drop probability grows with endpoints" ~count:50
+    QCheck.(pair (int_range 0 2000) (int_range 1 2000))
+    (fun (a, b) ->
+      let lo = min a b and hi = max a b in
+      let make n =
+        let bridge = Net.Bridge.create ~rng:(Sim.Prng.create 1L) () in
+        for _ = 1 to n do
+          (* endpoints counter only; no engine needed when count is 0 cost *)
+          ignore bridge
+        done;
+        bridge
+      in
+      ignore make;
+      (* Compare the closed-form directly via a bridge with counts set by
+         attachment inside a simulation. *)
+      let prob n =
+        let p = ref 0.0 in
+        let engine = Sim.Engine.create () in
+        Sim.Engine.spawn engine (fun () ->
+            let bridge = Net.Bridge.create ~rng:(Sim.Prng.create 1L) () in
+            for _ = 1 to n do
+              Net.Bridge.add_endpoint bridge
+            done;
+            p := Net.Bridge.drop_probability bridge);
+        Sim.Engine.run engine;
+        !p
+      in
+      prob lo <= prob hi +. 1e-12)
+
+(* Property: messages arrive exactly once, in order, regardless of
+   payload sizes (serialization and delivery delays must not reorder). *)
+let tcp_preserves_order =
+  QCheck.Test.make ~name:"tcp delivers in order" ~count:60
+    QCheck.(list_of_size (Gen.int_range 1 20) (int_range 0 100_000))
+    (fun sizes ->
+      let received = ref [] in
+      let engine = Sim.Engine.create () in
+      let l = Net.Tcp.listener ~port:1 in
+      Sim.Engine.spawn engine (fun () ->
+          let conn = Net.Tcp.accept l in
+          let rec drain () =
+            match Net.Tcp.recv conn with
+            | Some m ->
+                received := m.Net.Tcp.data :: !received;
+                drain ()
+            | None -> ()
+          in
+          drain ());
+      Sim.Engine.spawn engine (fun () ->
+          match Net.Tcp.connect ~link:Net.Netconf.lan l with
+          | None -> ()
+          | Some conn ->
+              List.iteri
+                (fun i size -> Net.Tcp.send conn ~size (string_of_int i))
+                sizes;
+              Net.Tcp.close conn);
+      Sim.Engine.run engine;
+      List.rev !received = List.mapi (fun i _ -> string_of_int i) sizes)
+
+let () =
+  let case name f = Alcotest.test_case name `Quick f in
+  let qcase = QCheck_alcotest.to_alcotest in
+  Alcotest.run "net"
+    [
+      ( "tcp",
+        [
+          case "connect roundtrip" test_tcp_connect_and_roundtrip;
+          case "costs accumulate" test_tcp_costs_accumulate;
+          case "close wakes receiver" test_tcp_close_wakes_receiver;
+          case "refusal fails after retries" test_tcp_admit_refusal_fails_after_retries;
+          case "send on closed" test_tcp_send_on_closed_rejected;
+          qcase tcp_preserves_order;
+        ] );
+      ( "http",
+        [
+          case "roundtrip" test_http_roundtrip;
+          case "blocking handler" test_http_blocking_handler;
+          case "concurrent connections" test_http_concurrent_connections;
+        ] );
+      ( "proxy",
+        [
+          case "register connect" test_proxy_register_connect;
+          case "duplicate rejected" test_proxy_duplicate_rejected;
+          case "unknown port" test_proxy_unknown_port;
+          case "unregister idempotent" test_proxy_unregister;
+        ] );
+      ( "bridge",
+        [
+          case "creation slows with population" test_bridge_creation_slows_with_population;
+          case "drops under saturation" test_bridge_drops_under_saturation;
+          case "healthy when small" test_bridge_healthy_when_small;
+          case "remove endpoint" test_bridge_remove_endpoint;
+          qcase bridge_drop_probability_monotone;
+        ] );
+    ]

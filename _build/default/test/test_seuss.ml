@@ -1,0 +1,701 @@
+(* Tests for the SEUSS core: snapshots and stacks, UC lifecycle, the
+   cold/warm/hot invocation paths, anticipatory optimization and the OOM
+   reclaimer. These encode the paper's qualitative claims as assertions. *)
+
+module N = Seuss.Node
+
+let gib n = Int64.mul (Int64.of_int n) (Int64.of_int (Mem.Mconfig.mib 1024))
+
+let nop_fn =
+  {
+    N.fn_id = "nop";
+    runtime = Unikernel.Image.Node;
+    source = "function main(args) { return {}; }";
+  }
+
+let fn ~id source = { N.fn_id = id; runtime = Unikernel.Image.Node; source }
+
+(* Run [body node] inside a simulation with a started node. *)
+let with_node ?config ?(budget_gib = 8) body =
+  let engine = Sim.Engine.create ~seed:11L () in
+  let env = Seuss.Osenv.create ~budget_bytes:(gib budget_gib) engine in
+  let result = ref None in
+  Sim.Engine.spawn engine ~name:"experiment" (fun () ->
+      let node = N.create ?config env in
+      N.start node;
+      result := Some (body env node));
+  Sim.Engine.run engine;
+  match !result with
+  | Some v -> v
+  | None -> Alcotest.fail "simulation did not complete"
+
+let expect_ok = function
+  | Ok v, path -> (v, path)
+  | Error _, _ -> Alcotest.fail "invocation failed"
+
+let timed f =
+  let engine = Sim.Engine.self () in
+  let t0 = Sim.Engine.now engine in
+  let v = f () in
+  (v, Sim.Engine.now engine -. t0)
+
+(* {1 Startup and base snapshots} *)
+
+let test_start_builds_base_snapshot () =
+  with_node (fun _env node ->
+      match N.base_snapshot node Unikernel.Image.Node with
+      | None -> Alcotest.fail "no base snapshot"
+      | Some base ->
+          Alcotest.(check bool) "bigger than the raw image" true
+            (base.Seuss.Snapshot.total_pages
+            >= Unikernel.Image.total_pages Unikernel.Image.node);
+          Alcotest.(check int) "depth 1" 1 (Seuss.Snapshot.depth base);
+          (* Table 1: base runtime snapshot is ~110-115 MB. *)
+          let mb =
+            Int64.to_float (Seuss.Snapshot.total_bytes base) /. 1048576.0
+          in
+          Alcotest.(check bool) "within Table 1 range" true
+            (mb > 100.0 && mb < 130.0))
+
+let test_ao_grows_base_snapshot () =
+  let size_at ao =
+    with_node ~config:{ Seuss.Config.default with Seuss.Config.ao } (fun _ node ->
+        match N.base_snapshot node Unikernel.Image.Node with
+        | Some base -> base.Seuss.Snapshot.total_pages
+        | None -> Alcotest.fail "no base")
+  in
+  let none = size_at Seuss.Config.Ao_none in
+  let net = size_at Seuss.Config.Ao_network in
+  let full = size_at Seuss.Config.Ao_full in
+  Alcotest.(check bool) "network AO adds pages" true (net > none);
+  Alcotest.(check bool) "full AO adds more" true (full > net);
+  (* Table 1: AO bloats the base snapshot by roughly 4.9 MB (~1250 pages). *)
+  Alcotest.(check bool) "growth in the paper's range" true
+    (full - none > 800 && full - none < 2500)
+
+(* {1 Invocation paths} *)
+
+let test_cold_then_warm_then_hot () =
+  with_node (fun _env node ->
+      let (r1, p1), d_cold = timed (fun () -> expect_ok (N.invoke node nop_fn ~args:"null")) in
+      Alcotest.(check string) "result" "{}" r1;
+      Alcotest.(check bool) "first is cold" true (p1 = N.Cold);
+      (* The cold invocation captured a function snapshot and cached the
+         idle UC: next is hot. *)
+      let (_, p2), d_hot = timed (fun () -> expect_ok (N.invoke node nop_fn ~args:"null")) in
+      Alcotest.(check bool) "second is hot" true (p2 = N.Hot);
+      (* Drop the idle UC to force the warm path. *)
+      N.drop_idle node ~fn_id:"nop";
+      let (_, p3), d_warm = timed (fun () -> expect_ok (N.invoke node nop_fn ~args:"null")) in
+      Alcotest.(check bool) "third is warm" true (p3 = N.Warm);
+      Alcotest.(check bool) "cold > warm" true (d_cold > d_warm);
+      Alcotest.(check bool) "warm > hot" true (d_warm > d_hot);
+      (* Table 1 magnitudes (generous factor-two bands around 7.5 / 3.5 /
+         0.8 ms). *)
+      Alcotest.(check bool) "cold in band" true (d_cold > 4e-3 && d_cold < 15e-3);
+      Alcotest.(check bool) "warm in band" true (d_warm > 1.5e-3 && d_warm < 7e-3);
+      Alcotest.(check bool) "hot in band" true (d_hot > 0.3e-3 && d_hot < 2e-3))
+
+let test_function_snapshot_cached_once () =
+  with_node (fun _env node ->
+      ignore (expect_ok (N.invoke node nop_fn ~args:"null"));
+      Alcotest.(check int) "one fn snapshot" 1 (N.snapshot_count node);
+      N.drop_idle node ~fn_id:"nop";
+      ignore (expect_ok (N.invoke node nop_fn ~args:"null"));
+      Alcotest.(check int) "still one" 1 (N.snapshot_count node);
+      let s = N.stats node in
+      Alcotest.(check int) "one capture" 1 s.N.snapshots_captured)
+
+let test_distinct_functions_isolated () =
+  with_node (fun _env node ->
+      let counter id =
+        fn ~id
+          "let n = 0; function main(args) { n = n + 1; return n; }"
+      in
+      let a = counter "fn-a" and b = counter "fn-b" in
+      let run f = fst (expect_ok (N.invoke node f ~args:"null")) in
+      Alcotest.(check string) "a first" "1" (run a);
+      Alcotest.(check string) "a second (hot, same UC)" "2" (run a);
+      Alcotest.(check string) "b unaffected" "1" (run b);
+      (* Warm deploys restart from the snapshot state (captured before
+         any run), so a fresh UC of a starts at 1 again. *)
+      N.drop_idle node ~fn_id:"fn-a";
+      Alcotest.(check string) "a warm from snapshot" "1" (run a))
+
+let test_compile_error_reported () =
+  with_node (fun _env node ->
+      match N.invoke node (fn ~id:"bad" "function main(") ~args:"null" with
+      | Error (`Compile_error _), N.Cold -> ()
+      | _ -> Alcotest.fail "expected compile error on cold path")
+
+let test_runtime_error_reported () =
+  with_node (fun _env node ->
+      match
+        N.invoke node
+          (fn ~id:"boom" "function main(args) { return 1 / 0; }")
+          ~args:"null"
+      with
+      | Error (`Runtime_error _), _ -> ()
+      | _ -> Alcotest.fail "expected runtime error")
+
+let test_args_flow_through () =
+  with_node (fun _env node ->
+      let echo =
+        fn ~id:"echo" "function main(args) { return args.x * 2; }"
+      in
+      let r, _ = expect_ok (N.invoke node echo ~args:"{x: 21}") in
+      Alcotest.(check string) "result" "42" r)
+
+(* {1 Anticipatory optimization (Table 2 shape)} *)
+
+let cold_and_warm_latency ao =
+  with_node ~config:{ Seuss.Config.default with Seuss.Config.ao } (fun _ node ->
+      let (_, _), d_cold = timed (fun () -> expect_ok (N.invoke node nop_fn ~args:"null")) in
+      N.drop_idle node ~fn_id:"nop";
+      let (_, _), d_warm = timed (fun () -> expect_ok (N.invoke node nop_fn ~args:"null")) in
+      (d_cold, d_warm))
+
+let test_ao_latency_ladder () =
+  let c_none, w_none = cold_and_warm_latency Seuss.Config.Ao_none in
+  let c_net, w_net = cold_and_warm_latency Seuss.Config.Ao_network in
+  let c_full, w_full = cold_and_warm_latency Seuss.Config.Ao_full in
+  (* Table 2 orderings. *)
+  Alcotest.(check bool) "cold: none > network" true (c_none > c_net);
+  Alcotest.(check bool) "cold: network > full" true (c_net > c_full);
+  Alcotest.(check bool) "warm: none > network" true (w_none > w_net);
+  Alcotest.(check bool) "warm: network > full" true (w_net > w_full);
+  (* Rough magnitudes: no-AO cold is several times full-AO cold (paper:
+     42 ms vs 7.5 ms, a 5.6x gap). *)
+  Alcotest.(check bool) "cold gap factor" true (c_none /. c_full > 3.0);
+  Alcotest.(check bool) "network AO removes the pool cost" true
+    (c_none -. c_net > 0.8 *. Unikernel.Gconst.net_pool_init_time)
+
+let test_ao_shrinks_function_snapshot () =
+  let fn_snap_pages ao =
+    with_node ~config:{ Seuss.Config.default with Seuss.Config.ao } (fun _ node ->
+        ignore (expect_ok (N.invoke node nop_fn ~args:"null"));
+        match N.function_snapshot node "nop" with
+        | Some s -> s.Seuss.Snapshot.diff_pages
+        | None -> Alcotest.fail "no fn snapshot")
+  in
+  let without = fn_snap_pages Seuss.Config.Ao_none in
+  let with_ao = fn_snap_pages Seuss.Config.Ao_full in
+  (* Table 1: 4.8 MB -> 2.0 MB, roughly half or better. *)
+  Alcotest.(check bool) "AO halves the function snapshot" true
+    (float_of_int with_ao < 0.6 *. float_of_int without)
+
+(* {1 Snapshot stacks: dependents and deletion} *)
+
+let test_snapshot_dependents () =
+  with_node (fun env node ->
+      ignore (expect_ok (N.invoke node nop_fn ~args:"null"));
+      let base = Option.get (N.base_snapshot node Unikernel.Image.Node) in
+      let fn_snap = Option.get (N.function_snapshot node "nop") in
+      Alcotest.(check int) "fn snapshot depth" 2 (Seuss.Snapshot.depth fn_snap);
+      (* Base is depended on by: the fn snapshot + the idle (hot) UC's
+         lineage is via fn? The idle UC was deployed from base (cold path),
+         so base has the fn snapshot and the idle UC. *)
+      Alcotest.(check bool) "base has dependents" true
+        (Seuss.Snapshot.dependents base >= 1);
+      Alcotest.(check bool) "cannot delete base" false
+        (Seuss.Snapshot.try_delete ~env base);
+      (* fn snapshot has no UC deployed from it yet: deletable. *)
+      Alcotest.(check int) "fn snapshot free" 0
+        (Seuss.Snapshot.dependents fn_snap))
+
+let test_uc_deploy_references_snapshot () =
+  with_node (fun env node ->
+      let base = Option.get (N.base_snapshot node Unikernel.Image.Node) in
+      let before = Seuss.Snapshot.dependents base in
+      let uc = Seuss.Uc.deploy env base in
+      Alcotest.(check int) "deploy adds a dependent" (before + 1)
+        (Seuss.Snapshot.dependents base);
+      Seuss.Uc.destroy uc;
+      Alcotest.(check int) "destroy removes it" before
+        (Seuss.Snapshot.dependents base))
+
+let test_deleted_snapshot_rejected () =
+  with_node (fun env node ->
+      ignore (expect_ok (N.invoke node nop_fn ~args:"null"));
+      let fn_snap = Option.get (N.function_snapshot node "nop") in
+      Alcotest.(check bool) "deletable" true (Seuss.Snapshot.try_delete ~env fn_snap);
+      Alcotest.(check bool) "deploy from deleted rejected" true
+        (match Seuss.Uc.deploy env fn_snap with
+        | _ -> false
+        | exception Invalid_argument _ -> true))
+
+let test_snapshot_sharing_example () =
+  (* §3's example: two functions sharing one runtime snapshot need the
+     runtime memory once, not twice. *)
+  with_node (fun _env node ->
+      ignore (expect_ok (N.invoke node (fn ~id:"foo" "function main(a) { return \"foo\"; }") ~args:"null"));
+      ignore (expect_ok (N.invoke node (fn ~id:"bar" "function main(a) { return \"bar\"; }") ~args:"null"));
+      let base = Option.get (N.base_snapshot node Unikernel.Image.Node) in
+      let foo = Option.get (N.function_snapshot node "foo") in
+      let bar = Option.get (N.function_snapshot node "bar") in
+      let base_pages = base.Seuss.Snapshot.total_pages in
+      Alcotest.(check bool) "diffs are small vs base" true
+        (foo.Seuss.Snapshot.diff_pages < base_pages / 10
+        && bar.Seuss.Snapshot.diff_pages < base_pages / 10))
+
+(* {1 UC footprint and density enablers} *)
+
+let test_idle_uc_footprint_small () =
+  with_node (fun _env node ->
+      ignore (expect_ok (N.invoke node nop_fn ~args:"null"));
+      match N.idle_ucs node with
+      | [ uc ] ->
+          let footprint_mb =
+            Int64.to_float (Seuss.Uc.footprint_bytes uc) /. 1048576.0
+          in
+          (* Table 3: ~54k UCs in 88 GB, i.e. ~1.6 MB each. *)
+          Alcotest.(check bool) "idle UC under 4 MB" true (footprint_mb < 4.0);
+          Alcotest.(check bool) "idle UC over 0.2 MB" true (footprint_mb > 0.2)
+      | l -> Alcotest.failf "expected 1 idle UC, got %d" (List.length l))
+
+let test_oom_reclaims_idle_ucs () =
+  (* A small node: deploy idle runtime UCs until memory runs low, then
+     check the reclaimer frees memory without touching snapshots. *)
+  let config =
+    {
+      Seuss.Config.default with
+      Seuss.Config.oom_headroom_bytes = Int64.of_int (Mem.Mconfig.mib 256);
+    }
+  in
+  with_node ~config ~budget_gib:1 (fun _env node ->
+      let deployed = ref 0 in
+      let continue_ = ref true in
+      while !continue_ do
+        if N.deploy_idle node Unikernel.Image.Node then incr deployed
+        else continue_ := false;
+        if !deployed > 2000 then continue_ := false
+      done;
+      Alcotest.(check bool) "deployed a bunch" true (!deployed > 20);
+      let before_free = N.free_bytes node in
+      let reclaimed = N.reclaim_idle_ucs node in
+      ignore before_free;
+      if
+        Int64.compare (N.free_bytes node)
+          config.Seuss.Config.oom_headroom_bytes
+          >= 0
+      then ()
+      else Alcotest.(check bool) "reclaimer made progress" true (reclaimed > 0);
+      (* The base snapshot survived. *)
+      Alcotest.(check bool) "base intact" true
+        (Option.is_some (N.base_snapshot node Unikernel.Image.Node)))
+
+let test_cache_disabled_config () =
+  let config =
+    {
+      Seuss.Config.default with
+      Seuss.Config.cache_function_snapshots = false;
+      cache_idle_ucs = false;
+    }
+  in
+  with_node ~config (fun _env node ->
+      let _, p1 = expect_ok (N.invoke node nop_fn ~args:"null") in
+      let _, p2 = expect_ok (N.invoke node nop_fn ~args:"null") in
+      Alcotest.(check bool) "both cold" true (p1 = N.Cold && p2 = N.Cold);
+      Alcotest.(check int) "nothing cached" 0
+        (N.snapshot_count node + N.idle_uc_count node))
+
+let test_snapshot_cache_bounded () =
+  let config =
+    { Seuss.Config.default with Seuss.Config.max_function_snapshots = 5 }
+  in
+  with_node ~config (fun _env node ->
+      for i = 1 to 12 do
+        let f = fn ~id:(Printf.sprintf "bounded-%d" i)
+            "function main(args) { return {}; }"
+        in
+        ignore (expect_ok (N.invoke node f ~args:"{}"));
+        (* Free the idle UC so the snapshot becomes evictable. *)
+        N.drop_idle node ~fn_id:f.N.fn_id
+      done;
+      Alcotest.(check bool) "cache stays bounded" true
+        (N.snapshot_count node <= 5);
+      (* An evicted function simply goes cold again. *)
+      let f1 = fn ~id:"bounded-1" "function main(args) { return {}; }" in
+      match N.invoke node f1 ~args:"{}" with
+      | Ok _, N.Cold -> ()
+      | Ok _, _ ->
+          (* bounded-1 may have survived eviction depending on order. *)
+          ()
+      | Error _, _ -> Alcotest.fail "re-invocation failed")
+
+let test_eviction_respects_dependents () =
+  let config =
+    { Seuss.Config.default with Seuss.Config.max_function_snapshots = 2 }
+  in
+  with_node ~config (fun _env node ->
+      (* Keep idle UCs alive: their source snapshots have dependents and
+         must survive eviction pressure. *)
+      for i = 1 to 6 do
+        let f = fn ~id:(Printf.sprintf "dep-%d" i)
+            "function main(args) { return {}; }"
+        in
+        ignore (expect_ok (N.invoke node f ~args:"{}"))
+      done;
+      (* Every cached snapshot must still be usable (not deleted). *)
+      for i = 1 to 6 do
+        match N.function_snapshot node (Printf.sprintf "dep-%d" i) with
+        | Some snap ->
+            Alcotest.(check bool) "cached snapshots are live" false
+              (Seuss.Snapshot.is_deleted snap)
+        | None -> ()
+      done)
+
+(* {1 Multiple runtimes} *)
+
+let test_python_runtime () =
+  let config =
+    {
+      Seuss.Config.default with
+      Seuss.Config.runtimes = [ Unikernel.Image.node; Unikernel.Image.python ];
+    }
+  in
+  with_node ~config (fun _env node ->
+      Alcotest.(check bool) "python base exists" true
+        (Option.is_some (Seuss.Node.base_snapshot node Unikernel.Image.Python));
+      let py_fn =
+        {
+          N.fn_id = "py";
+          runtime = Unikernel.Image.Python;
+          source = "function main(args) { return args.x + 1; }";
+        }
+      in
+      let r, p = expect_ok (N.invoke node py_fn ~args:"{x: 1}") in
+      Alcotest.(check string) "python fn runs" "2" r;
+      Alcotest.(check bool) "cold" true (p = N.Cold);
+      (* The Python base snapshot is smaller than Node's. *)
+      let node_base = Option.get (N.base_snapshot node Unikernel.Image.Node) in
+      let py_base = Option.get (N.base_snapshot node Unikernel.Image.Python) in
+      Alcotest.(check bool) "python image smaller" true
+        (py_base.Seuss.Snapshot.total_pages < node_base.Seuss.Snapshot.total_pages))
+
+let test_missing_runtime_errors () =
+  with_node (fun _env node ->
+      let py_fn =
+        {
+          N.fn_id = "py";
+          runtime = Unikernel.Image.Python;
+          source = "function main(a) { return 0; }";
+        }
+      in
+      match N.invoke node py_fn ~args:"{}" with
+      | Error `No_runtime, _ -> ()
+      | _ -> Alcotest.fail "expected No_runtime")
+
+(* {1 Node stress} *)
+
+(* Property: any interleaving of invocations keeps the node's accounting
+   coherent — every request succeeds, path counters sum to the request
+   count, and the snapshot cache holds exactly the unique functions. *)
+let node_stress =
+  QCheck.Test.make ~name:"random invocation mixes keep node coherent" ~count:8
+    QCheck.(list_of_size (Gen.int_range 5 25) (int_range 0 5))
+    (fun fn_ids ->
+      with_node ~budget_gib:6 (fun _env node ->
+          List.iter
+            (fun i ->
+              let fn = fn ~id:(Printf.sprintf "stress-%d" i)
+                  "function main(args) { return {ok: true}; }"
+              in
+              match N.invoke node fn ~args:"{}" with
+              | Ok _, _ -> ()
+              | Error _, _ -> Alcotest.fail "stress invocation failed")
+            fn_ids;
+          let s = N.stats node in
+          let unique = List.sort_uniq compare fn_ids in
+          s.N.cold + s.N.warm + s.N.hot = List.length fn_ids
+          && s.N.cold = List.length unique
+          && N.snapshot_count node = List.length unique
+          && s.N.errors = 0))
+
+let test_hot_footprint_bounded () =
+  (* The nursery ring keeps hot UCs from growing without bound: 50 hot
+     runs should not balloon the UC's private pages. *)
+  with_node (fun _env node ->
+      ignore (expect_ok (N.invoke node nop_fn ~args:"null"));
+      let after_one =
+        match N.last_served_uc node with
+        | Some uc -> Seuss.Uc.private_pages uc
+        | None -> Alcotest.fail "no uc"
+      in
+      for _ = 1 to 50 do
+        ignore (expect_ok (N.invoke node nop_fn ~args:"null"))
+      done;
+      let after_many =
+        match N.last_served_uc node with
+        | Some uc -> Seuss.Uc.private_pages uc
+        | None -> Alcotest.fail "no uc"
+      in
+      Alcotest.(check bool) "bounded growth" true
+        (after_many < after_one + 700))
+
+(* Property: arbitrary interleavings of deploy / capture / destroy /
+   delete over a snapshot stack conserve memory — tearing everything
+   down returns the allocator to its post-start level. This is the
+   paper's deletion-safety rule exercised end to end. *)
+let snapshot_stack_conservation =
+  QCheck.Test.make ~name:"snapshot stacks conserve frames" ~count:6
+    QCheck.(list_of_size (Gen.int_range 4 18) (int_range 0 3))
+    (fun ops ->
+      with_node ~budget_gib:6 (fun env node ->
+          let base = Option.get (N.base_snapshot node Unikernel.Image.Node) in
+          let baseline = Mem.Frame.used_frames env.Seuss.Osenv.frames in
+          let ucs = ref [] and snaps = ref [ base ] in
+          let pick l i = List.nth l (i mod List.length l) in
+          List.iteri
+            (fun i op ->
+              match op with
+              | 0 ->
+                  (* Deploy from a random live snapshot. *)
+                  let live =
+                    List.filter (fun s -> not (Seuss.Snapshot.is_deleted s)) !snaps
+                  in
+                  if live <> [] then begin
+                    let uc = Seuss.Uc.deploy env (pick live i) in
+                    Sim.Engine.sleep 0.05 (* let the guest resume *);
+                    ucs := uc :: !ucs
+                  end
+              | 1 -> (
+                  (* Capture a random running UC. *)
+                  match
+                    List.filter (fun u -> Seuss.Uc.status u = Seuss.Uc.Running) !ucs
+                  with
+                  | [] -> ()
+                  | running ->
+                      let uc = pick running i in
+                      snaps :=
+                        Seuss.Uc.capture uc ~env
+                          ~name:(Printf.sprintf "s%d" i)
+                        :: !snaps)
+              | 2 -> (
+                  match !ucs with
+                  | [] -> ()
+                  | uc :: rest ->
+                      Seuss.Uc.destroy uc;
+                      ucs := rest)
+              | _ ->
+                  (* Attempt deletion of a random non-base snapshot. *)
+                  let candidates =
+                    List.filter
+                      (fun s -> s != base && not (Seuss.Snapshot.is_deleted s))
+                      !snaps
+                  in
+                  if candidates <> [] then
+                    ignore (Seuss.Snapshot.try_delete ~env (pick candidates i)))
+            ops;
+          (* Teardown: all UCs, then snapshots until a fixpoint. *)
+          List.iter
+            (fun u -> if Seuss.Uc.status u = Seuss.Uc.Running then Seuss.Uc.destroy u)
+            !ucs;
+          let progress = ref true in
+          while !progress do
+            progress := false;
+            List.iter
+              (fun s ->
+                if s != base && not (Seuss.Snapshot.is_deleted s) then
+                  if Seuss.Snapshot.try_delete ~env s then progress := true)
+              !snaps
+          done;
+          Mem.Frame.used_frames env.Seuss.Osenv.frames = baseline))
+
+let test_concurrent_cold_same_function () =
+  (* Several concurrent first invocations of one function: all race down
+     the cold path (as in OpenWhisk), but exactly one snapshot wins the
+     cache and the extras are safely discarded. *)
+  with_node (fun env node ->
+      let engine = env.Seuss.Osenv.engine in
+      let remaining = ref 6 in
+      let done_ = Sim.Ivar.create () in
+      for _ = 1 to 6 do
+        Sim.Engine.spawn engine (fun () ->
+            (match N.invoke node nop_fn ~args:"{}" with
+            | Ok _, _ -> ()
+            | Error _, _ -> Alcotest.fail "concurrent invocation failed");
+            decr remaining;
+            if !remaining = 0 then Sim.Ivar.fill done_ ())
+      done;
+      Sim.Ivar.read done_;
+      Alcotest.(check int) "one cached snapshot" 1 (N.snapshot_count node);
+      let s = N.stats node in
+      Alcotest.(check int) "all six served" 6 (s.N.cold + s.N.warm + s.N.hot);
+      Alcotest.(check int) "no errors" 0 s.N.errors;
+      (* Subsequent call is hot. *)
+      match N.invoke node nop_fn ~args:"{}" with
+      | Ok _, N.Hot -> ()
+      | _ -> Alcotest.fail "expected hot after the stampede")
+
+(* {1 Failure injection} *)
+
+let test_invoke_timeout_recovers () =
+  let config = { Seuss.Config.default with Seuss.Config.invoke_timeout = 1.0 } in
+  with_node ~config (fun _env node ->
+      let stuck =
+        fn ~id:"stuck" "function main(args) { work(30000); return {}; }"
+      in
+      (match N.invoke node stuck ~args:"{}" with
+      | Error `Timeout, _ -> ()
+      | Ok _, _ -> Alcotest.fail "expected timeout"
+      | Error _, _ -> ());
+      let s = N.stats node in
+      Alcotest.(check bool) "error recorded" true (s.N.errors >= 1);
+      (* The node still serves other functions. *)
+      let r, _ = expect_ok (N.invoke node nop_fn ~args:"{}") in
+      Alcotest.(check string) "healthy afterwards" "{}" r)
+
+let test_uc_destroyed_under_connection () =
+  with_node (fun env node ->
+      let base = Option.get (N.base_snapshot node Unikernel.Image.Node) in
+      let uc = Seuss.Uc.deploy env base in
+      Alcotest.(check bool) "connects" true (Seuss.Uc.connect uc);
+      (match Seuss.Uc.request uc Unikernel.Driver.Ping ~timeout:5.0 with
+      | Ok Unikernel.Driver.Pong -> ()
+      | _ -> Alcotest.fail "ping failed");
+      Seuss.Uc.destroy uc;
+      (* Requests after death fail cleanly, and are idempotent. *)
+      (match Seuss.Uc.request uc Unikernel.Driver.Ping ~timeout:1.0 with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "request on dead UC succeeded");
+      Seuss.Uc.destroy uc;
+      Alcotest.(check bool) "cannot reconnect" false (Seuss.Uc.connect uc);
+      (* A fresh deploy from the same snapshot still works. *)
+      let uc2 = Seuss.Uc.deploy env base in
+      Alcotest.(check bool) "fresh deploy fine" true (Seuss.Uc.connect uc2);
+      Seuss.Uc.destroy uc2)
+
+let test_guest_oom_surfaces_as_error () =
+  (* A node so small the cold path cannot complete: the guest dies on
+     allocation, the invocation times out, and the platform reports an
+     error instead of wedging. *)
+  let engine = Sim.Engine.create ~seed:11L () in
+  let env =
+    Seuss.Osenv.create
+      ~budget_bytes:(Int64.of_int (Mem.Mconfig.mib 140))
+      engine
+  in
+  let outcome = ref None in
+  Sim.Engine.spawn engine ~name:"experiment" (fun () ->
+      let config =
+        {
+          Seuss.Config.default with
+          Seuss.Config.invoke_timeout = 5.0;
+          oom_headroom_bytes = 0L;
+        }
+      in
+      let node = N.create ~config env in
+      N.start node;
+      outcome := Some (N.invoke node nop_fn ~args:"{}"));
+  Sim.Engine.run engine;
+  match !outcome with
+  | Some (Error (`Timeout | `Overloaded), _) -> ()
+  | Some (Ok _, _) ->
+      (* 140 MB may just barely fit; acceptable, but memory must be low. *)
+      ()
+  | Some (Error _, _) -> ()
+  | None -> Alcotest.fail "simulation did not complete"
+
+(* {1 Shim} *)
+
+let test_shim_adds_round_trip () =
+  with_node (fun env node ->
+      let shim = Seuss.Shim.create env node in
+      ignore (expect_ok (N.invoke node nop_fn ~args:"null"));
+      (* Hot with and without the shim. *)
+      let (_, _), direct = timed (fun () -> expect_ok (N.invoke node nop_fn ~args:"null")) in
+      let (_, _), via_shim =
+        timed (fun () -> expect_ok (Seuss.Shim.invoke shim nop_fn ~args:"null"))
+      in
+      let added = via_shim -. direct in
+      (* §7: the shim hop adds about 8 ms. *)
+      Alcotest.(check bool) "adds 6-10 ms" true (added > 6e-3 && added < 10e-3))
+
+let test_shim_serializes () =
+  with_node (fun env node ->
+      let shim = Seuss.Shim.create env node in
+      ignore (expect_ok (N.invoke node nop_fn ~args:"null"));
+      let engine = Sim.Engine.self () in
+      let done_count = ref 0 in
+      let t0 = Sim.Engine.now engine in
+      for _ = 1 to 10 do
+        Sim.Engine.spawn engine (fun () ->
+            ignore (Seuss.Shim.invoke shim nop_fn ~args:"null");
+            incr done_count)
+      done;
+      (* Wait for all to finish. *)
+      while !done_count < 10 do
+        Sim.Engine.sleep 0.01
+      done;
+      let elapsed = Sim.Engine.now engine -. t0 in
+      (* 10 requests x 2 transfers x 3.9 ms of serialized lock time. *)
+      Alcotest.(check bool) "rate limited by the single connection" true
+        (elapsed >= 10.0 *. 2.0 *. Seuss.Cost.shim_per_message *. 0.9))
+
+let () =
+  let case name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "seuss"
+    [
+      ( "startup",
+        [
+          case "base snapshot" test_start_builds_base_snapshot;
+          case "ao grows base" test_ao_grows_base_snapshot;
+        ] );
+      ( "paths",
+        [
+          case "cold warm hot" test_cold_then_warm_then_hot;
+          case "fn snapshot cached once" test_function_snapshot_cached_once;
+          case "functions isolated" test_distinct_functions_isolated;
+          case "compile error" test_compile_error_reported;
+          case "runtime error" test_runtime_error_reported;
+          case "args flow" test_args_flow_through;
+        ] );
+      ( "ao",
+        [
+          case "latency ladder" test_ao_latency_ladder;
+          case "fn snapshot shrinks" test_ao_shrinks_function_snapshot;
+        ] );
+      ( "snapshots",
+        [
+          case "dependents" test_snapshot_dependents;
+          case "deploy references" test_uc_deploy_references_snapshot;
+          case "deleted rejected" test_deleted_snapshot_rejected;
+          case "sharing example" test_snapshot_sharing_example;
+        ] );
+      ( "memory",
+        [
+          case "idle footprint" test_idle_uc_footprint_small;
+          case "oom reclaim" test_oom_reclaims_idle_ucs;
+          case "caches disabled" test_cache_disabled_config;
+        ] );
+      ( "runtimes",
+        [
+          case "python" test_python_runtime;
+          case "missing runtime" test_missing_runtime_errors;
+        ] );
+      ( "snapshot_cache",
+        [
+          case "bounded" test_snapshot_cache_bounded;
+          case "eviction respects dependents" test_eviction_respects_dependents;
+        ] );
+      ( "stress",
+        [
+          QCheck_alcotest.to_alcotest node_stress;
+          QCheck_alcotest.to_alcotest snapshot_stack_conservation;
+          case "hot footprint bounded" test_hot_footprint_bounded;
+        ] );
+      ( "concurrency",
+        [ case "cold stampede" test_concurrent_cold_same_function ] );
+      ( "failures",
+        [
+          case "invoke timeout recovers" test_invoke_timeout_recovers;
+          case "uc destroyed under connection" test_uc_destroyed_under_connection;
+          case "guest oom surfaces" test_guest_oom_surfaces_as_error;
+        ] );
+      ( "shim",
+        [
+          case "adds round trip" test_shim_adds_round_trip;
+          case "serializes" test_shim_serializes;
+        ] );
+    ]

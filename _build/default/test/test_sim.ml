@@ -1,0 +1,467 @@
+(* Tests for the discrete-event simulation kernel. *)
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let run_sim f =
+  let engine = Sim.Engine.create () in
+  f engine;
+  Sim.Engine.run engine;
+  engine
+
+(* {1 Heap} *)
+
+let test_heap_ordering () =
+  let h = Sim.Heap.create ~cmp:compare in
+  List.iter (Sim.Heap.push h) [ 5; 3; 9; 1; 7; 3; 0 ];
+  let rec drain acc =
+    match Sim.Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc)
+  in
+  Alcotest.(check (list int)) "sorted" [ 0; 1; 3; 3; 5; 7; 9 ] (drain [])
+
+let test_heap_empty () =
+  let h = Sim.Heap.create ~cmp:compare in
+  Alcotest.(check bool) "empty" true (Sim.Heap.is_empty h);
+  Alcotest.(check (option int)) "pop" None (Sim.Heap.pop h);
+  Alcotest.(check (option int)) "peek" None (Sim.Heap.peek h)
+
+let heap_sorts_like_list =
+  QCheck.Test.make ~name:"heap drains in sorted order" ~count:200
+    QCheck.(list small_int)
+    (fun xs ->
+      let h = Sim.Heap.create ~cmp:compare in
+      List.iter (Sim.Heap.push h) xs;
+      let rec drain acc =
+        match Sim.Heap.pop h with
+        | None -> List.rev acc
+        | Some x -> drain (x :: acc)
+      in
+      drain [] = List.sort compare xs)
+
+(* {1 Prng} *)
+
+let test_prng_deterministic () =
+  let a = Sim.Prng.create 42L and b = Sim.Prng.create 42L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Sim.Prng.next a) (Sim.Prng.next b)
+  done
+
+let test_prng_split_independent () =
+  let a = Sim.Prng.create 42L in
+  let c = Sim.Prng.split a in
+  Alcotest.(check bool) "derived stream differs" true
+    (Sim.Prng.next a <> Sim.Prng.next c)
+
+let prng_float_in_range =
+  QCheck.Test.make ~name:"float draws lie in [0,1)" ~count:100
+    QCheck.(int64)
+    (fun seed ->
+      let r = Sim.Prng.create seed in
+      let ok = ref true in
+      for _ = 1 to 50 do
+        let f = Sim.Prng.float r in
+        if not (f >= 0.0 && f < 1.0) then ok := false
+      done;
+      !ok)
+
+let prng_int_in_bound =
+  QCheck.Test.make ~name:"int draws lie in [0,bound)" ~count:100
+    QCheck.(pair int64 (int_range 1 1000))
+    (fun (seed, bound) ->
+      let r = Sim.Prng.create seed in
+      let ok = ref true in
+      for _ = 1 to 50 do
+        let v = Sim.Prng.int r bound in
+        if not (v >= 0 && v < bound) then ok := false
+      done;
+      !ok)
+
+let test_prng_shuffle_permutation () =
+  let r = Sim.Prng.create 7L in
+  let a = Array.init 100 Fun.id in
+  Sim.Prng.shuffle r a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 100 Fun.id) sorted
+
+(* {1 Engine} *)
+
+let test_engine_time_advances () =
+  let log = ref [] in
+  let engine =
+    run_sim (fun e ->
+        Sim.Engine.spawn e (fun () ->
+            Sim.Engine.sleep 1.5;
+            log := (Sim.Engine.now e, "a") :: !log;
+            Sim.Engine.sleep 0.5;
+            log := (Sim.Engine.now e, "b") :: !log))
+  in
+  check_float "final clock" 2.0 (Sim.Engine.now engine);
+  Alcotest.(check (list string)) "order" [ "a"; "b" ]
+    (List.rev_map snd !log)
+
+let test_engine_fifo_at_same_time () =
+  let log = ref [] in
+  ignore
+    (run_sim (fun e ->
+         for i = 1 to 5 do
+           Sim.Engine.schedule e ~delay:1.0 (fun () -> log := i :: !log)
+         done));
+  Alcotest.(check (list int)) "fifo ties" [ 1; 2; 3; 4; 5 ] (List.rev !log)
+
+let test_engine_interleaving () =
+  let log = ref [] in
+  ignore
+    (run_sim (fun e ->
+         Sim.Engine.spawn e (fun () ->
+             Sim.Engine.sleep 1.0;
+             log := "slow" :: !log);
+         Sim.Engine.spawn e (fun () ->
+             Sim.Engine.sleep 0.25;
+             log := "fast" :: !log)));
+  Alcotest.(check (list string)) "ordering by time" [ "fast"; "slow" ]
+    (List.rev !log)
+
+let test_engine_until () =
+  let engine = Sim.Engine.create () in
+  let fired = ref 0 in
+  for _ = 1 to 10 do
+    Sim.Engine.schedule engine ~delay:1.0 (fun () -> incr fired)
+  done;
+  Sim.Engine.schedule engine ~delay:5.0 (fun () -> incr fired);
+  Sim.Engine.run ~until:2.0 engine;
+  Alcotest.(check int) "only events before the limit" 10 !fired;
+  check_float "clock stops at limit" 2.0 (Sim.Engine.now engine)
+
+let test_engine_negative_delay_rejected () =
+  let engine = Sim.Engine.create () in
+  Alcotest.check_raises "negative delay"
+    (Invalid_argument "Engine.schedule: delay must be finite and non-negative")
+    (fun () -> Sim.Engine.schedule engine ~delay:(-1.0) (fun () -> ()))
+
+let test_engine_process_failure () =
+  let engine = Sim.Engine.create () in
+  Sim.Engine.spawn engine ~name:"boom" (fun () -> failwith "bad");
+  (match Sim.Engine.run engine with
+  | () -> Alcotest.fail "expected Process_failure"
+  | exception Sim.Engine.Process_failure ("boom", _) -> ()
+  | exception e -> raise e);
+  (* The engine must be reusable after a failed run. *)
+  Sim.Engine.spawn engine (fun () -> Sim.Engine.sleep 1.0);
+  Sim.Engine.run engine
+
+let test_engine_nested_spawn () =
+  let count = ref 0 in
+  ignore
+    (run_sim (fun e ->
+         Sim.Engine.spawn e (fun () ->
+             Sim.Engine.sleep 1.0;
+             Sim.Engine.spawn e (fun () ->
+                 Sim.Engine.sleep 1.0;
+                 incr count);
+             incr count)));
+  Alcotest.(check int) "both ran" 2 !count
+
+(* Property: identical seeds and workloads give identical traces. *)
+let engine_deterministic =
+  QCheck.Test.make ~name:"same seed gives identical execution" ~count:50
+    QCheck.(pair int64 (list (int_range 1 100)))
+    (fun (seed, delays) ->
+      let trace () =
+        let e = Sim.Engine.create ~seed () in
+        let log = ref [] in
+        List.iteri
+          (fun i d ->
+            Sim.Engine.spawn e (fun () ->
+                Sim.Engine.sleep (float_of_int d /. 17.0);
+                let r = Sim.Prng.int (Sim.Engine.rng e) 1000 in
+                Sim.Engine.sleep (float_of_int r /. 100.0);
+                log := (i, Sim.Engine.now e) :: !log))
+          delays;
+        Sim.Engine.run e;
+        (!log, Sim.Engine.now e, Sim.Engine.events_executed e)
+      in
+      trace () = trace ())
+
+(* {1 Ivar} *)
+
+let test_ivar_fill_then_read () =
+  let result = ref 0 in
+  ignore
+    (run_sim (fun e ->
+         let iv = Sim.Ivar.create () in
+         Sim.Ivar.fill iv 42;
+         Sim.Engine.spawn e (fun () -> result := Sim.Ivar.read iv)));
+  Alcotest.(check int) "read" 42 !result
+
+let test_ivar_read_blocks () =
+  let result = ref (0, 0.0) in
+  ignore
+    (run_sim (fun e ->
+         let iv = Sim.Ivar.create () in
+         Sim.Engine.spawn e (fun () ->
+             let v = Sim.Ivar.read iv in
+             result := (v, Sim.Engine.now e));
+         Sim.Engine.spawn e (fun () ->
+             Sim.Engine.sleep 3.0;
+             Sim.Ivar.fill iv 7)));
+  Alcotest.(check int) "value" 7 (fst !result);
+  check_float "woke at fill time" 3.0 (snd !result)
+
+let test_ivar_double_fill_rejected () =
+  let iv = Sim.Ivar.create () in
+  ignore
+    (run_sim (fun e ->
+         Sim.Engine.spawn e (fun () ->
+             Sim.Ivar.fill iv 1;
+             Alcotest.(check bool) "try_fill fails" false (Sim.Ivar.try_fill iv 2))));
+  Alcotest.(check (option int)) "kept first" (Some 1) (Sim.Ivar.peek iv)
+
+let test_ivar_many_waiters () =
+  let woken = ref [] in
+  ignore
+    (run_sim (fun e ->
+         let iv = Sim.Ivar.create () in
+         for i = 1 to 4 do
+           Sim.Engine.spawn e (fun () ->
+               let v = Sim.Ivar.read iv in
+               woken := (i, v) :: !woken)
+         done;
+         Sim.Engine.spawn e (fun () ->
+             Sim.Engine.sleep 1.0;
+             Sim.Ivar.fill iv 9)));
+  Alcotest.(check (list (pair int int)))
+    "all woken in fifo order"
+    [ (1, 9); (2, 9); (3, 9); (4, 9) ]
+    (List.rev !woken)
+
+let test_ivar_timeout_expires () =
+  let got = ref (Some 1) in
+  ignore
+    (run_sim (fun e ->
+         let iv = Sim.Ivar.create () in
+         Sim.Engine.spawn e (fun () ->
+             got := Sim.Ivar.read_timeout iv ~timeout:2.0;
+             check_float "woke at deadline" 2.0 (Sim.Engine.now e))));
+  Alcotest.(check (option int)) "timed out" None !got
+
+let test_ivar_timeout_beaten_by_fill () =
+  let got = ref None in
+  ignore
+    (run_sim (fun e ->
+         let iv = Sim.Ivar.create () in
+         Sim.Engine.spawn e (fun () ->
+             got := Sim.Ivar.read_timeout iv ~timeout:5.0);
+         Sim.Engine.spawn e (fun () ->
+             Sim.Engine.sleep 1.0;
+             Sim.Ivar.fill iv 11)));
+  Alcotest.(check (option int)) "value before deadline" (Some 11) !got
+
+(* {1 Semaphore} *)
+
+let test_semaphore_limits_concurrency () =
+  let active = ref 0 and peak = ref 0 in
+  ignore
+    (run_sim (fun e ->
+         let sem = Sim.Semaphore.create 2 in
+         for _ = 1 to 6 do
+           Sim.Engine.spawn e (fun () ->
+               Sim.Semaphore.with_permit sem (fun () ->
+                   incr active;
+                   if !active > !peak then peak := !active;
+                   Sim.Engine.sleep 1.0;
+                   decr active))
+         done));
+  Alcotest.(check int) "peak parallelism" 2 !peak
+
+let test_semaphore_fifo_handoff () =
+  let order = ref [] in
+  ignore
+    (run_sim (fun e ->
+         let sem = Sim.Semaphore.create 1 in
+         for i = 1 to 3 do
+           Sim.Engine.spawn e (fun () ->
+               Sim.Semaphore.with_permit sem (fun () ->
+                   order := i :: !order;
+                   Sim.Engine.sleep 1.0))
+         done));
+  Alcotest.(check (list int)) "fifo order" [ 1; 2; 3 ] (List.rev !order)
+
+let test_semaphore_over_release_rejected () =
+  let sem = Sim.Semaphore.create 1 in
+  Alcotest.check_raises "over release"
+    (Invalid_argument "Semaphore.release: released above capacity")
+    (fun () -> Sim.Semaphore.release sem)
+
+let test_semaphore_counters () =
+  ignore
+    (run_sim (fun e ->
+         let sem = Sim.Semaphore.create 3 in
+         Sim.Engine.spawn e (fun () ->
+             Sim.Semaphore.acquire sem;
+             Sim.Semaphore.acquire sem;
+             Alcotest.(check int) "available" 1 (Sim.Semaphore.available sem);
+             Alcotest.(check int) "in_use" 2 (Sim.Semaphore.in_use sem);
+             Sim.Semaphore.release sem;
+             Sim.Semaphore.release sem;
+             Alcotest.(check int) "back to full" 3 (Sim.Semaphore.available sem))))
+
+(* {1 Channel} *)
+
+let test_channel_send_recv () =
+  let got = ref [] in
+  ignore
+    (run_sim (fun e ->
+         let ch = Sim.Channel.create () in
+         Sim.Engine.spawn e (fun () ->
+             for _ = 1 to 3 do
+               got := Sim.Channel.recv ch :: !got
+             done);
+         Sim.Engine.spawn e (fun () ->
+             Sim.Engine.sleep 1.0;
+             Sim.Channel.send ch "x";
+             Sim.Channel.send ch "y";
+             Sim.Engine.sleep 1.0;
+             Sim.Channel.send ch "z")));
+  Alcotest.(check (list string)) "fifo items" [ "x"; "y"; "z" ] (List.rev !got)
+
+let test_channel_multiple_consumers () =
+  (* Work-queue usage: each item is consumed exactly once. *)
+  let seen = Hashtbl.create 16 in
+  ignore
+    (run_sim (fun e ->
+         let ch = Sim.Channel.create () in
+         for w = 1 to 4 do
+           Sim.Engine.spawn e (fun () ->
+               let rec loop () =
+                 match Sim.Channel.recv_timeout ch ~timeout:10.0 with
+                 | None -> ()
+                 | Some item ->
+                     Alcotest.(check bool)
+                       "not seen before" false (Hashtbl.mem seen item);
+                     Hashtbl.replace seen item w;
+                     Sim.Engine.sleep 0.5;
+                     loop ()
+               in
+               loop ())
+         done;
+         Sim.Engine.spawn e (fun () ->
+             for i = 1 to 20 do
+               Sim.Channel.send ch i;
+               Sim.Engine.sleep 0.1
+             done)));
+  Alcotest.(check int) "all items consumed once" 20 (Hashtbl.length seen)
+
+let test_channel_recv_timeout () =
+  let got = ref (Some 5) in
+  ignore
+    (run_sim (fun e ->
+         let ch = Sim.Channel.create () in
+         Sim.Engine.spawn e (fun () ->
+             got := Sim.Channel.recv_timeout ch ~timeout:1.0)));
+  Alcotest.(check (option int)) "timed out" None !got
+
+(* {1 Trace} *)
+
+let test_trace_records_spans () =
+  let engine = Sim.Engine.create () in
+  let spans = ref [] in
+  Sim.Engine.spawn engine (fun () ->
+      let tr = Sim.Trace.start engine in
+      Sim.Trace.span "outer" (fun () ->
+          Sim.Engine.sleep 1.0;
+          Sim.Trace.span "inner" (fun () -> Sim.Engine.sleep 0.5);
+          Sim.Trace.mark "point");
+      spans := Sim.Trace.stop tr);
+  Sim.Engine.run engine;
+  match !spans with
+  | [ outer; inner; point ] ->
+      Alcotest.(check string) "outer first" "outer" outer.Sim.Trace.name;
+      Alcotest.(check int) "inner nested" 1 inner.Sim.Trace.depth;
+      Alcotest.(check (float 1e-9)) "outer duration" 1.5
+        (outer.Sim.Trace.t_end -. outer.Sim.Trace.t_start);
+      Alcotest.(check (float 1e-9)) "mark is zero width" 0.0
+        (point.Sim.Trace.t_end -. point.Sim.Trace.t_start)
+  | l -> Alcotest.failf "expected 3 spans, got %d" (List.length l)
+
+let test_trace_noop_without_ambient () =
+  Alcotest.(check int) "span is pass-through" 7
+    (Sim.Trace.span "ignored" (fun () -> 7));
+  Sim.Trace.mark "ignored"
+
+let test_trace_renders () =
+  let engine = Sim.Engine.create () in
+  let out = ref "" in
+  Sim.Engine.spawn engine (fun () ->
+      let tr = Sim.Trace.start engine in
+      Sim.Trace.span "op" (fun () -> Sim.Engine.sleep 0.01);
+      out := Sim.Trace.render (Sim.Trace.stop tr));
+  Sim.Engine.run engine;
+  Alcotest.(check bool) "mentions op" true
+    (String.length !out > 0
+    &&
+    let contains needle hay =
+      let n = String.length needle and len = String.length hay in
+      let rec go i = i + n <= len && (String.sub hay i n = needle || go (i + 1)) in
+      go 0
+    in
+    contains "op" !out)
+
+let () =
+  let case name f = Alcotest.test_case name `Quick f in
+  let qcase = QCheck_alcotest.to_alcotest in
+  Alcotest.run "sim"
+    [
+      ( "heap",
+        [
+          case "ordering" test_heap_ordering;
+          case "empty" test_heap_empty;
+          qcase heap_sorts_like_list;
+        ] );
+      ( "prng",
+        [
+          case "deterministic" test_prng_deterministic;
+          case "split" test_prng_split_independent;
+          case "shuffle permutation" test_prng_shuffle_permutation;
+          qcase prng_float_in_range;
+          qcase prng_int_in_bound;
+        ] );
+      ( "engine",
+        [
+          case "time advances" test_engine_time_advances;
+          case "fifo at same time" test_engine_fifo_at_same_time;
+          case "interleaving" test_engine_interleaving;
+          case "run until" test_engine_until;
+          case "negative delay rejected" test_engine_negative_delay_rejected;
+          case "process failure" test_engine_process_failure;
+          case "nested spawn" test_engine_nested_spawn;
+          qcase engine_deterministic;
+        ] );
+      ( "trace",
+        [
+          case "records spans" test_trace_records_spans;
+          case "noop without ambient" test_trace_noop_without_ambient;
+          case "renders" test_trace_renders;
+        ] );
+      ( "ivar",
+        [
+          case "fill then read" test_ivar_fill_then_read;
+          case "read blocks" test_ivar_read_blocks;
+          case "double fill rejected" test_ivar_double_fill_rejected;
+          case "many waiters" test_ivar_many_waiters;
+          case "timeout expires" test_ivar_timeout_expires;
+          case "timeout beaten by fill" test_ivar_timeout_beaten_by_fill;
+        ] );
+      ( "semaphore",
+        [
+          case "limits concurrency" test_semaphore_limits_concurrency;
+          case "fifo handoff" test_semaphore_fifo_handoff;
+          case "over release rejected" test_semaphore_over_release_rejected;
+          case "counters" test_semaphore_counters;
+        ] );
+      ( "channel",
+        [
+          case "send recv" test_channel_send_recv;
+          case "multiple consumers" test_channel_multiple_consumers;
+          case "recv timeout" test_channel_recv_timeout;
+        ] );
+    ]

@@ -1,0 +1,312 @@
+(* Differential tests: the bytecode VM and the tree-walking evaluator
+   must agree — on directed programs covering every construct, and on
+   randomly generated programs. Outcomes compared include error messages
+   and the rendered value of every top-level binding. *)
+
+module V = Interp.Value
+module Ast = Interp.Ast
+
+let hooks = { Interp.Eval.default_hooks with Interp.Eval.max_ops = 2_000_000 }
+
+let fresh_env () =
+  let globals = V.new_env () in
+  List.iter
+    (fun (name, v) -> V.define globals name v)
+    (Interp.Builtins.install Interp.Builtins.null_host);
+  V.new_env ~parent:globals ()
+
+(* Run a program and observe: error, or the rendering of each top-level
+   binding in [names]. *)
+let observe exec program names =
+  let env = fresh_env () in
+  match exec hooks ~env program with
+  | () ->
+      Ok
+        (List.map
+           (fun n ->
+             ( n,
+               match V.lookup env n with
+               | Some v -> V.to_string v
+               | None -> "<unbound>" ))
+           names)
+  | exception Interp.Eval.Runtime_error msg -> Error msg
+
+let names_of program =
+  List.filter_map
+    (function Ast.Let (n, _) -> Some n | _ -> None)
+    program
+  |> List.sort_uniq compare
+
+let both_agree ?(show = fun _ -> "<program>") program =
+  let names = names_of program in
+  let tree = observe Interp.Eval.exec_program program names in
+  let vm = observe Interp.Vm.exec_program program names in
+  if tree = vm then true
+  else begin
+    Printf.printf "\nDIVERGENCE on %s\n  tree: %s\n  vm:   %s\n" (show program)
+      (match tree with
+      | Ok l -> String.concat "; " (List.map (fun (n, v) -> n ^ "=" ^ v) l)
+      | Error e -> "error: " ^ e)
+      (match vm with
+      | Ok l -> String.concat "; " (List.map (fun (n, v) -> n ^ "=" ^ v) l)
+      | Error e -> "error: " ^ e);
+    false
+  end
+
+let check_source src =
+  match Interp.Compile.compile src with
+  | Error e -> Alcotest.failf "compile failed: %s" e
+  | Ok { Interp.Compile.ast; _ } ->
+      Alcotest.(check bool) src true (both_agree ~show:(fun _ -> src) ast)
+
+(* {1 Directed cases} *)
+
+let directed_cases =
+  [
+    "let a = 1 + 2 * 3 - 4 / 2;";
+    "let a = \"x\" + 1 + true;";
+    "let a = [1, 2, 3]; let b = a[1] + a.length;";
+    "let o = {x: 1, y: 2}; o.z = o.x + o[\"y\"]; let r = json(o);";
+    "let a = []; a[0] = 5; a[1] = 6; let n = len(a);";
+    "let r = 0; if (1 < 2) { r = 10; } else { r = 20; }";
+    "let r = 0; if (false) { r = 1; }";
+    "let s = 0; let i = 0; while (i < 10) { s += i; i += 1; }";
+    "let s = 0; let i = 0; while (true) { i += 1; if (i > 3) { break; } s += i; }";
+    "let s = 0; let i = 0; while (i < 6) { i += 1; if (i % 2 == 0) { continue; } s += i; }";
+    "function f(x) { return x * 2; } let r = f(21);";
+    "function fact(n) { return n <= 1 ? 1 : n * fact(n - 1); } let r = fact(6);";
+    "function adder(n) { return function(x) { return x + n; }; } let r = adder(10)(5);";
+    "let x = 1; if (true) { let x = 2; x = 3; } let r = x;";
+    "let x = 1; if (true) { x = 9; } let r = x;";
+    "let a = true && false; let b = false || 7; let c = 0 && 1; let d = \"s\" || 0;";
+    "let r = 2 > 1 ? \"yes\" : \"no\";";
+    "let r = !0; let q = !\"\"; let p = -(3 + 4);";
+    "let r = min(3, max(1, 2)) + abs(-5) + floor(2.9) + pow(2, 5);";
+    "let parts = split(\"a,b,c\", \",\"); let r = parts[1] + len(parts);";
+    "let r = substr(\"hello\", 1, 3);";
+    "let r = hash(\"abc\") == hash(\"abc\");";
+    "let xs = range(5); let s = 0; let i = 0; while (i < len(xs)) { s += xs[i]; i += 1; }";
+    "function outer() { let acc = []; let i = 0; while (i < 3) { push(acc, \
+     function(x) { return x + 1; }); i += 1; } return len(acc); } let r = \
+     outer();";
+    "for (let i = 0; i < 5; i += 1) { } let done1 = 1;";
+    "let s = \"\"; for (let i = 0; i < 4; i += 1) { s = s + i; }";
+    "let a = [[1, 2], [3, 4]]; let r = a[1][0] + a[0][1];";
+    "let o = {inner: {v: 7}}; let r = o.inner.v; o.inner.v = 9; let q = o.inner.v;";
+    "let e1 = 1 / 0;" (* error case *);
+    "let e2 = undefined_variable;" (* error case *);
+    "let e3 = [1][5];" (* error case *);
+    "function g(a, b) { return a; } let e4 = g(1);" (* arity error *);
+    "let e5 = (5)(2);" (* call non-function *);
+    "let n = num(\"12\") + num(\"0.5\"); let s = str(42);";
+    "let ks = keys({b: 1, a: 2}); let r = ks[0] + ks[1];";
+    "let r = join([1, \"a\", true], \"-\");";
+    "let r = contains(\"hello\", \"ell\") && !contains(\"hello\", \"z\");";
+    "let a = index_of([1, 2, 3], 2); let b = index_of(\"abcabc\", \"ca\"); let c = index_of([1], 9);";
+    "let r = upper(\"aBc\") + lower(\"XyZ\") + trim(\"  pad  \");";
+    "let r = json(slice([1, 2, 3, 4], 1, 2));";
+    "let r = json(sort([3, 1, 2])) + json(sort([\"b\", \"a\"]));";
+    "let e6 = sort([1, \"a\"]);" (* error: mixed sort *);
+  ]
+
+let test_directed () = List.iter check_source directed_cases
+
+(* The dummy AO script and the workload functions must also agree. *)
+let test_real_sources () =
+  List.iter check_source
+    [
+      Unikernel.Driver.dummy_script;
+      Platform.Workloads.source_of_action Platform.Workloads.nop;
+      Platform.Workloads.source_of_action Platform.Workloads.cpu_burst;
+    ]
+
+(* {1 Random program generator} *)
+
+(* Generates closed, terminating programs: loops are bounded counter
+   loops; functions never see themselves in scope (no recursion). *)
+module Progen = struct
+  open QCheck.Gen
+
+  let fresh =
+    let n = ref 0 in
+    fun prefix ->
+      incr n;
+      Printf.sprintf "%s%d" prefix !n
+
+  let literal =
+    oneof
+      [
+        map (fun i -> Ast.Num (float_of_int i)) (int_range (-20) 20);
+        map (fun b -> Ast.Bool b) bool;
+        oneofl [ Ast.Str "a"; Ast.Str "bc"; Ast.Null ];
+      ]
+
+  let rec expr vars n st =
+    if n <= 0 || vars = [] then
+      (if vars = [] then literal
+       else oneof [ literal; map (fun v -> Ast.Var v) (oneofl vars) ])
+        st
+    else
+      oneof
+        [
+          literal;
+          map (fun v -> Ast.Var v) (oneofl vars);
+          map3
+            (fun op a b -> Ast.Binop (op, a, b))
+            (oneofl [ Ast.Add; Ast.Sub; Ast.Mul; Ast.Eq; Ast.Neq; Ast.Lt; Ast.Ge ])
+            (expr vars (n / 2))
+            (expr vars (n / 2));
+          map2 (fun a b -> Ast.And (a, b)) (expr vars (n / 2)) (expr vars (n / 2));
+          map2 (fun a b -> Ast.Or (a, b)) (expr vars (n / 2)) (expr vars (n / 2));
+          map3
+            (fun c a b -> Ast.Ternary (c, a, b))
+            (expr vars (n / 2))
+            (expr vars (n / 2))
+            (expr vars (n / 2));
+          map (fun e -> Ast.Unop (Ast.Not, e)) (expr vars (n - 1));
+          map (fun es -> Ast.Array es) (list_size (int_range 0 3) (expr vars (n / 2)));
+          map
+            (fun es ->
+              Ast.Object (List.mapi (fun i e -> (Printf.sprintf "k%d" i, e)) es))
+            (list_size (int_range 0 3) (expr vars (n / 2)));
+        ]
+        st
+
+  (* A statement generator threading the in-scope variable list. *)
+  let rec stmts vars budget st =
+    if budget <= 0 then []
+    else
+      let choice = int_range 0 5 st in
+      match choice with
+      | 0 ->
+          let name = fresh "v" in
+          let s = Ast.Let (name, expr vars 3 st) in
+          s :: stmts (name :: vars) (budget - 1) st
+      | 1
+        when List.exists (fun v -> v.[0] <> 'c') vars ->
+          (* Never reassign loop counters (prefix 'c'): that could make a
+             bounded loop unbounded. *)
+          let writable = List.filter (fun v -> v.[0] <> 'c') vars in
+          let v = oneofl writable st in
+          Ast.Assign (Ast.Lvar v, expr vars 3 st) :: stmts vars (budget - 1) st
+      | 2 ->
+          let cond = expr vars 2 st in
+          let then_ = stmts vars (budget / 2) st in
+          let else_ = stmts vars (budget / 2) st in
+          Ast.If (cond, then_, else_) :: stmts vars (budget - 1) st
+      | 3 ->
+          (* Bounded loop: let c = 0; while (c < k) { c = c + 1; body } *)
+          let c = fresh "c" in
+          let k = float_of_int (int_range 1 5 st) in
+          let body = stmts (c :: vars) (budget / 2) st in
+          Ast.Let (c, Ast.Num 0.0)
+          :: Ast.While
+               ( Ast.Binop (Ast.Lt, Ast.Var c, Ast.Num k),
+                 Ast.Assign (Ast.Lvar c, Ast.Binop (Ast.Add, Ast.Var c, Ast.Num 1.0))
+                 :: body )
+          :: stmts vars (budget - 2) st
+      | 4 ->
+          (* Function definition and a call to it. *)
+          let fname = fresh "f" in
+          let param = fresh "p" in
+          let body = stmts (param :: vars) (budget / 2) st in
+          let ret = Ast.Return (Some (expr (param :: vars) 2 st)) in
+          let result = fresh "r" in
+          Ast.Let (fname, Ast.Lambda ([ param ], body @ [ ret ]))
+          :: Ast.Let (result, Ast.Call (Ast.Var fname, [ expr vars 2 st ]))
+          :: stmts (result :: fname :: vars) (budget - 2) st
+      | _ -> Ast.Expr (expr vars 3 st) :: stmts vars (budget - 1) st
+
+  let program = sized_size (int_range 2 14) (fun n st -> stmts [] n st)
+end
+
+let engines_agree_on_random_programs =
+  QCheck.Test.make ~name:"VM and tree-walker agree on random programs"
+    ~count:400
+    (QCheck.make Progen.program)
+    (fun program -> both_agree program)
+
+let folding_agrees_on_random_programs =
+  QCheck.Test.make
+    ~name:"constant folding preserves semantics under both engines" ~count:200
+    (QCheck.make Progen.program)
+    (fun program ->
+      let folded = Interp.Compile.fold_program program in
+      let names = names_of program in
+      observe Interp.Eval.exec_program program names
+      = observe Interp.Vm.exec_program folded names)
+
+(* {1 VM specifics} *)
+
+let test_vm_closure_capture () =
+  check_source
+    "function counter() { let n = 0; return function() { n = n + 1; return n; \
+     }; } let t = counter(); let a = t(); let b = t(); let r = a + b;"
+
+let test_vm_break_unwinds_scopes () =
+  (* break inside two nested blocks must unwind both scopes before
+     jumping: the outer x must be restored correctly. *)
+  check_source
+    "let x = 1; let i = 0; while (i < 5) { i += 1; if (true) { let x = 99; if \
+     (x > 0) { break; } } } let r = x + i;"
+
+let test_vm_metering_comparable () =
+  (* The VM bills work too; its op count is within an order of magnitude
+     of the tree-walker's for the same program. *)
+  let measure exec =
+    let worked = ref 0.0 in
+    let hooks =
+      {
+        Interp.Eval.alloc = (fun _ -> ());
+        work = (fun s -> worked := !worked +. s);
+        max_ops = 10_000_000;
+      }
+    in
+    let env = fresh_env () in
+    (match Interp.Compile.compile
+             "let s = 0; let i = 0; while (i < 5000) { s += i; i += 1; }"
+     with
+    | Ok { Interp.Compile.ast; _ } -> exec hooks ~env ast
+    | Error e -> Alcotest.fail e);
+    !worked
+  in
+  let tree = measure Interp.Eval.exec_program in
+  let vm = measure Interp.Vm.exec_program in
+  Alcotest.(check bool) "both bill work" true (tree > 0.0 && vm > 0.0);
+  Alcotest.(check bool) "same order of magnitude" true
+    (vm /. tree < 10.0 && tree /. vm < 10.0)
+
+let test_bytecode_renders () =
+  match Interp.Compile.compile "let x = 1; if (x > 0) { x = 2; }" with
+  | Error e -> Alcotest.fail e
+  | Ok { Interp.Compile.ast; _ } ->
+      let proto = Interp.Codegen.compile_program ast in
+      Alcotest.(check bool) "has instructions" true
+        (Interp.Bytecode.length proto > 5);
+      let buf = Buffer.create 64 in
+      Array.iter
+        (fun i ->
+          Buffer.add_string buf (Format.asprintf "%a; " Interp.Bytecode.pp_instr i))
+        proto.Interp.Bytecode.code;
+      Alcotest.(check bool) "disassembles" true (Buffer.length buf > 20)
+
+let () =
+  let case name f = Alcotest.test_case name `Quick f in
+  let qcase = QCheck_alcotest.to_alcotest in
+  Alcotest.run "vm"
+    [
+      ( "differential",
+        [
+          case "directed cases" test_directed;
+          case "real sources" test_real_sources;
+          qcase engines_agree_on_random_programs;
+          qcase folding_agrees_on_random_programs;
+        ] );
+      ( "vm",
+        [
+          case "closure capture" test_vm_closure_capture;
+          case "break unwinds scopes" test_vm_break_unwinds_scopes;
+          case "metering comparable" test_vm_metering_comparable;
+          case "bytecode renders" test_bytecode_renders;
+        ] );
+    ]
