@@ -116,6 +116,48 @@ let make_tests fx =
       Test.make ~name:"fig6-8:deploy-destroy" (Staged.stage (bench_cow_fault fx));
     ]
 
+(* Machine-readable export: ns-per-run distribution of every benchmark,
+   written next to the human-readable table so CI and notebooks can
+   track regressions. Schema: { name: { mean, p50, p99 } }. *)
+let export_obs_json raw =
+  let label = Measure.label Instance.monotonic_clock in
+  let entries =
+    Hashtbl.fold
+      (fun name (b : Benchmark.t) acc ->
+        let samples =
+          Array.to_list b.Benchmark.lr
+          |> List.filter_map (fun m ->
+                 let runs = Measurement_raw.run m in
+                 if runs <= 0.0 then None
+                 else Some (Measurement_raw.get ~label m /. runs))
+          |> List.sort compare
+        in
+        match Array.of_list samples with
+        | [||] -> acc
+        | arr ->
+            let n = Array.length arr in
+            let mean = Array.fold_left ( +. ) 0.0 arr /. float_of_int n in
+            let q p =
+              arr.(min (n - 1) (int_of_float (p *. float_of_int (n - 1))))
+            in
+            ( name,
+              Obs.Json.Obj
+                [
+                  ("mean", Obs.Json.Float mean);
+                  ("p50", Obs.Json.Float (q 0.5));
+                  ("p99", Obs.Json.Float (q 0.99));
+                ] )
+            :: acc)
+      raw []
+  in
+  let path = "BENCH_obs.json" in
+  let oc = open_out path in
+  output_string oc (Obs.Json.to_string (Obs.Json.Obj (List.sort compare entries)));
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s (%d benchmarks; ns per run, mean/p50/p99)\n" path
+    (List.length entries)
+
 let run_benchmarks () =
   let fx = make_fixture () in
   let tests = make_tests fx in
@@ -124,6 +166,7 @@ let run_benchmarks () =
     Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:false ()
   in
   let raw = Benchmark.all cfg instances tests in
+  export_obs_json raw;
   let ols =
     Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
   in

@@ -210,6 +210,202 @@ let trace_cmd =
        ~doc:"Trace one cold, hot and warm invocation (span waterfalls)")
     Term.(const run $ source $ seed_arg)
 
+(* A small self-contained workload for the observability subcommands:
+   [functions] distinct MiniJS functions invoked round-robin, so the
+   event log shows cold, warm and hot paths plus snapshot captures. *)
+let obs_workload ~functions ~calls node =
+  for i = 0 to calls - 1 do
+    let k = i mod functions in
+    ignore
+      (Seuss.Node.invoke node
+         {
+           Seuss.Node.fn_id = Printf.sprintf "fn-%d" k;
+           runtime = Unikernel.Image.Node;
+           source =
+             Printf.sprintf "function main(args) { return {fn: %d}; }" k;
+         }
+         ~args:"{}")
+  done
+
+let functions_arg =
+  Arg.(
+    value & opt int 4
+    & info [ "functions" ] ~docv:"M" ~doc:"Distinct functions in the workload.")
+
+let require_positive name v =
+  if v <= 0.0 then begin
+    Printf.eprintf "seussctl: %s must be positive (got %g)\n" name v;
+    exit 2
+  end
+
+let events_cmd =
+  let calls =
+    Arg.(
+      value & opt int 12
+      & info [ "calls" ] ~docv:"N" ~doc:"Invocations to run before dumping.")
+  in
+  let run functions calls seed =
+    require_positive "--functions" (float_of_int functions);
+    if calls < 0 then begin
+      Printf.eprintf "seussctl: --calls must be non-negative\n";
+      exit 2
+    end;
+    let engine = Sim.Engine.create ~seed () in
+    Sim.Engine.spawn engine ~name:"events" (fun () ->
+        let env = Seuss.Osenv.create engine in
+        let node = Seuss.Node.create env in
+        Seuss.Node.start node;
+        obs_workload ~functions ~calls node;
+        print_string (Obs.Log.to_jsonl env.Seuss.Osenv.log));
+    Sim.Engine.run engine
+  in
+  Cmd.v
+    (Cmd.info "events"
+       ~doc:
+         "Run a small workload and dump the structured event log as JSONL \
+          (one engine-timestamped event per line)")
+    Term.(const run $ functions_arg $ calls $ seed_arg)
+
+let top_cmd =
+  let duration =
+    Arg.(
+      value & opt float 30.0
+      & info [ "duration" ] ~docv:"SECONDS" ~doc:"Simulated run length.")
+  in
+  let interval =
+    Arg.(
+      value & opt float 5.0
+      & info [ "interval" ] ~docv:"SECONDS" ~doc:"Refresh period (simulated).")
+  in
+  let clients =
+    Arg.(value & opt int 8 & info [ "clients" ] ~docv:"C" ~doc:"Client processes.")
+  in
+  let ansi =
+    Arg.(
+      value & flag
+      & info [ "ansi" ]
+          ~doc:"Clear the screen between frames (live-dashboard mode) \
+                instead of printing frames sequentially.")
+  in
+  let run duration interval clients functions ansi seed =
+    require_positive "--duration" duration;
+    require_positive "--interval" interval;
+    require_positive "--clients" (float_of_int clients);
+    require_positive "--functions" (float_of_int functions);
+    let engine = Sim.Engine.create ~seed () in
+    Sim.Engine.spawn engine ~name:"top" (fun () ->
+        let env = Seuss.Osenv.create engine in
+        let node = Seuss.Node.create env in
+        Seuss.Node.start node;
+        let bd = Obs.Breakdown.attach env.Seuss.Osenv.log in
+        let m = env.Seuss.Osenv.metrics in
+        let log = env.Seuss.Osenv.log in
+        let stop_at = Sim.Engine.now engine +. duration in
+        for c = 1 to clients do
+          let rng = Sim.Prng.split env.Seuss.Osenv.rng in
+          Sim.Engine.spawn engine ~name:(Printf.sprintf "client-%d" c)
+            (fun () ->
+              while Sim.Engine.now engine < stop_at do
+                let k = Sim.Prng.int rng functions in
+                ignore
+                  (Seuss.Node.invoke node
+                     {
+                       Seuss.Node.fn_id = Printf.sprintf "fn-%d" k;
+                       runtime = Unikernel.Image.Node;
+                       source =
+                         Printf.sprintf
+                           "function main(args) { return {fn: %d}; }" k;
+                     }
+                     ~args:"{}");
+                Sim.Engine.sleep (0.05 +. (0.25 *. Sim.Prng.float rng))
+              done)
+        done;
+        let frame () =
+          if ansi then print_string "\027[2J\027[H";
+          Printf.printf "seussctl top — t=%.1fs (simulated)\n"
+            (Sim.Engine.now engine);
+          let table =
+            Stats.Tablefmt.create
+              ~columns:
+                [
+                  ("path", Stats.Tablefmt.Left);
+                  ("count", Stats.Tablefmt.Right);
+                  ("err", Stats.Tablefmt.Right);
+                  ("mean ms", Stats.Tablefmt.Right);
+                  ("p99 ms", Stats.Tablefmt.Right);
+                  ("deploy", Stats.Tablefmt.Right);
+                  ("import", Stats.Tablefmt.Right);
+                  ("run", Stats.Tablefmt.Right);
+                  ("queue", Stats.Tablefmt.Right);
+                ]
+          in
+          List.iter
+            (fun (label, path) ->
+              let where = [ ("path", label) ] in
+              let h =
+                Obs.Metrics.histogram m ~labels:where "node_invoke_seconds"
+              in
+              let ms sel =
+                match Obs.Breakdown.per_path bd path with
+                | None -> "-"
+                | Some p -> Printf.sprintf "%.2f" (sel p *. 1e3)
+              in
+              Stats.Tablefmt.add_row table
+                [
+                  label;
+                  string_of_int
+                    (Obs.Metrics.sum_counters m ~where "node_invocations_total");
+                  string_of_int
+                    (Obs.Metrics.sum_counters m ~where "node_errors_total");
+                  Printf.sprintf "%.2f" (Obs.Metrics.hist_mean h *. 1e3);
+                  Printf.sprintf "%.2f"
+                    (Obs.Metrics.hist_quantile h 0.99 *. 1e3);
+                  ms (fun p -> p.Obs.Breakdown.deploy);
+                  ms (fun p -> p.Obs.Breakdown.import);
+                  ms (fun p -> p.Obs.Breakdown.run);
+                  ms (fun p -> p.Obs.Breakdown.queue);
+                ])
+            [
+              ("cold", Obs.Event.Cold);
+              ("warm", Obs.Event.Warm);
+              ("hot", Obs.Event.Hot);
+            ];
+          print_string (Stats.Tablefmt.render table);
+          Printf.printf
+            "free %.1f MB | idle UCs %.0f | fn snapshots %.0f | cow faults %d \
+             | reclaims %d | oom wakes %d\n"
+            (Obs.Metrics.gauge_value (Obs.Metrics.gauge m "node_free_bytes")
+            /. 1048576.0)
+            (Obs.Metrics.gauge_value (Obs.Metrics.gauge m "node_idle_ucs"))
+            (Obs.Metrics.gauge_value (Obs.Metrics.gauge m "node_fn_snapshots"))
+            (Obs.Metrics.sum_counters m "mem_cow_faults_total")
+            (Obs.Metrics.sum_counters m "node_ucs_reclaimed_total")
+            (Obs.Metrics.sum_counters m "node_oom_wakes_total");
+          let last =
+            match List.rev (Obs.Log.records log) with
+            | [] -> "none yet"
+            | r :: _ ->
+                Printf.sprintf "%s @ %.3fs"
+                  (Obs.Event.type_name r.Obs.Log.ev)
+                  r.Obs.Log.time
+          in
+          Printf.printf "events: %d emitted, %d dropped from ring | last: %s\n\n"
+            (Obs.Log.emitted log) (Obs.Log.dropped log) last
+        in
+        while Sim.Engine.now engine < stop_at do
+          Sim.Engine.sleep interval;
+          frame ()
+        done);
+    Sim.Engine.run engine
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live ascii dashboard over the metrics registry and event log \
+          while a synthetic workload runs (frames advance in simulated \
+          time; $(b,--ansi) redraws in place)")
+    Term.(const run $ duration $ interval $ clients $ functions_arg $ ansi $ seed_arg)
+
 let autoao_cmd =
   let invocations =
     Arg.(value & opt int 20 & info [ "n" ] ~docv:"N" ~doc:"Invocations per cell.")
@@ -326,6 +522,7 @@ let () =
   let doc = "SEUSS (EuroSys '20) reproduction experiments" in
   let main = Cmd.group (Cmd.info "seussctl" ~doc)
       [ table1_cmd; table2_cmd; table3_cmd; fig4_cmd; fig5_cmd; burst_cmd;
-        ablations_cmd; drseuss_cmd; ksm_cmd; autoao_cmd; trace_cmd; snapshots_cmd; all_cmd; info_cmd ]
+        ablations_cmd; drseuss_cmd; ksm_cmd; autoao_cmd; trace_cmd; snapshots_cmd;
+        top_cmd; events_cmd; all_cmd; info_cmd ]
   in
   exit (Cmd.eval main)

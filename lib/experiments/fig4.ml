@@ -3,6 +3,9 @@ type point = {
   throughput : float;
   errors : int;
   mean_latency : float;
+  breakdown : Obs.Breakdown.phase_means option;
+      (** per-phase means from the node's event log; [None] for the
+          Linux baseline, which emits no node events *)
 }
 
 type result = { seuss : point list; linux : point list }
@@ -17,6 +20,7 @@ let trial_lengths m =
 let run_trial ~seed ~client_threads ~make_controller m =
   Harness.run_sim ~seed (fun engine ->
       let env = Harness.make_seuss_env engine in
+      let bd = Obs.Breakdown.attach env.Seuss.Osenv.log in
       let controller = make_controller env in
       let invocations, warmup = trial_lengths m in
       let r =
@@ -43,6 +47,7 @@ let run_trial ~seed ~client_threads ~make_controller m =
           (if Stats.Summary.count r.Platform.Loadgen.latencies > 0 then
              Stats.Summary.mean r.Platform.Loadgen.latencies
            else 0.0);
+        breakdown = Obs.Breakdown.overall bd;
       })
 
 let run ?(set_sizes = default_set_sizes) ?(client_threads = 32) ?(seed = 21L)
@@ -58,6 +63,10 @@ let run ?(set_sizes = default_set_sizes) ?(client_threads = 32) ?(seed = 21L)
   in
   { seuss; linux }
 
+let phase_ms sel = function
+  | None -> "-"
+  | Some (p : Obs.Breakdown.phase_means) -> Printf.sprintf "%.2f" (sel p *. 1e3)
+
 let render r =
   let table =
     Stats.Tablefmt.create
@@ -67,6 +76,10 @@ let render r =
           ("SEUSS req/s", Stats.Tablefmt.Right);
           ("Linux req/s", Stats.Tablefmt.Right);
           ("Speedup", Stats.Tablefmt.Right);
+          ("deploy ms", Stats.Tablefmt.Right);
+          ("import ms", Stats.Tablefmt.Right);
+          ("run ms", Stats.Tablefmt.Right);
+          ("queue ms", Stats.Tablefmt.Right);
           ("SEUSS err", Stats.Tablefmt.Right);
           ("Linux err", Stats.Tablefmt.Right);
         ]
@@ -79,6 +92,10 @@ let render r =
           Printf.sprintf "%.1f" s.throughput;
           Printf.sprintf "%.1f" l.throughput;
           Printf.sprintf "%.1fx" (s.throughput /. Float.max 0.01 l.throughput);
+          phase_ms (fun p -> p.Obs.Breakdown.deploy) s.breakdown;
+          phase_ms (fun p -> p.Obs.Breakdown.import) s.breakdown;
+          phase_ms (fun p -> p.Obs.Breakdown.run) s.breakdown;
+          phase_ms (fun p -> p.Obs.Breakdown.queue) s.breakdown;
           string_of_int s.errors;
           string_of_int l.errors;
         ])
@@ -104,7 +121,9 @@ let render r =
   Printf.sprintf
     "%s%s\n%s\nPaper: Linux ~21%% faster at the smallest sets (shim hop);\n\
      SEUSS up to 52x faster on the mostly-unique workload.\n\
-     Measured speedup at the largest set: %.1fx\n"
+     Phase columns: SEUSS node-side per-invocation means derived from\n\
+     the structured event log (deploy+import+run = service; queue is the\n\
+     residual). Measured speedup at the largest set: %.1fx\n"
     (Report.heading "Figure 4: platform throughput")
     (Stats.Tablefmt.render table)
     (Stats.Asciiplot.render plot)
@@ -112,7 +131,11 @@ let render r =
 
 let write_csv ~path r =
   Report.write_csv ~path
-    ~header:[ "set_size"; "seuss_rps"; "linux_rps"; "seuss_errors"; "linux_errors" ]
+    ~header:
+      [
+        "set_size"; "seuss_rps"; "linux_rps"; "seuss_errors"; "linux_errors";
+        "seuss_deploy_ms"; "seuss_import_ms"; "seuss_run_ms"; "seuss_queue_ms";
+      ]
     (List.map2
        (fun s l ->
          [
@@ -121,5 +144,9 @@ let write_csv ~path r =
            Printf.sprintf "%.2f" l.throughput;
            string_of_int s.errors;
            string_of_int l.errors;
+           phase_ms (fun p -> p.Obs.Breakdown.deploy) s.breakdown;
+           phase_ms (fun p -> p.Obs.Breakdown.import) s.breakdown;
+           phase_ms (fun p -> p.Obs.Breakdown.run) s.breakdown;
+           phase_ms (fun p -> p.Obs.Breakdown.queue) s.breakdown;
          ])
        r.seuss r.linux)

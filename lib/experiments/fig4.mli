@@ -14,6 +14,9 @@ type point = {
   throughput : float;  (** successful requests/s *)
   errors : int;
   mean_latency : float;
+  breakdown : Obs.Breakdown.phase_means option;
+      (** node-side deploy/import/run/queue means derived from the
+          structured event log; [None] for the Linux baseline *)
 }
 
 type result = { seuss : point list; linux : point list }
@@ -33,4 +36,5 @@ val render : result -> string
 (** Comparison table plus an ASCII plot of both throughput curves. *)
 
 val write_csv : path:string -> result -> unit
-(** Columns: set_size, seuss_rps, linux_rps, seuss_errors, linux_errors. *)
+(** Columns: set_size, seuss_rps, linux_rps, seuss_errors, linux_errors,
+    plus the SEUSS deploy/import/run/queue means (ms). *)

@@ -9,6 +9,11 @@ type result = {
   cold_pages : float;
   warm_pages : float;
   hot_pages : float;
+  (* Per-phase latency splits for each path, derived from the node's
+     structured event log (not re-timed in the experiment). *)
+  cold_phases : Obs.Breakdown.phase_means option;
+  warm_phases : Obs.Breakdown.phase_means option;
+  hot_phases : Obs.Breakdown.phase_means option;
 }
 
 let nop_source = Platform.Workloads.source_of_action Platform.Workloads.nop
@@ -47,6 +52,7 @@ let run ?(invocations = 475) ?(seed = 7L) () =
   let base_ao_bytes, fn_ao_bytes = snapshot_sizes ~seed Seuss.Config.Ao_full in
   Harness.run_sim ~seed (fun engine ->
       let env = Harness.make_seuss_env engine in
+      let bd = Obs.Breakdown.attach env.Seuss.Osenv.log in
       let node = Harness.seuss_node env in
       let cold = Stats.Summary.create ()
       and warm = Stats.Summary.create ()
@@ -95,14 +101,28 @@ let run ?(invocations = 475) ?(seed = 7L) () =
         cold_pages = !cold_pages /. n;
         warm_pages = !warm_pages /. n;
         hot_pages = !hot_pages /. n;
+        cold_phases = Obs.Breakdown.per_path bd Obs.Event.Cold;
+        warm_phases = Obs.Breakdown.per_path bd Obs.Event.Warm;
+        hot_phases = Obs.Breakdown.per_path bd Obs.Event.Hot;
       })
+
+let phase_split = function
+  | None -> "n/a"
+  | Some (p : Obs.Breakdown.phase_means) ->
+      Printf.sprintf "%.2f / %.2f / %.2f / %.2f ms"
+        (p.Obs.Breakdown.deploy *. 1e3)
+        (p.Obs.Breakdown.import *. 1e3)
+        (p.Obs.Breakdown.run *. 1e3)
+        (p.Obs.Breakdown.queue *. 1e3)
 
 let render r =
   let mb_f pages = Report.mb_of_pages (int_of_float pages) in
   Report.comparison ~title:"Table 1: SEUSS microbenchmarks"
     ~note:
       "Latency/footprint rows measured over 475 NOP invocations per path\n\
-       (node-side, shim and control plane excluded, AO enabled).\n"
+       (node-side, shim and control plane excluded, AO enabled).\n\
+       Phase splits (deploy / import / run / queue) are per-invocation\n\
+       means derived from the node's structured event log.\n"
     [
       {
         Report.label = "Node.js driver snapshot (no AO)";
@@ -138,6 +158,21 @@ let render r =
         Report.label = "Hot start latency";
         paper = "0.8 ms";
         measured = Report.ms r.hot.Stats.Summary.mean;
+      };
+      {
+        Report.label = "Cold phase split (deploy/import/run/queue)";
+        paper = "(event log)";
+        measured = phase_split r.cold_phases;
+      };
+      {
+        Report.label = "Warm phase split (deploy/import/run/queue)";
+        paper = "(event log)";
+        measured = phase_split r.warm_phases;
+      };
+      {
+        Report.label = "Hot phase split (deploy/import/run/queue)";
+        paper = "(event log)";
+        measured = phase_split r.hot_phases;
       };
       {
         Report.label = "Cold start footprint (pages copied)";

@@ -18,6 +18,10 @@ type result = {
   cold_pages : float;  (** mean pages private to the UC after a cold run *)
   warm_pages : float;
   hot_pages : float;  (** mean pages newly copied during a hot run *)
+  cold_phases : Obs.Breakdown.phase_means option;
+      (** deploy/import/run/queue means from the event log *)
+  warm_phases : Obs.Breakdown.phase_means option;
+  hot_phases : Obs.Breakdown.phase_means option;
 }
 
 val run : ?invocations:int -> ?seed:int64 -> unit -> result

@@ -1,3 +1,5 @@
+type fault = No_fault | Zero_fill | Cow_copy
+
 type t = {
   frames : Frame.t;
   pt : Page_table.t;
@@ -7,9 +9,11 @@ type t = {
      O(mapped pages), for the 65k-function experiments to run. *)
   mutable dirty_count : int;
   mutable mapped_count : int;
+  (* Instrumentation: invoked on every resolved fault. The owner (a UC)
+     installs it so the fault handler feeds the node's telemetry without
+     this layer depending on it. *)
+  mutable on_fault : fault -> unit;
 }
-
-type fault = No_fault | Zero_fill | Cow_copy
 
 type write_stats = { pages : int; zero_fills : int; cow_copies : int }
 
@@ -21,6 +25,7 @@ let create frames =
     cow_copies = 0;
     dirty_count = 0;
     mapped_count = 0;
+    on_fault = ignore;
   }
 
 (* The source must already be frozen (read-only + copy-on-write, clean
@@ -38,10 +43,13 @@ let of_table ?(mapped_hint = -1) frames source =
     cow_copies = 0;
     dirty_count = 0;
     mapped_count = mapped;
+    on_fault = ignore;
   }
 
 let table t = t.pt
 let allocator t = t.frames
+
+let set_fault_hook t f = t.on_fault <- f
 
 let touch_write t ~vpn =
   let e = Page_table.get t.pt ~vpn in
@@ -53,6 +61,7 @@ let touch_write t ~vpn =
     t.zero_fills <- t.zero_fills + 1;
     t.dirty_count <- t.dirty_count + 1;
     t.mapped_count <- t.mapped_count + 1;
+    t.on_fault Zero_fill;
     Zero_fill
   end
   else if Page_table.Entry.writable e then begin
@@ -70,6 +79,7 @@ let touch_write t ~vpn =
          ~accessed:true);
     t.cow_copies <- t.cow_copies + 1;
     t.dirty_count <- t.dirty_count + 1;
+    t.on_fault Cow_copy;
     Cow_copy
   end
   else

@@ -35,6 +35,13 @@ val touch_write : t -> vpn:int -> fault
 (** Write one page. @raise Frame.Out_of_memory when a needed allocation
     exceeds the budget (the page is left unmodified). *)
 
+val set_fault_hook : t -> (fault -> unit) -> unit
+(** Install an observer called on every {e resolved} fault
+    ([Zero_fill] / [Cow_copy]; never [No_fault]) with no simulated-time
+    cost. The owning layer uses this to feed fault telemetry (counters,
+    COW-fault events) without [mem] depending on it. One hook per
+    space; installing replaces the previous one. *)
+
 val touch_read : t -> vpn:int -> unit
 (** Sets the accessed bit on a present page; no-op on absent pages. *)
 

@@ -1,0 +1,79 @@
+type phase_means = {
+  n : int;
+  queue : float;
+  deploy : float;
+  import : float;
+  run : float;
+  total : float;
+}
+
+type acc = {
+  mutable n : int;
+  mutable queue : float;
+  mutable deploy : float;
+  mutable import : float;
+  mutable run : float;
+  mutable total : float;
+}
+
+type t = {
+  cold : acc;
+  warm : acc;
+  hot : acc;
+  mutable errs : int;
+}
+
+let fresh () = { n = 0; queue = 0.0; deploy = 0.0; import = 0.0; run = 0.0; total = 0.0 }
+
+let acc_of t = function
+  | Event.Cold -> t.cold
+  | Event.Warm -> t.warm
+  | Event.Hot -> t.hot
+
+let attach log =
+  let t = { cold = fresh (); warm = fresh (); hot = fresh (); errs = 0 } in
+  Log.subscribe log (fun r ->
+      match r.Log.ev with
+      | Event.Invoke_finish { path; queue; deploy; import; run; total; ok; _ } ->
+          let a = acc_of t path in
+          a.n <- a.n + 1;
+          a.queue <- a.queue +. queue;
+          a.deploy <- a.deploy +. deploy;
+          a.import <- a.import +. import;
+          a.run <- a.run +. run;
+          a.total <- a.total +. total;
+          if not ok then t.errs <- t.errs + 1
+      | _ -> ());
+  t
+
+let means (a : acc) : phase_means option =
+  if a.n = 0 then None
+  else begin
+    let n = float_of_int a.n in
+    Some
+      {
+        n = a.n;
+        queue = a.queue /. n;
+        deploy = a.deploy /. n;
+        import = a.import /. n;
+        run = a.run /. n;
+        total = a.total /. n;
+      }
+  end
+
+let per_path t path = means (acc_of t path)
+
+let overall t =
+  let merged = fresh () in
+  List.iter
+    (fun (a : acc) ->
+      merged.n <- merged.n + a.n;
+      merged.queue <- merged.queue +. a.queue;
+      merged.deploy <- merged.deploy +. a.deploy;
+      merged.import <- merged.import +. a.import;
+      merged.run <- merged.run +. a.run;
+      merged.total <- merged.total +. a.total)
+    [ t.cold; t.warm; t.hot ];
+  means merged
+
+let errors t = t.errs

@@ -1,0 +1,32 @@
+(** Per-phase latency breakdown, derived from the event log.
+
+    A live subscriber on a {!Log} that folds every
+    [Event.Invoke_finish] into per-path accumulators. Because it
+    consumes the bus rather than the ring, it sees every invocation even
+    when the ring has evicted early events — this is what gives the
+    Fig 4 / Table 1 reports their deploy / import / run columns without
+    ad-hoc timers in the experiments. *)
+
+type phase_means = {
+  n : int;  (** invocations folded in *)
+  queue : float;
+  deploy : float;
+  import : float;
+  run : float;
+  total : float;
+}
+(** All times are means in seconds. *)
+
+type t
+
+val attach : Log.t -> t
+(** Subscribe; aggregates every subsequent invocation. *)
+
+val per_path : t -> Event.path -> phase_means option
+(** [None] until the first invocation completes on that path. *)
+
+val overall : t -> phase_means option
+(** Means across all paths. *)
+
+val errors : t -> int
+(** Invocations folded in with [ok = false]. *)

@@ -1,0 +1,107 @@
+type path = Cold | Warm | Hot
+
+let path_name = function Cold -> "cold" | Warm -> "warm" | Hot -> "hot"
+
+let path_of_name = function
+  | "cold" -> Some Cold
+  | "warm" -> Some Warm
+  | "hot" -> Some Hot
+  | _ -> None
+
+type t =
+  | Invoke_start of { fn_id : string }
+  | Invoke_finish of {
+      fn_id : string;
+      path : path;
+      queue : float;
+      deploy : float;
+      import : float;
+      run : float;
+      total : float;
+      ok : bool;
+    }
+  | Snapshot_capture of { name : string; pages : int; bytes : int64 }
+  | Cow_fault of { uc_id : int }
+  | Uc_reclaim of { uc_id : int; fn_id : string }
+  | Oom_wake of { free_bytes : int64 }
+
+let type_name = function
+  | Invoke_start _ -> "invoke_start"
+  | Invoke_finish _ -> "invoke_finish"
+  | Snapshot_capture _ -> "snapshot_capture"
+  | Cow_fault _ -> "cow_fault"
+  | Uc_reclaim _ -> "uc_reclaim"
+  | Oom_wake _ -> "oom_wake"
+
+let to_json ~time ev =
+  let fields =
+    match ev with
+    | Invoke_start { fn_id } -> [ ("fn_id", Json.String fn_id) ]
+    | Invoke_finish { fn_id; path; queue; deploy; import; run; total; ok } ->
+        [
+          ("fn_id", Json.String fn_id);
+          ("path", Json.String (path_name path));
+          ("queue", Json.Float queue);
+          ("deploy", Json.Float deploy);
+          ("import", Json.Float import);
+          ("run", Json.Float run);
+          ("total", Json.Float total);
+          ("ok", Json.Bool ok);
+        ]
+    | Snapshot_capture { name; pages; bytes } ->
+        [
+          ("name", Json.String name);
+          ("pages", Json.Int pages);
+          ("bytes", Json.Int (Int64.to_int bytes));
+        ]
+    | Cow_fault { uc_id } -> [ ("uc_id", Json.Int uc_id) ]
+    | Uc_reclaim { uc_id; fn_id } ->
+        [ ("uc_id", Json.Int uc_id); ("fn_id", Json.String fn_id) ]
+    | Oom_wake { free_bytes } ->
+        [ ("free_bytes", Json.Int (Int64.to_int free_bytes)) ]
+  in
+  Json.Obj
+    (("ts", Json.Float time) :: ("type", Json.String (type_name ev)) :: fields)
+
+let of_json json =
+  let ( let* ) r f = Result.bind r f in
+  let field name conv =
+    match Option.bind (Json.member name json) conv with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "event: missing or bad field %S" name)
+  in
+  let* time = field "ts" Json.to_float in
+  let* kind = field "type" Json.to_str in
+  let* ev =
+    match kind with
+    | "invoke_start" ->
+        let* fn_id = field "fn_id" Json.to_str in
+        Ok (Invoke_start { fn_id })
+    | "invoke_finish" ->
+        let* fn_id = field "fn_id" Json.to_str in
+        let* path = field "path" (fun j -> Option.bind (Json.to_str j) path_of_name) in
+        let* queue = field "queue" Json.to_float in
+        let* deploy = field "deploy" Json.to_float in
+        let* import = field "import" Json.to_float in
+        let* run = field "run" Json.to_float in
+        let* total = field "total" Json.to_float in
+        let* ok = field "ok" Json.to_bool in
+        Ok (Invoke_finish { fn_id; path; queue; deploy; import; run; total; ok })
+    | "snapshot_capture" ->
+        let* name = field "name" Json.to_str in
+        let* pages = field "pages" Json.to_int in
+        let* bytes = field "bytes" Json.to_int in
+        Ok (Snapshot_capture { name; pages; bytes = Int64.of_int bytes })
+    | "cow_fault" ->
+        let* uc_id = field "uc_id" Json.to_int in
+        Ok (Cow_fault { uc_id })
+    | "uc_reclaim" ->
+        let* uc_id = field "uc_id" Json.to_int in
+        let* fn_id = field "fn_id" Json.to_str in
+        Ok (Uc_reclaim { uc_id; fn_id })
+    | "oom_wake" ->
+        let* free_bytes = field "free_bytes" Json.to_int in
+        Ok (Oom_wake { free_bytes = Int64.of_int free_bytes })
+    | other -> Error (Printf.sprintf "event: unknown type %S" other)
+  in
+  Ok (time, ev)

@@ -1,0 +1,49 @@
+(** The structured event taxonomy of the node hot paths.
+
+    Every event the node emits while serving traffic is one of these
+    typed variants; they carry the quantities the paper's evaluation
+    attributes time and memory to (§6.1's per-phase breakdowns, the
+    burst experiments' resource timelines). Events are engine-timestamped
+    by {!Log} at emission; the JSON codec round-trips through {!Json}
+    so exported JSONL streams can be re-parsed losslessly. *)
+
+type path = Cold | Warm | Hot
+
+val path_name : path -> string
+val path_of_name : string -> path option
+
+type t =
+  | Invoke_start of { fn_id : string }
+      (** An invocation entered the node. *)
+  | Invoke_finish of {
+      fn_id : string;
+      path : path;
+      queue : float;
+          (** residual time not attributable to a service phase:
+              OOM sweeps, core-pool waits outside the phases below *)
+      deploy : float;  (** UC deploy from snapshot + TCP connect *)
+      import : float;
+          (** source import + compile + function-snapshot capture
+              (cold path only; [0.] on warm/hot) *)
+      run : float;  (** guest executes the function and replies *)
+      total : float;
+      ok : bool;
+    }  (** The invocation left the node (queue-vs-service split). *)
+  | Snapshot_capture of { name : string; pages : int; bytes : int64 }
+      (** A snapshot was captured; [pages] is the dirty-page diff. *)
+  | Cow_fault of { uc_id : int }
+      (** A deployed UC copied a shared frame on first write.
+          (Zero-fill faults are counted in the metrics registry only —
+          per-event they would drown the ring in boot noise.) *)
+  | Uc_reclaim of { uc_id : int; fn_id : string }
+      (** The OOM daemon destroyed an idle UC. *)
+  | Oom_wake of { free_bytes : int64 }
+      (** Free memory fell below the headroom; the daemon woke. *)
+
+val type_name : t -> string
+(** The discriminator stored in the ["type"] JSON field. *)
+
+val to_json : time:float -> t -> Json.t
+
+val of_json : Json.t -> (float * t, string) result
+(** Inverse of {!to_json}: recover the timestamp and event. *)

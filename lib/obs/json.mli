@@ -1,0 +1,34 @@
+(** A minimal JSON value: enough to emit and re-parse the telemetry
+    JSONL streams without an external dependency.
+
+    Printing is canonical (no whitespace, keys in insertion order,
+    floats via ["%.17g"] so values round-trip bit-exactly); the parser
+    accepts any RFC 8259 document produced by {!to_string} plus
+    insignificant whitespace. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+
+val of_string : string -> (t, string) result
+(** [Error msg] names the offset of the first syntax error. *)
+
+val member : string -> t -> t option
+(** Field lookup on [Obj]; [None] otherwise. *)
+
+val to_float : t -> float option
+(** Numeric coercion: accepts [Int] and [Float] (a whole-valued float
+    prints as an integer literal, so readers must accept both). *)
+
+val to_int : t -> int option
+
+val to_str : t -> string option
+
+val to_bool : t -> bool option

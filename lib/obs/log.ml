@@ -1,0 +1,53 @@
+type record = { time : float; ev : Event.t }
+
+type t = {
+  clock : unit -> float;
+  ring : record Ring.t;
+  mutable subscribers : (record -> unit) list;  (* subscription order *)
+  mutable emitted : int;
+}
+
+let default_capacity = 16384
+
+let create ?(capacity = default_capacity) ~clock () =
+  { clock; ring = Ring.create ~capacity; subscribers = []; emitted = 0 }
+
+let emit t ev =
+  let r = { time = t.clock (); ev } in
+  t.emitted <- t.emitted + 1;
+  Ring.push t.ring r;
+  List.iter (fun f -> f r) t.subscribers
+
+let subscribe t f =
+  (* Append (subscription is rare; emission is the hot path). *)
+  t.subscribers <- t.subscribers @ [ f ]
+let records t = Ring.to_list t.ring
+let emitted t = t.emitted
+let dropped t = Ring.dropped t.ring
+let clear t = Ring.clear t.ring
+
+let to_jsonl t =
+  let buf = Buffer.create 4096 in
+  Ring.iter
+    (fun r ->
+      Buffer.add_string buf (Json.to_string (Event.to_json ~time:r.time r.ev));
+      Buffer.add_char buf '\n')
+    t.ring;
+  Buffer.contents buf
+
+let parse_jsonl text =
+  let lines = String.split_on_char '\n' text in
+  let rec go lineno acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest ->
+        if String.trim line = "" then go (lineno + 1) acc rest
+        else begin
+          match Json.of_string line with
+          | Error msg -> Error (Printf.sprintf "line %d: %s" lineno msg)
+          | Ok json -> (
+              match Event.of_json json with
+              | Error msg -> Error (Printf.sprintf "line %d: %s" lineno msg)
+              | Ok (time, ev) -> go (lineno + 1) ({ time; ev } :: acc) rest)
+        end
+  in
+  go 1 [] lines

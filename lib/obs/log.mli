@@ -1,0 +1,42 @@
+(** The structured event log: a typed, engine-timestamped event bus.
+
+    Emitted events are stamped with the injected clock (the simulation
+    engine's [now] in practice — the log itself is engine-agnostic so
+    lower layers can host one), retained in a bounded {!Ring}, and
+    fanned out to any attached subscribers. Emission costs no simulated
+    time: telemetry never perturbs the quantities it measures. *)
+
+type record = { time : float; ev : Event.t }
+
+type t
+
+val default_capacity : int
+(** Ring size when [capacity] is not given (16384 events). *)
+
+val create : ?capacity:int -> clock:(unit -> float) -> unit -> t
+
+val emit : t -> Event.t -> unit
+(** Stamp with [clock ()], retain, and deliver to subscribers (in
+    subscription order). *)
+
+val subscribe : t -> (record -> unit) -> unit
+(** Attach a live consumer; it sees every event from now on, including
+    ones the ring later evicts. *)
+
+val records : t -> record list
+(** Retained records, oldest first. *)
+
+val emitted : t -> int
+(** Total events ever emitted (retained + evicted). *)
+
+val dropped : t -> int
+(** Events evicted from the ring so far. *)
+
+val clear : t -> unit
+
+val to_jsonl : t -> string
+(** One JSON object per line (trailing newline), oldest first. *)
+
+val parse_jsonl : string -> (record list, string) result
+(** Inverse of {!to_jsonl}; blank lines are skipped. [Error] names the
+    first offending line. *)

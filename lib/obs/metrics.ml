@@ -1,0 +1,159 @@
+type labels = (string * string) list
+
+type counter = { mutable c : int }
+type gauge = { mutable g : float }
+
+type histogram = {
+  h : Stats.Histogram.t;
+  mutable sum : float;
+  mutable mn : float;
+  mutable mx : float;
+}
+
+type instrument = C of counter | G of gauge | H of histogram
+
+type t = { table : (string * labels, instrument) Hashtbl.t }
+
+let create () = { table = Hashtbl.create 64 }
+
+let canon labels = List.sort compare labels
+
+let register t ~labels name make describe_kind match_kind =
+  let key = (name, canon labels) in
+  match Hashtbl.find_opt t.table key with
+  | None ->
+      let fresh = make () in
+      Hashtbl.replace t.table key fresh;
+      (match match_kind fresh with Some v -> v | None -> assert false)
+  | Some existing -> (
+      match match_kind existing with
+      | Some v -> v
+      | None ->
+          invalid_arg
+            (Printf.sprintf "Metrics: %S is already registered, not as a %s"
+               name describe_kind))
+
+let counter t ?(labels = []) name =
+  register t ~labels name
+    (fun () -> C { c = 0 })
+    "counter"
+    (function C c -> Some c | _ -> None)
+
+let inc ?(by = 1) counter =
+  if by < 0 then invalid_arg "Metrics.inc: counters only go up";
+  counter.c <- counter.c + by
+
+let value counter = counter.c
+
+let gauge t ?(labels = []) name =
+  register t ~labels name
+    (fun () -> G { g = 0.0 })
+    "gauge"
+    (function G g -> Some g | _ -> None)
+
+let set_gauge gauge v = gauge.g <- v
+let gauge_value gauge = gauge.g
+
+let histogram t ?(labels = []) name =
+  register t ~labels name
+    (fun () ->
+      H { h = Stats.Histogram.create (); sum = 0.0; mn = infinity; mx = neg_infinity })
+    "histogram"
+    (function H h -> Some h | _ -> None)
+
+let observe hist v =
+  Stats.Histogram.add hist.h v;
+  hist.sum <- hist.sum +. v;
+  if v < hist.mn then hist.mn <- v;
+  if v > hist.mx then hist.mx <- v
+
+let hist_count hist = Stats.Histogram.count hist.h
+
+let hist_mean hist =
+  let n = hist_count hist in
+  if n = 0 then 0.0 else hist.sum /. float_of_int n
+
+let hist_quantile hist q =
+  if q < 0.0 || q > 1.0 then invalid_arg "Metrics.hist_quantile: q in [0,1]";
+  let n = hist_count hist in
+  if n = 0 then 0.0
+  else begin
+    let rank = int_of_float (Float.round (q *. float_of_int (n - 1))) + 1 in
+    let result = ref hist.mx in
+    (try
+       ignore
+         (Stats.Histogram.fold hist.h ~init:0 ~f:(fun seen ~lo:_ ~hi ~count ->
+              let seen = seen + count in
+              if seen >= rank then begin
+                (* Clamp the bin bound by the observed extrema so tail
+                   quantiles stay inside [min, max]. *)
+                result := Float.min hi hist.mx;
+                raise Exit
+              end;
+              seen))
+     with Exit -> ());
+    Float.max !result hist.mn
+  end
+
+let sum_counters t ?(where = []) name =
+  Hashtbl.fold
+    (fun (n, labels) inst acc ->
+      match inst with
+      | C c
+        when n = name
+             && List.for_all (fun kv -> List.mem kv labels) where ->
+          acc + c.c
+      | _ -> acc)
+    t.table 0
+
+type reading =
+  | Counter_v of int
+  | Gauge_v of float
+  | Histogram_v of { n : int; mean : float; p50 : float; p99 : float }
+
+let dump t =
+  Hashtbl.fold
+    (fun (name, labels) inst acc ->
+      let reading =
+        match inst with
+        | C c -> Counter_v c.c
+        | G g -> Gauge_v g.g
+        | H h ->
+            Histogram_v
+              {
+                n = hist_count h;
+                mean = hist_mean h;
+                p50 = hist_quantile h 0.5;
+                p99 = hist_quantile h 0.99;
+              }
+      in
+      (name, labels, reading) :: acc)
+    t.table []
+  |> List.sort (fun (n1, l1, _) (n2, l2, _) -> compare (n1, l1) (n2, l2))
+
+let render t =
+  let table =
+    Stats.Tablefmt.create
+      ~columns:
+        [
+          ("metric", Stats.Tablefmt.Left);
+          ("labels", Stats.Tablefmt.Left);
+          ("value", Stats.Tablefmt.Right);
+        ]
+  in
+  List.iter
+    (fun (name, labels, reading) ->
+      let labels_text =
+        String.concat ","
+          (List.map (fun (k, v) -> Printf.sprintf "%s=%s" k v) labels)
+      in
+      let value_text =
+        match reading with
+        | Counter_v c -> string_of_int c
+        | Gauge_v g -> Printf.sprintf "%.3g" g
+        | Histogram_v { n; mean; p50; p99 } ->
+            Printf.sprintf "n=%d mean=%.3g p50=%.3g p99=%.3g" n mean p50 p99
+      in
+      Stats.Tablefmt.add_row table [ name; labels_text; value_text ])
+    (dump t);
+  Stats.Tablefmt.render table

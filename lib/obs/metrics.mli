@@ -1,0 +1,64 @@
+(** The metrics registry: named counters, gauges and histograms with
+    labels.
+
+    Instruments are registered by [(name, labels)] — registering the
+    same pair twice returns the same instrument, so hot paths can look
+    handles up per call without coordination. Reads ({!sum_counters},
+    {!dump}) are views over live instruments: consumers such as
+    [Seuss.Node.stats] derive their numbers from the registry instead of
+    maintaining parallel ints.
+
+    Histograms are log-binned ({!Stats.Histogram}, 10 bins per decade)
+    with running sum/min/max, so memory stays bounded over
+    million-invocation runs at the price of quantiles quantised to bin
+    upper bounds (~26% bin width). *)
+
+type t
+
+type labels = (string * string) list
+(** Order-insensitive: labels are canonicalised (sorted by key) at
+    registration. *)
+
+type counter
+type gauge
+type histogram
+
+val create : unit -> t
+
+val counter : t -> ?labels:labels -> string -> counter
+(** @raise Invalid_argument if [(name, labels)] already names an
+    instrument of a different kind. *)
+
+val inc : ?by:int -> counter -> unit
+(** @raise Invalid_argument if [by] is negative (counters only go up). *)
+
+val value : counter -> int
+
+val gauge : t -> ?labels:labels -> string -> gauge
+val set_gauge : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+val histogram : t -> ?labels:labels -> string -> histogram
+val observe : histogram -> float -> unit
+val hist_count : histogram -> int
+val hist_mean : histogram -> float
+
+val hist_quantile : histogram -> float -> float
+(** [hist_quantile h q] for [q] in [0,1]: the upper bound of the bin
+    holding the q-th sample (0. when empty). *)
+
+val sum_counters : t -> ?where:labels -> string -> int
+(** Sum of every counter named [name] whose labels include all [where]
+    pairs — e.g. total invocations across runtimes for one path. *)
+
+(** A point-in-time reading of one instrument, for dashboards/tests. *)
+type reading =
+  | Counter_v of int
+  | Gauge_v of float
+  | Histogram_v of { n : int; mean : float; p50 : float; p99 : float }
+
+val dump : t -> (string * labels * reading) list
+(** All instruments, sorted by (name, labels) for deterministic output. *)
+
+val render : t -> string
+(** A fixed-width table of {!dump}. *)

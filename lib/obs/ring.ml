@@ -1,0 +1,39 @@
+type 'a t = {
+  slots : 'a option array;
+  mutable head : int;  (* next write position *)
+  mutable len : int;
+  mutable dropped : int;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Ring.create: capacity must be positive";
+  { slots = Array.make capacity None; head = 0; len = 0; dropped = 0 }
+
+let capacity t = Array.length t.slots
+let length t = t.len
+let dropped t = t.dropped
+
+let push t x =
+  let cap = capacity t in
+  t.slots.(t.head) <- Some x;
+  t.head <- (t.head + 1) mod cap;
+  if t.len < cap then t.len <- t.len + 1 else t.dropped <- t.dropped + 1
+
+let iter f t =
+  let cap = capacity t in
+  let start = (t.head - t.len + cap) mod cap in
+  for i = 0 to t.len - 1 do
+    match t.slots.((start + i) mod cap) with
+    | Some x -> f x
+    | None -> ()
+  done
+
+let to_list t =
+  let acc = ref [] in
+  iter (fun x -> acc := x :: !acc) t;
+  List.rev !acc
+
+let clear t =
+  Array.fill t.slots 0 (Array.length t.slots) None;
+  t.head <- 0;
+  t.len <- 0

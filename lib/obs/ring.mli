@@ -1,0 +1,27 @@
+(** A bounded ring buffer: O(1) push, oldest entries overwritten once
+    the capacity is reached. Bounds the event log's memory so telemetry
+    can stay on during the 65k-function experiments. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** @raise Invalid_argument if [capacity <= 0]. *)
+
+val push : 'a t -> 'a -> unit
+
+val length : 'a t -> int
+(** Entries currently held ([<= capacity]). *)
+
+val capacity : 'a t -> int
+
+val dropped : 'a t -> int
+(** Entries overwritten so far (total pushes minus retained). *)
+
+val to_list : 'a t -> 'a list
+(** Retained entries, oldest first. *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+(** Oldest first. *)
+
+val clear : 'a t -> unit
+(** Forget all entries (the drop counter is kept). *)

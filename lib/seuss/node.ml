@@ -22,6 +22,15 @@ type stats = {
   snapshots_captured : int;
 }
 
+(* Per-invocation phase accumulator, flushed into the Invoke_finish
+   event: deploy (UC deploy + connect), import (source import + compile
+   + function-snapshot capture, cold only), run (guest execution). *)
+type phases = {
+  mutable p_deploy : float;
+  mutable p_import : float;
+  mutable p_run : float;
+}
+
 type t = {
   node_env : Osenv.t;
   cfg : Config.t;
@@ -34,16 +43,30 @@ type t = {
      when a UC is taken for a hot invocation, so consumers re-validate. *)
   idle_order : (string * Uc.t) Queue.t;
   mutable idle_total : int;
-  mutable s_cold : int;
-  mutable s_warm : int;
-  mutable s_hot : int;
-  mutable s_errors : int;
-  mutable s_reclaimed : int;
-  mutable s_captured : int;
   mutable last_uc : Uc.t option;
+  (* Cached registry handles for the per-invocation hot path; the
+     per-(path, runtime) invocation counters are looked up on demand. *)
+  c_errors_cold : Obs.Metrics.counter;
+  c_errors_warm : Obs.Metrics.counter;
+  c_errors_hot : Obs.Metrics.counter;
+  c_reclaimed : Obs.Metrics.counter;
+  c_oom_wakes : Obs.Metrics.counter;
+  c_captured : Obs.Metrics.counter;
+  g_free_bytes : Obs.Metrics.gauge;
+  g_idle_ucs : Obs.Metrics.gauge;
+  g_snapshots : Obs.Metrics.gauge;
 }
 
+let path_label = function Cold -> "cold" | Warm -> "warm" | Hot -> "hot"
+
+let obs_path = function
+  | Cold -> Obs.Event.Cold
+  | Warm -> Obs.Event.Warm
+  | Hot -> Obs.Event.Hot
+
 let create ?(config = Config.default) node_env =
+  let m = node_env.Osenv.metrics in
+  let errors p = Obs.Metrics.counter m ~labels:[ ("path", p) ] "node_errors_total" in
   {
     node_env;
     cfg = config;
@@ -53,19 +76,45 @@ let create ?(config = Config.default) node_env =
     idle = Hashtbl.create 1024;
     idle_order = Queue.create ();
     idle_total = 0;
-    s_cold = 0;
-    s_warm = 0;
-    s_hot = 0;
-    s_errors = 0;
-    s_reclaimed = 0;
-    s_captured = 0;
     last_uc = None;
+    c_errors_cold = errors "cold";
+    c_errors_warm = errors "warm";
+    c_errors_hot = errors "hot";
+    c_reclaimed = Obs.Metrics.counter m "node_ucs_reclaimed_total";
+    c_oom_wakes = Obs.Metrics.counter m "node_oom_wakes_total";
+    c_captured = Obs.Metrics.counter m "node_snapshots_captured_total";
+    g_free_bytes = Obs.Metrics.gauge m "node_free_bytes";
+    g_idle_ucs = Obs.Metrics.gauge m "node_idle_ucs";
+    g_snapshots = Obs.Metrics.gauge m "node_fn_snapshots";
   }
 
 let config t = t.cfg
 let env t = t.node_env
 
 let free_bytes t = Mem.Frame.free_bytes t.node_env.Osenv.frames
+
+let count_invocation t path runtime =
+  Obs.Metrics.inc
+    (Obs.Metrics.counter t.node_env.Osenv.metrics
+       ~labels:
+         [
+           ("path", path_label path);
+           ("runtime", Unikernel.Image.runtime_name runtime);
+         ]
+       "node_invocations_total")
+
+let count_error t path =
+  Obs.Metrics.inc
+    (match path with
+    | Cold -> t.c_errors_cold
+    | Warm -> t.c_errors_warm
+    | Hot -> t.c_errors_hot)
+
+let refresh_gauges t =
+  Obs.Metrics.set_gauge t.g_free_bytes (Int64.to_float (free_bytes t));
+  Obs.Metrics.set_gauge t.g_idle_ucs (float_of_int t.idle_total);
+  Obs.Metrics.set_gauge t.g_snapshots
+    (float_of_int (Hashtbl.length t.fn_snapshots))
 
 let base_snapshot t runtime = List.assoc_opt runtime t.bases
 
@@ -104,7 +153,7 @@ let install_snapshot t ~fn_id snap =
     evict_snapshots_if_needed t;
     Hashtbl.replace t.fn_snapshots fn_id snap;
     Queue.add fn_id t.snap_order;
-    t.s_captured <- t.s_captured + 1
+    Obs.Metrics.inc t.c_captured
   end
 
 let idle_uc_count t = t.idle_total
@@ -114,14 +163,21 @@ let idle_ucs t =
     (fun _ q acc -> Queue.fold (fun acc uc -> uc :: acc) acc q)
     t.idle []
 
+(* The node's counters live in the registry; [stats] is a view over it
+   (summed across the per-runtime labels), not parallel bookkeeping. *)
 let stats t =
+  let m = t.node_env.Osenv.metrics in
+  let inv p =
+    Obs.Metrics.sum_counters m ~where:[ ("path", p) ] "node_invocations_total"
+  in
   {
-    cold = t.s_cold;
-    warm = t.s_warm;
-    hot = t.s_hot;
-    errors = t.s_errors;
-    reclaimed_ucs = t.s_reclaimed;
-    snapshots_captured = t.s_captured;
+    cold = inv "cold";
+    warm = inv "warm";
+    hot = inv "hot";
+    errors = Obs.Metrics.sum_counters m "node_errors_total";
+    reclaimed_ucs = Obs.Metrics.sum_counters m "node_ucs_reclaimed_total";
+    snapshots_captured =
+      Obs.Metrics.sum_counters m "node_snapshots_captured_total";
   }
 
 (* {1 Idle-UC cache} *)
@@ -175,6 +231,10 @@ let reclaim_idle_ucs t =
     Int64.compare (free_bytes t) t.cfg.Config.oom_headroom_bytes < 0
     && not (Queue.is_empty t.idle_order)
   in
+  if continue_ () then begin
+    Obs.Metrics.inc t.c_oom_wakes;
+    Osenv.emit t.node_env (Obs.Event.Oom_wake { free_bytes = free_bytes t })
+  end;
   while continue_ () do
     let fn_id, uc = Queue.take t.idle_order in
     Osenv.burn t.node_env Cost.oom_scan;
@@ -188,10 +248,13 @@ let reclaim_idle_ucs t =
         if Uc.status uc = Uc.Running then begin
           Uc.destroy uc;
           incr reclaimed;
-          t.s_reclaimed <- t.s_reclaimed + 1
+          Obs.Metrics.inc t.c_reclaimed;
+          Osenv.emit t.node_env
+            (Obs.Event.Uc_reclaim { uc_id = Uc.id uc; fn_id })
         end
     | _ -> ()
   done;
+  refresh_gauges t;
   !reclaimed
 
 (* {1 Node startup: boot, AO, base snapshot capture} *)
@@ -252,133 +315,182 @@ let start t =
           | `Failed msg -> failwith ("Node.start: " ^ msg))
       | Some other -> failwith ("Node.start: unexpected breakpoint " ^ other)
       | None -> failwith "Node.start: boot timeout")
-    t.cfg.Config.runtimes
+    t.cfg.Config.runtimes;
+  refresh_gauges t
 
 (* {1 Invocation paths} *)
+
+let now t = Sim.Engine.now t.node_env.Osenv.engine
 
 let headroom_check t =
   if Int64.compare (free_bytes t) t.cfg.Config.oom_headroom_bytes < 0 then
     ignore (reclaim_idle_ucs t)
 
-let run_on_uc t uc ~args =
-  match
-    Uc.request uc (Unikernel.Driver.Run args) ~timeout:t.cfg.Config.invoke_timeout
-  with
-  | Ok (Unikernel.Driver.Ok_reply result) -> Ok result
-  | Ok (Unikernel.Driver.Err_reply msg) -> Error (`Runtime_error msg)
-  | Ok Unikernel.Driver.Pong -> Error (`Runtime_error "protocol confusion")
-  | Error `Timeout -> Error `Timeout
-  | Error (`Closed | `No_connection) -> Error `Timeout
+let run_on_uc t ph uc ~args =
+  let t0 = now t in
+  let result =
+    match
+      Uc.request uc (Unikernel.Driver.Run args)
+        ~timeout:t.cfg.Config.invoke_timeout
+    with
+    | Ok (Unikernel.Driver.Ok_reply result) -> Ok result
+    | Ok (Unikernel.Driver.Err_reply msg) -> Error (`Runtime_error msg)
+    | Ok Unikernel.Driver.Pong -> Error (`Runtime_error "protocol confusion")
+    | Error `Timeout -> Error `Timeout
+    | Error (`Closed | `No_connection) -> Error `Timeout
+  in
+  ph.p_run <- ph.p_run +. (now t -. t0);
+  result
 
-let finish t fn uc result =
+let finish t path fn uc result =
   t.last_uc <- Some uc;
   (match result with
   | Ok _ -> push_idle t fn.fn_id uc
   | Error _ ->
-      t.s_errors <- t.s_errors + 1;
+      count_error t path;
       Uc.destroy uc);
   result
 
-let warm_invoke t fn snap ~args =
+let warm_invoke t ph fn snap ~args =
   Sim.Trace.mark "node.path warm";
   headroom_check t;
+  let t0 = now t in
   match Uc.deploy t.node_env snap with
   | exception Mem.Frame.Out_of_memory ->
       ignore (reclaim_idle_ucs t);
-      t.s_errors <- t.s_errors + 1;
+      count_error t Warm;
       Error `Overloaded
   | uc ->
       if not (Uc.connect uc) then begin
         Uc.destroy uc;
-        t.s_errors <- t.s_errors + 1;
+        count_error t Warm;
         Error `Timeout
       end
-      else finish t fn uc (run_on_uc t uc ~args)
+      else begin
+        ph.p_deploy <- ph.p_deploy +. (now t -. t0);
+        finish t Warm fn uc (run_on_uc t ph uc ~args)
+      end
 
-let cold_invoke t fn ~args =
+let cold_invoke t ph fn ~args =
   Sim.Trace.mark "node.path cold";
   match base_snapshot t fn.runtime with
   | None ->
-      t.s_errors <- t.s_errors + 1;
+      count_error t Cold;
       Error `No_runtime
   | Some base -> (
       headroom_check t;
+      let t0 = now t in
       match Uc.deploy t.node_env base with
       | exception Mem.Frame.Out_of_memory ->
           ignore (reclaim_idle_ucs t);
-          t.s_errors <- t.s_errors + 1;
+          count_error t Cold;
           Error `Overloaded
       | uc ->
           if not (Uc.connect uc) then begin
             Uc.destroy uc;
-            t.s_errors <- t.s_errors + 1;
-            Error `Timeout
-          end
-          else if not (Uc.send uc (Unikernel.Driver.Init fn.source)) then begin
-            Uc.destroy uc;
-            t.s_errors <- t.s_errors + 1;
+            count_error t Cold;
             Error `Timeout
           end
           else begin
-            match
-              Sim.Trace.span "node.await compile breakpoint" (fun () ->
-                  Uc.await_breakpoint uc ~timeout:t.cfg.Config.invoke_timeout)
-            with
-            | Some "compile-ok" ->
-                (* The guest is parked at the post-compile breakpoint:
-                   capture the function snapshot, then resume and run. *)
-                if
-                  t.cfg.Config.cache_function_snapshots
-                  && not (Hashtbl.mem t.fn_snapshots fn.fn_id)
-                then begin
-                  let snap =
-                    Uc.capture uc ~env:t.node_env ~name:("fn-" ^ fn.fn_id)
-                  in
-                  install_snapshot t ~fn_id:fn.fn_id snap
-                end;
-                Uc.resume uc;
-                finish t fn uc (run_on_uc t uc ~args)
-            | Some label
-              when String.length label >= 12
-                   && String.sub label 0 12 = "compile-err:" ->
-                Uc.resume uc;
-                Uc.destroy uc;
-                t.s_errors <- t.s_errors + 1;
-                Error
-                  (`Compile_error
-                    (String.sub label 12 (String.length label - 12)))
-            | Some other ->
-                Uc.destroy uc;
-                t.s_errors <- t.s_errors + 1;
-                Error (`Compile_error ("unexpected breakpoint " ^ other))
-            | None ->
-                Uc.destroy uc;
-                t.s_errors <- t.s_errors + 1;
-                Error `Timeout
+            ph.p_deploy <- ph.p_deploy +. (now t -. t0);
+            let t1 = now t in
+            if not (Uc.send uc (Unikernel.Driver.Init fn.source)) then begin
+              Uc.destroy uc;
+              count_error t Cold;
+              Error `Timeout
+            end
+            else begin
+              match
+                Sim.Trace.span "node.await compile breakpoint" (fun () ->
+                    Uc.await_breakpoint uc ~timeout:t.cfg.Config.invoke_timeout)
+              with
+              | Some "compile-ok" ->
+                  (* The guest is parked at the post-compile breakpoint:
+                     capture the function snapshot, then resume and run. *)
+                  if
+                    t.cfg.Config.cache_function_snapshots
+                    && not (Hashtbl.mem t.fn_snapshots fn.fn_id)
+                  then begin
+                    let snap =
+                      Uc.capture uc ~env:t.node_env ~name:("fn-" ^ fn.fn_id)
+                    in
+                    install_snapshot t ~fn_id:fn.fn_id snap
+                  end;
+                  Uc.resume uc;
+                  ph.p_import <- ph.p_import +. (now t -. t1);
+                  finish t Cold fn uc (run_on_uc t ph uc ~args)
+              | Some label
+                when String.length label >= 12
+                     && String.sub label 0 12 = "compile-err:" ->
+                  Uc.resume uc;
+                  Uc.destroy uc;
+                  count_error t Cold;
+                  Error
+                    (`Compile_error
+                      (String.sub label 12 (String.length label - 12)))
+              | Some other ->
+                  Uc.destroy uc;
+                  count_error t Cold;
+                  Error (`Compile_error ("unexpected breakpoint " ^ other))
+              | None ->
+                  Uc.destroy uc;
+                  count_error t Cold;
+                  Error `Timeout
+            end
           end)
 
+let hot_invoke t ph uc fn ~args =
+  Sim.Trace.mark "node.path hot";
+  let t0 = now t in
+  if Uc.connect uc then begin
+    ph.p_deploy <- ph.p_deploy +. (now t -. t0);
+    finish t Hot fn uc (run_on_uc t ph uc ~args)
+  end
+  else begin
+    Uc.destroy uc;
+    count_error t Hot;
+    Error `Timeout
+  end
+
 let invoke t fn ~args =
-  match pop_idle t fn.fn_id with
-  | Some uc ->
-      Sim.Trace.mark "node.path hot";
-      t.s_hot <- t.s_hot + 1;
-      let result =
-        if Uc.connect uc then finish t fn uc (run_on_uc t uc ~args)
-        else begin
-          Uc.destroy uc;
-          t.s_errors <- t.s_errors + 1;
-          Error `Timeout
-        end
-      in
-      (result, Hot)
-  | None -> (
-      match function_snapshot t fn.fn_id with
-      | Some snap ->
-          t.s_warm <- t.s_warm + 1;
-          (warm_invoke t fn snap ~args, Warm)
-      | None ->
-          t.s_cold <- t.s_cold + 1;
-          (cold_invoke t fn ~args, Cold))
+  let t0 = now t in
+  Osenv.emit t.node_env (Obs.Event.Invoke_start { fn_id = fn.fn_id });
+  let ph = { p_deploy = 0.0; p_import = 0.0; p_run = 0.0 } in
+  let result, path =
+    match pop_idle t fn.fn_id with
+    | Some uc ->
+        count_invocation t Hot fn.runtime;
+        (hot_invoke t ph uc fn ~args, Hot)
+    | None -> (
+        match function_snapshot t fn.fn_id with
+        | Some snap ->
+            count_invocation t Warm fn.runtime;
+            (warm_invoke t ph fn snap ~args, Warm)
+        | None ->
+            count_invocation t Cold fn.runtime;
+            (cold_invoke t ph fn ~args, Cold))
+  in
+  let total = now t -. t0 in
+  let service = ph.p_deploy +. ph.p_import +. ph.p_run in
+  Osenv.emit t.node_env
+    (Obs.Event.Invoke_finish
+       {
+         fn_id = fn.fn_id;
+         path = obs_path path;
+         queue = Float.max 0.0 (total -. service);
+         deploy = ph.p_deploy;
+         import = ph.p_import;
+         run = ph.p_run;
+         total;
+         ok = Result.is_ok result;
+       });
+  Obs.Metrics.observe
+    (Obs.Metrics.histogram t.node_env.Osenv.metrics
+       ~labels:[ ("path", path_label path) ]
+       "node_invoke_seconds")
+    total;
+  refresh_gauges t;
+  (result, path)
 
 let last_served_uc t = t.last_uc
 

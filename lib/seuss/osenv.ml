@@ -7,9 +7,11 @@ type t = {
   mutable next_port : int;
   mutable next_id : int;
   hosts : (string, Net.Tcp.listener) Hashtbl.t;
+  log : Obs.Log.t;
+  metrics : Obs.Metrics.t;
 }
 
-let create ?budget_bytes ?(cores = 16) engine =
+let create ?budget_bytes ?(cores = 16) ?log_capacity engine =
   {
     engine;
     frames = Mem.Frame.create ?budget_bytes ();
@@ -19,7 +21,14 @@ let create ?budget_bytes ?(cores = 16) engine =
     next_port = 10_000;
     next_id = 0;
     hosts = Hashtbl.create 8;
+    log =
+      Obs.Log.create ?capacity:log_capacity
+        ~clock:(fun () -> Sim.Engine.now engine)
+        ();
+    metrics = Obs.Metrics.create ();
   }
+
+let emit t ev = Obs.Log.emit t.log ev
 
 let burn t seconds =
   if seconds > 0.0 then

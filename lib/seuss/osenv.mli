@@ -1,6 +1,8 @@
 (** Shared machinery of one SEUSS OS instance: the simulation engine,
     the physical frame allocator, the per-core network proxy, the core
-    pool, and name resolution for guest-initiated outbound traffic. *)
+    pool, name resolution for guest-initiated outbound traffic — and the
+    node's telemetry (one structured event log and one metrics registry
+    per OS instance, shared by every layer running on it). *)
 
 type t = {
   engine : Sim.Engine.t;
@@ -11,11 +13,17 @@ type t = {
   mutable next_port : int;
   mutable next_id : int;
   hosts : (string, Net.Tcp.listener) Hashtbl.t;
+  log : Obs.Log.t;  (** engine-timestamped structured event log *)
+  metrics : Obs.Metrics.t;  (** the node's metrics registry *)
 }
 
 val create :
-  ?budget_bytes:int64 -> ?cores:int -> Sim.Engine.t -> t
-(** Defaults: the paper's 88 GB / 16-core compute-node VM. *)
+  ?budget_bytes:int64 -> ?cores:int -> ?log_capacity:int -> Sim.Engine.t -> t
+(** Defaults: the paper's 88 GB / 16-core compute-node VM, event ring of
+    {!Obs.Log.default_capacity}. *)
+
+val emit : t -> Obs.Event.t -> unit
+(** Emit onto the node's event log (zero simulated-time cost). *)
 
 val burn : t -> float -> unit
 (** Occupy one core for the given CPU time (queues when all cores are

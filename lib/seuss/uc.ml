@@ -71,6 +71,20 @@ let make env ~image ~space ~source =
       used_at = Sim.Engine.now env.Osenv.engine;
     }
   in
+  (* Feed the node's telemetry from the fault handler: counters for
+     both fault kinds, an event per COW copy (the snapshot-stack
+     signal; zero-fills are boot noise at event granularity). *)
+  let cow_faults =
+    Obs.Metrics.counter env.Osenv.metrics "mem_cow_faults_total"
+  and zero_fills =
+    Obs.Metrics.counter env.Osenv.metrics "mem_zero_fills_total"
+  in
+  Mem.Addr_space.set_fault_hook space (function
+    | Mem.Addr_space.Cow_copy ->
+        Obs.Metrics.inc cow_faults;
+        Osenv.emit env (Obs.Event.Cow_fault { uc_id = t.uc_id })
+    | Mem.Addr_space.Zero_fill -> Obs.Metrics.inc zero_fills
+    | Mem.Addr_space.No_fault -> ());
   Net.Proxy.register env.Osenv.proxy ~port:uc_port listener;
   t
 
@@ -172,8 +186,18 @@ let capture t ~env ~name =
   Sim.Trace.span
     (Printf.sprintf "snapshot.capture '%s'" name)
     (fun () ->
-      Snapshot.capture ~env ~name ~parent:t.source ~image:t.image
-        ~space:t.space ~guest:(guest_state t))
+      let snap =
+        Snapshot.capture ~env ~name ~parent:t.source ~image:t.image
+          ~space:t.space ~guest:(guest_state t)
+      in
+      Osenv.emit env
+        (Obs.Event.Snapshot_capture
+           {
+             name;
+             pages = snap.Snapshot.diff_pages;
+             bytes = Snapshot.diff_bytes snap;
+           });
+      snap)
 
 let destroy t =
   if t.st = Running then begin

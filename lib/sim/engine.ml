@@ -1,5 +1,7 @@
 type event = { time : float; seq : int; thunk : unit -> unit }
 
+type local = exn
+
 type t = {
   mutable clock : float;
   mutable seq : int;
@@ -7,6 +9,10 @@ type t = {
   prng : Prng.t;
   mutable running : bool;
   mutable executed : int;
+  (* The process-local slot of the currently-dispatching event: children
+     inherit it at [spawn], and it is saved/restored across Sleep and
+     Suspend so a process keeps its value over its whole lifetime. *)
+  mutable local : local option;
 }
 
 exception Process_failure of string * exn
@@ -27,6 +33,7 @@ let create ?(seed = 1L) () =
     prng = Prng.create seed;
     running = false;
     executed = 0;
+    local = None;
   }
 
 let now t = t.clock
@@ -48,6 +55,11 @@ let self () =
   | Some t -> t
   | None -> invalid_arg "Engine.self: no simulation is running"
 
+let self_opt () = !current
+
+let get_local t = t.local
+let set_local t v = t.local <- v
+
 let sleep delay = Effect.perform (Sleep delay)
 let yield () = sleep 0.0
 let suspend register = Effect.perform (Suspend register)
@@ -67,24 +79,37 @@ let exec t name f =
           | Sleep delay ->
               Some
                 (fun (k : (a, unit) continuation) ->
-                  schedule t ~delay (fun () -> continue k ()))
+                  let saved = t.local in
+                  schedule t ~delay (fun () ->
+                      t.local <- saved;
+                      continue k ()))
           | Suspend register ->
               Some
                 (fun (k : (a, unit) continuation) ->
+                  let saved = t.local in
                   let resumed = ref false in
                   let resume () =
                     if !resumed then
                       invalid_arg "Engine: process resumed twice"
                     else begin
                       resumed := true;
-                      schedule t ~delay:0.0 (fun () -> continue k ())
+                      schedule t ~delay:0.0 (fun () ->
+                          t.local <- saved;
+                          continue k ())
                     end
                   in
                   register resume)
           | _ -> None);
     }
 
-let spawn t ?(name = "process") f = schedule t ~delay:0.0 (fun () -> exec t name f)
+let spawn t ?(name = "process") f =
+  (* Children inherit the spawner's local slot (e.g. its trace
+     context), so work fanned out by an invocation records into the
+     invocation's own trace. *)
+  let inherited = t.local in
+  schedule t ~delay:0.0 (fun () ->
+      t.local <- inherited;
+      exec t name f)
 
 let run ?until t =
   if t.running then invalid_arg "Engine.run: already running";
@@ -92,6 +117,7 @@ let run ?until t =
   let finished = ref false in
   let restore () =
     t.running <- false;
+    t.local <- None;
     current := None
   in
   (try
@@ -108,6 +134,9 @@ let run ?until t =
                ignore (Heap.pop t.events);
                t.clock <- ev.time;
                t.executed <- t.executed + 1;
+               (* Each event starts with a clean slot; process
+                  continuations restore their own saved value. *)
+               t.local <- None;
                ev.thunk ())
      done
    with exn ->

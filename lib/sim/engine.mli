@@ -49,6 +49,31 @@ val self : unit -> t
 (** The engine executing the current event.
     @raise Invalid_argument outside of a run. *)
 
+val self_opt : unit -> t option
+(** [self ()] without the exception — [None] outside of a run, so
+    always-on instrumentation can degrade to a no-op. *)
+
+(** {1 Process-local storage}
+
+    One universal slot per process. A value set while a process runs is
+    preserved across {!sleep} / {!suspend} and inherited by processes it
+    {!spawn}s; callbacks registered with plain {!schedule} start with an
+    empty slot. This is the substrate for per-process trace contexts
+    ({!Trace}): two in-flight operations each carry their own context
+    instead of sharing an engine-global one. *)
+
+type local = exn
+(** The slot is untyped; clients embed their state with an extensible
+    [exception] constructor (the standard universal-type idiom), which
+    keeps the engine independent of what it carries. *)
+
+val get_local : t -> local option
+(** The slot of the currently-dispatching process. *)
+
+val set_local : t -> local option -> unit
+(** Overwrite the current process's slot (takes effect for the rest of
+    this process's lifetime, including after suspensions). *)
+
 val sleep : float -> unit
 (** Suspend the current process for a simulated duration (>= 0). *)
 

@@ -7,7 +7,49 @@ type t = {
   mutable active : bool;
 }
 
+(* Embed the context in the engine's universal process-local slot. *)
+exception Ctx of t
+
+(* Legacy engine-global trace: records from every process that carries
+   no local context. *)
 let ambient : t option ref = ref None
+
+let current () =
+  let local =
+    match Engine.self_opt () with
+    | None -> None
+    | Some engine -> (
+        match Engine.get_local engine with
+        | Some (Ctx t) when t.active -> Some t
+        | _ -> None)
+  in
+  match local with
+  | Some _ -> local
+  | None -> ( match !ambient with Some t when t.active -> Some t | _ -> None)
+
+let start_ctx engine =
+  let t = { engine; rev_spans = []; depth = 0; active = true } in
+  Engine.set_local engine (Some (Ctx t));
+  t
+
+let sorted_spans t =
+  (* Spans are recorded at exit; present them in start order. *)
+  List.sort
+    (fun a b ->
+      match compare a.t_start b.t_start with
+      | 0 -> compare a.depth b.depth
+      | c -> c)
+    (List.rev t.rev_spans)
+
+let stop_ctx t =
+  t.active <- false;
+  (match Engine.self_opt () with
+  | Some engine -> (
+      match Engine.get_local engine with
+      | Some (Ctx u) when u == t -> Engine.set_local engine None
+      | _ -> ())
+  | None -> ());
+  sorted_spans t
 
 let start engine =
   if Option.is_some !ambient then invalid_arg "Trace.start: already tracing";
@@ -18,22 +60,15 @@ let start engine =
 let stop t =
   t.active <- false;
   ambient := None;
-  (* Spans are recorded at exit; present them in start order. *)
-  List.sort
-    (fun a b ->
-      match compare a.t_start b.t_start with
-      | 0 -> compare a.depth b.depth
-      | c -> c)
-    (List.rev t.rev_spans)
+  sorted_spans t
 
 let record t name depth t_start =
   let t_end = Engine.now t.engine in
   t.rev_spans <- { name; depth; t_start; t_end } :: t.rev_spans
 
 let span name f =
-  match !ambient with
+  match current () with
   | None -> f ()
-  | Some t when not t.active -> f ()
   | Some t -> (
       let t_start = Engine.now t.engine in
       let depth = t.depth in
@@ -49,9 +84,8 @@ let span name f =
           raise exn)
 
 let mark name =
-  match !ambient with
+  match current () with
   | None -> ()
-  | Some t when not t.active -> ()
   | Some t ->
       let now = Engine.now t.engine in
       t.rev_spans <- { name; depth = t.depth; t_start = now; t_end = now } :: t.rev_spans

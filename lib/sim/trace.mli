@@ -1,11 +1,22 @@
 (** Lightweight span tracing over simulated time.
 
     A diagnostic facility: instrumented code wraps operations in
-    {!span}; when no trace is active the wrapper is a no-op. Because the
-    ambient trace is engine-global, traces are meant for inspecting
-    {e one} logical operation at a time (e.g. `seussctl trace` running a
-    single invocation) — concurrent processes would interleave their
-    spans. *)
+    {!span}; when no trace is active the wrapper is a no-op.
+
+    Traces come in two flavours:
+
+    - {b process-local contexts} ({!start_ctx} / {!stop_ctx}): the
+      context rides in the current process's {!Engine} local slot, is
+      preserved across suspensions and inherited by spawned children —
+      so two in-flight invocations each record their own disjoint span
+      tree, concurrently;
+    - the {b legacy engine-global trace} ({!start} / {!stop}), kept as a
+      shim: it records spans from {e every} process that has no local
+      context of its own, which is only meaningful when a single logical
+      operation runs at a time (e.g. [seussctl trace]).
+
+    Resolution order inside {!span} / {!mark}: the current process's
+    context first, then the global shim, else no-op. *)
 
 type span = {
   name : string;
@@ -16,16 +27,32 @@ type span = {
 
 type t
 
+(** {1 Concurrent per-process contexts} *)
+
+val start_ctx : Engine.t -> t
+(** Create a context and install it as the current process's trace
+    (replacing any inherited one). Call from inside a process; children
+    spawned afterwards inherit it. *)
+
+val stop_ctx : t -> span list
+(** Deactivate and return the spans in start order. Uninstalls the
+    context from the calling process's slot if it is still the one
+    installed. *)
+
+(** {1 Legacy engine-global trace (shim)} *)
+
 val start : Engine.t -> t
-(** Begin recording and install as the ambient trace.
-    @raise Invalid_argument if a trace is already active. *)
+(** Begin recording and install as the global ambient trace.
+    @raise Invalid_argument if a global trace is already active. *)
 
 val stop : t -> span list
 (** Uninstall and return the spans in start order. *)
 
+(** {1 Recording (either flavour)} *)
+
 val span : string -> (unit -> 'a) -> 'a
 (** Record [f]'s simulated time window under [name] (including on
-    exception). No-op without an active trace. *)
+    exception, suffixed [" [failed]"]). No-op without an active trace. *)
 
 val mark : string -> unit
 (** A zero-width span. *)

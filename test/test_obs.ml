@@ -1,0 +1,329 @@
+(* Tests for the observability layer: JSON codec, event ring, the event
+   log (JSONL round-trip), the metrics registry and the per-phase
+   breakdown aggregator — plus an end-to-end check that a real node
+   workload produces a parseable event stream. *)
+
+let contains needle hay =
+  let n = String.length needle and len = String.length hay in
+  let rec go i = i + n <= len && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+(* {1 Json} *)
+
+let test_json_roundtrip () =
+  let samples =
+    [
+      Obs.Json.Null;
+      Obs.Json.Bool true;
+      Obs.Json.Int (-42);
+      Obs.Json.Float 2.9742431176;
+      Obs.Json.Float 120262656.0;
+      Obs.Json.String "needs \"escaping\"\n\ttoo";
+      Obs.Json.List [ Obs.Json.Int 1; Obs.Json.Null; Obs.Json.Bool false ];
+      Obs.Json.Obj
+        [ ("a", Obs.Json.Int 1); ("b", Obs.Json.List [ Obs.Json.String "x" ]) ];
+    ]
+  in
+  List.iter
+    (fun j ->
+      let s = Obs.Json.to_string j in
+      match Obs.Json.of_string s with
+      | Error e -> Alcotest.failf "reparse of %s failed: %s" s e
+      | Ok j' ->
+          Alcotest.(check string)
+            ("stable: " ^ s) s (Obs.Json.to_string j'))
+    samples
+
+let test_json_rejects_garbage () =
+  List.iter
+    (fun s ->
+      match Obs.Json.of_string s with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "accepted garbage: %s" s)
+    [ ""; "{"; "[1,"; "{\"a\":}"; "nul"; "\"unterminated"; "{\"a\":1} trailing" ]
+
+let test_event_roundtrip_all_variants () =
+  let events =
+    [
+      Obs.Event.Invoke_start { fn_id = "fn-1" };
+      Obs.Event.Invoke_finish
+        {
+          fn_id = "fn-1";
+          path = Obs.Event.Cold;
+          queue = 0.0001;
+          deploy = 0.0004;
+          import = 0.006;
+          run = 0.0008;
+          total = 0.0073;
+          ok = true;
+        };
+      Obs.Event.Snapshot_capture
+        { name = "fn-fn-1"; pages = 546; bytes = 2236416L };
+      Obs.Event.Cow_fault { uc_id = 7 };
+      Obs.Event.Uc_reclaim { uc_id = 7; fn_id = "fn-1" };
+      Obs.Event.Oom_wake { free_bytes = 1048576L };
+    ]
+  in
+  List.iter
+    (fun ev ->
+      let j = Obs.Event.to_json ~time:1.25 ev in
+      match Obs.Event.of_json j with
+      | Error e -> Alcotest.failf "%s: %s" (Obs.Event.type_name ev) e
+      | Ok (time, ev') ->
+          Alcotest.(check (float 0.0)) "time" 1.25 time;
+          Alcotest.(check string) "event survives"
+            (Obs.Json.to_string (Obs.Event.to_json ~time ev))
+            (Obs.Json.to_string (Obs.Event.to_json ~time ev')))
+    events
+
+(* {1 Ring} *)
+
+let test_ring_overwrites_oldest () =
+  let r = Obs.Ring.create ~capacity:3 in
+  List.iter (fun i -> Obs.Ring.push r i) [ 1; 2; 3; 4; 5 ];
+  Alcotest.(check (list int)) "keeps newest" [ 3; 4; 5 ] (Obs.Ring.to_list r);
+  Alcotest.(check int) "length capped" 3 (Obs.Ring.length r);
+  Alcotest.(check int) "dropped counted" 2 (Obs.Ring.dropped r);
+  Obs.Ring.clear r;
+  Alcotest.(check (list int)) "clear empties" [] (Obs.Ring.to_list r)
+
+let test_ring_rejects_bad_capacity () =
+  Alcotest.check_raises "zero capacity"
+    (Invalid_argument "Ring.create: capacity must be positive") (fun () ->
+      ignore (Obs.Ring.create ~capacity:0))
+
+(* {1 Log} *)
+
+let fake_clock () =
+  let now = ref 0.0 in
+  ( (fun () -> !now),
+    fun t -> now := t )
+
+let finish_ev i =
+  Obs.Event.Invoke_finish
+    {
+      fn_id = Printf.sprintf "fn-%d" i;
+      path = (if i mod 2 = 0 then Obs.Event.Hot else Obs.Event.Cold);
+      queue = 0.0;
+      deploy = 0.001;
+      import = (if i mod 2 = 0 then 0.0 else 0.005);
+      run = 0.002;
+      total = 0.008;
+      ok = i mod 5 <> 0;
+    }
+
+let test_log_jsonl_roundtrip () =
+  let clock, set = fake_clock () in
+  let log = Obs.Log.create ~capacity:64 ~clock () in
+  for i = 1 to 10 do
+    set (float_of_int i);
+    Obs.Log.emit log (finish_ev i)
+  done;
+  set 11.0;
+  Obs.Log.emit log (Obs.Event.Oom_wake { free_bytes = 42L });
+  let text = Obs.Log.to_jsonl log in
+  Alcotest.(check int) "one line per event" 11
+    (List.length
+       (List.filter
+          (fun l -> String.trim l <> "")
+          (String.split_on_char '\n' text)));
+  match Obs.Log.parse_jsonl text with
+  | Error e -> Alcotest.failf "round-trip failed: %s" e
+  | Ok records ->
+      Alcotest.(check int) "all records back" 11 (List.length records);
+      let times = List.map (fun r -> r.Obs.Log.time) records in
+      Alcotest.(check (list (float 0.0))) "timestamps preserved"
+        [ 1.; 2.; 3.; 4.; 5.; 6.; 7.; 8.; 9.; 10.; 11. ]
+        times
+
+let test_log_parse_reports_line () =
+  match Obs.Log.parse_jsonl "{\"ts\":1,\"type\":\"oom_wake\",\"free_bytes\":1}\nnot json\n" with
+  | Ok _ -> Alcotest.fail "accepted bad line"
+  | Error msg ->
+      Alcotest.(check bool) "names the line" true (contains "line 2" msg)
+
+let test_log_subscriber_outlives_ring () =
+  let clock, set = fake_clock () in
+  let log = Obs.Log.create ~capacity:2 ~clock () in
+  let seen = ref 0 in
+  Obs.Log.subscribe log (fun _ -> incr seen);
+  for i = 1 to 50 do
+    set (float_of_int i);
+    Obs.Log.emit log (finish_ev i)
+  done;
+  Alcotest.(check int) "subscriber saw every event" 50 !seen;
+  Alcotest.(check int) "ring kept only capacity" 2
+    (List.length (Obs.Log.records log));
+  Alcotest.(check int) "emitted counts all" 50 (Obs.Log.emitted log);
+  Alcotest.(check int) "dropped counts evictions" 48 (Obs.Log.dropped log)
+
+(* {1 Metrics} *)
+
+let test_metrics_counters_and_labels () =
+  let m = Obs.Metrics.create () in
+  let a = Obs.Metrics.counter m ~labels:[ ("path", "cold") ] "inv" in
+  let b = Obs.Metrics.counter m ~labels:[ ("path", "hot") ] "inv" in
+  Obs.Metrics.inc a;
+  Obs.Metrics.inc ~by:4 b;
+  (* Same (name, labels) returns the same instrument; label order is
+     canonicalised. *)
+  let a' = Obs.Metrics.counter m ~labels:[ ("path", "cold") ] "inv" in
+  Obs.Metrics.inc a';
+  Alcotest.(check int) "shared handle" 2 (Obs.Metrics.value a);
+  Alcotest.(check int) "sum all" 6 (Obs.Metrics.sum_counters m "inv");
+  Alcotest.(check int) "sum filtered" 4
+    (Obs.Metrics.sum_counters m ~where:[ ("path", "hot") ] "inv");
+  Alcotest.(check int) "sum missing" 0 (Obs.Metrics.sum_counters m "nope");
+  Alcotest.check_raises "negative inc"
+    (Invalid_argument "Metrics.inc: counters only go up") (fun () ->
+      Obs.Metrics.inc ~by:(-1) a)
+
+let test_metrics_kind_mismatch () =
+  let m = Obs.Metrics.create () in
+  ignore (Obs.Metrics.counter m "x");
+  Alcotest.(check bool) "gauge over counter raises" true
+    (try
+       ignore (Obs.Metrics.gauge m "x");
+       false
+     with Invalid_argument _ -> true)
+
+let test_metrics_histogram () =
+  let m = Obs.Metrics.create () in
+  let h = Obs.Metrics.histogram m "lat" in
+  for i = 1 to 100 do
+    Obs.Metrics.observe h (float_of_int i /. 1000.0)
+  done;
+  Alcotest.(check int) "count" 100 (Obs.Metrics.hist_count h);
+  Alcotest.(check (float 1e-9)) "mean" 0.0505 (Obs.Metrics.hist_mean h);
+  (* Quantiles are quantised to log-bin upper bounds (10 bins/decade),
+     so allow one bin of slack around the true values. *)
+  let p50 = Obs.Metrics.hist_quantile h 0.5 in
+  Alcotest.(check bool) "p50 within a bin of the median" true
+    (p50 >= 0.05 && p50 < 0.07);
+  let p99 = Obs.Metrics.hist_quantile h 0.99 in
+  Alcotest.(check bool) "p99 near max" true (p99 > 0.08 && p99 <= 0.1)
+
+let test_metrics_dump_and_render () =
+  let m = Obs.Metrics.create () in
+  Obs.Metrics.inc (Obs.Metrics.counter m ~labels:[ ("k", "b") ] "c");
+  Obs.Metrics.inc (Obs.Metrics.counter m ~labels:[ ("k", "a") ] "c");
+  Obs.Metrics.set_gauge (Obs.Metrics.gauge m "g") 1.5;
+  let dump = Obs.Metrics.dump m in
+  Alcotest.(check int) "three instruments" 3 (List.length dump);
+  (match dump with
+  | (n1, l1, _) :: (n2, l2, _) :: _ ->
+      Alcotest.(check bool) "sorted" true ((n1, l1) <= (n2, l2))
+  | _ -> Alcotest.fail "dump too short");
+  Alcotest.(check bool) "render mentions instruments" true
+    (contains "c" (Obs.Metrics.render m))
+
+(* {1 Breakdown} *)
+
+let test_breakdown_aggregates_beyond_ring () =
+  let clock, set = fake_clock () in
+  (* Tiny ring: the aggregator must still see everything (it subscribes
+     to the bus instead of reading the ring). *)
+  let log = Obs.Log.create ~capacity:2 ~clock () in
+  let bd = Obs.Breakdown.attach log in
+  for i = 1 to 40 do
+    set (float_of_int i);
+    Obs.Log.emit log (finish_ev i)
+  done;
+  (match Obs.Breakdown.overall bd with
+  | None -> Alcotest.fail "no overall breakdown"
+  | Some o ->
+      Alcotest.(check int) "all invocations folded" 40 o.Obs.Breakdown.n;
+      Alcotest.(check (float 1e-9)) "deploy mean" 0.001 o.Obs.Breakdown.deploy);
+  (match Obs.Breakdown.per_path bd Obs.Event.Hot with
+  | None -> Alcotest.fail "no hot breakdown"
+  | Some h ->
+      Alcotest.(check int) "hot count" 20 h.Obs.Breakdown.n;
+      Alcotest.(check (float 1e-9)) "hot import zero" 0.0 h.Obs.Breakdown.import);
+  (match Obs.Breakdown.per_path bd Obs.Event.Cold with
+  | None -> Alcotest.fail "no cold breakdown"
+  | Some c ->
+      Alcotest.(check (float 1e-9)) "cold import" 0.005 c.Obs.Breakdown.import);
+  Alcotest.(check int) "errors counted" 8 (Obs.Breakdown.errors bd);
+  Alcotest.(check bool) "warm path unseen" true
+    (Obs.Breakdown.per_path bd Obs.Event.Warm = None)
+
+(* {1 End to end: a real node workload round-trips through JSONL} *)
+
+let test_node_event_stream_roundtrips () =
+  let engine = Sim.Engine.create ~seed:3L () in
+  let out = ref "" in
+  Sim.Engine.spawn engine ~name:"obs-e2e" (fun () ->
+      let env = Seuss.Osenv.create engine in
+      let node = Seuss.Node.create env in
+      Seuss.Node.start node;
+      for i = 1 to 6 do
+        match
+          Seuss.Node.invoke node
+            {
+              Seuss.Node.fn_id = Printf.sprintf "fn-%d" (i mod 2);
+              runtime = Unikernel.Image.Node;
+              source = "function main(args) { return {}; }";
+            }
+            ~args:"{}"
+        with
+        | Ok _, _ -> ()
+        | Error _, _ -> Alcotest.fail "invocation failed"
+      done;
+      out := Obs.Log.to_jsonl env.Seuss.Osenv.log);
+  Sim.Engine.run engine;
+  match Obs.Log.parse_jsonl !out with
+  | Error e -> Alcotest.failf "node JSONL does not round-trip: %s" e
+  | Ok records ->
+      let count name =
+        List.length
+          (List.filter
+             (fun r -> Obs.Event.type_name r.Obs.Log.ev = name)
+             records)
+      in
+      Alcotest.(check int) "every invocation started" 6 (count "invoke_start");
+      Alcotest.(check int) "every invocation finished" 6 (count "invoke_finish");
+      (* base snapshots + 2 function snapshots *)
+      Alcotest.(check bool) "snapshots captured" true
+        (count "snapshot_capture" >= 3);
+      Alcotest.(check bool) "cow faults observed" true (count "cow_fault" > 0);
+      let mono =
+        let rec go = function
+          | a :: (b :: _ as rest) ->
+              a.Obs.Log.time <= b.Obs.Log.time && go rest
+          | _ -> true
+        in
+        go records
+      in
+      Alcotest.(check bool) "timestamps monotone" true mono
+
+let () =
+  let case name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "obs"
+    [
+      ( "json",
+        [
+          case "roundtrip" test_json_roundtrip;
+          case "rejects garbage" test_json_rejects_garbage;
+          case "events roundtrip" test_event_roundtrip_all_variants;
+        ] );
+      ( "ring",
+        [
+          case "overwrites oldest" test_ring_overwrites_oldest;
+          case "rejects bad capacity" test_ring_rejects_bad_capacity;
+        ] );
+      ( "log",
+        [
+          case "jsonl roundtrip" test_log_jsonl_roundtrip;
+          case "parse names bad line" test_log_parse_reports_line;
+          case "subscriber outlives ring" test_log_subscriber_outlives_ring;
+        ] );
+      ( "metrics",
+        [
+          case "counters and labels" test_metrics_counters_and_labels;
+          case "kind mismatch" test_metrics_kind_mismatch;
+          case "histogram" test_metrics_histogram;
+          case "dump and render" test_metrics_dump_and_render;
+        ] );
+      ("breakdown", [ case "aggregates beyond ring" test_breakdown_aggregates_beyond_ring ]);
+      ("end_to_end", [ case "node JSONL roundtrip" test_node_event_stream_roundtrips ]);
+    ]

@@ -257,6 +257,29 @@ let test_metrics_sampler () =
       Alcotest.(check bool) "renders" true
         (String.length (Platform.Metrics.render samples) > 50))
 
+(* Regression: stopping a watch before the first interval elapses must
+   still yield the final sample, not an empty list. *)
+let test_metrics_stop_before_first_interval () =
+  in_sim (fun engine ->
+      let env = Seuss.Osenv.create ~budget_bytes:(gib 8) engine in
+      register_io_server env;
+      let node = Seuss.Node.create env in
+      Seuss.Node.start node;
+      let m = Platform.Metrics.watch ~interval:60.0 node in
+      ignore
+        (C.invoke
+           (C.create engine (C.Seuss_backend (Seuss.Shim.create env node)))
+           { C.fn_id = "early-stop"; action = Platform.Workloads.nop });
+      let samples = Platform.Metrics.stop m in
+      Alcotest.(check bool) "at least one sample" true (List.length samples >= 1);
+      let last = List.nth samples (List.length samples - 1) in
+      Alcotest.(check int) "final sample sees the invocation" 1
+        last.Platform.Metrics.cold;
+      (* Stopping twice does not grow the list. *)
+      Alcotest.(check int) "stop is idempotent"
+        (List.length samples)
+        (List.length (Platform.Metrics.stop m)))
+
 (* {1 Burst harness} *)
 
 let test_burst_on_seuss_no_errors () =
@@ -330,7 +353,11 @@ let () =
           case "hot: linux beats seuss" test_hot_path_linux_faster_than_seuss;
           case "unique: seuss wins big" test_unique_function_throughput_seuss_wins;
         ] );
-      ("metrics", [ case "sampler" test_metrics_sampler ]);
+      ( "metrics",
+        [
+          case "sampler" test_metrics_sampler;
+          case "stop before first interval" test_metrics_stop_before_first_interval;
+        ] );
       ( "burst",
         [
           case "seuss handles bursts" test_burst_on_seuss_no_errors;

@@ -406,6 +406,144 @@ let test_trace_renders () =
     in
     contains "op" !out)
 
+let test_trace_span_records_on_exception () =
+  let engine = Sim.Engine.create () in
+  let spans = ref [] in
+  let raised = ref false in
+  Sim.Engine.spawn engine (fun () ->
+      let tr = Sim.Trace.start_ctx engine in
+      (try
+         Sim.Trace.span "doomed" (fun () ->
+             Sim.Engine.sleep 0.25;
+             failwith "boom")
+       with Failure _ -> raised := true);
+      spans := Sim.Trace.stop_ctx tr);
+  Sim.Engine.run engine;
+  Alcotest.(check bool) "exception propagated" true !raised;
+  match !spans with
+  | [ s ] ->
+      Alcotest.(check string) "span marked failed" "doomed [failed]"
+        s.Sim.Trace.name;
+      Alcotest.(check (float 1e-9)) "duration recorded" 0.25
+        (s.Sim.Trace.t_end -. s.Sim.Trace.t_start)
+  | l -> Alcotest.failf "expected 1 span, got %d" (List.length l)
+
+let test_trace_nested_depth_after_exception () =
+  let engine = Sim.Engine.create () in
+  let spans = ref [] in
+  Sim.Engine.spawn engine (fun () ->
+      let tr = Sim.Trace.start_ctx engine in
+      Sim.Trace.span "outer" (fun () ->
+          (try Sim.Trace.span "fails" (fun () -> failwith "x")
+           with Failure _ -> ());
+          (* Depth must be restored: this sibling sits at depth 1 again,
+             and its child at depth 2. *)
+          Sim.Trace.span "sibling" (fun () ->
+              Sim.Trace.span "grandchild" (fun () -> ());
+              Sim.Trace.mark "marker"));
+      spans := Sim.Trace.stop_ctx tr);
+  Sim.Engine.run engine;
+  let depth name =
+    match List.find_opt (fun s -> s.Sim.Trace.name = name) !spans with
+    | Some s -> s.Sim.Trace.depth
+    | None -> Alcotest.failf "span %S not recorded" name
+  in
+  Alcotest.(check int) "outer at 0" 0 (depth "outer");
+  Alcotest.(check int) "failed child at 1" 1 (depth "fails [failed]");
+  Alcotest.(check int) "sibling back at 1" 1 (depth "sibling");
+  Alcotest.(check int) "grandchild at 2" 2 (depth "grandchild");
+  Alcotest.(check int) "mark inherits depth" 2 (depth "marker")
+
+let test_trace_mark_zero_width () =
+  let engine = Sim.Engine.create () in
+  let spans = ref [] in
+  Sim.Engine.spawn engine (fun () ->
+      let tr = Sim.Trace.start_ctx engine in
+      Sim.Engine.sleep 1.0;
+      Sim.Trace.mark "instant";
+      spans := Sim.Trace.stop_ctx tr);
+  Sim.Engine.run engine;
+  match !spans with
+  | [ s ] ->
+      Alcotest.(check string) "named" "instant" s.Sim.Trace.name;
+      Alcotest.(check (float 0.0)) "zero width" s.Sim.Trace.t_start
+        s.Sim.Trace.t_end;
+      Alcotest.(check (float 1e-9)) "at mark time" 1.0 s.Sim.Trace.t_start
+  | l -> Alcotest.failf "expected 1 span, got %d" (List.length l)
+
+(* Two concurrently traced processes: each context collects only its own
+   process's spans even though their sleeps interleave in engine time. *)
+let test_trace_concurrent_contexts_disjoint () =
+  let engine = Sim.Engine.create () in
+  let collected = Array.make 2 [] in
+  let spawn_traced idx stagger =
+    Sim.Engine.spawn engine ~name:(Printf.sprintf "p%d" idx) (fun () ->
+        let tr = Sim.Trace.start_ctx engine in
+        Sim.Engine.sleep stagger;
+        for i = 1 to 3 do
+          Sim.Trace.span
+            (Printf.sprintf "p%d.op%d" idx i)
+            (fun () ->
+              Sim.Engine.sleep 0.4;
+              Sim.Trace.mark (Printf.sprintf "p%d.mark%d" idx i))
+        done;
+        collected.(idx) <- Sim.Trace.stop_ctx tr)
+  in
+  spawn_traced 0 0.0;
+  spawn_traced 1 0.2;
+  Sim.Engine.run engine;
+  Array.iteri
+    (fun idx spans ->
+      Alcotest.(check int)
+        (Printf.sprintf "p%d span count" idx)
+        6 (List.length spans);
+      List.iter
+        (fun s ->
+          let prefix = Printf.sprintf "p%d." idx in
+          let plen = String.length prefix in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s owns %s" prefix s.Sim.Trace.name)
+            true
+            (String.length s.Sim.Trace.name >= plen
+            && String.sub s.Sim.Trace.name 0 plen = prefix))
+        spans)
+    collected;
+  (* The two trees really did overlap in time (the test would be vacuous
+     if the processes ran back-to-back). *)
+  let bounds spans =
+    List.fold_left
+      (fun (lo, hi) s ->
+        (Float.min lo s.Sim.Trace.t_start, Float.max hi s.Sim.Trace.t_end))
+      (infinity, neg_infinity) spans
+  in
+  let lo0, hi0 = bounds collected.(0) and lo1, hi1 = bounds collected.(1) in
+  Alcotest.(check bool) "executions interleaved" true (lo1 < hi0 && lo0 < hi1)
+
+(* A process-local context is inherited by children spawned while it is
+   active, and takes precedence over the legacy engine-global trace. *)
+let test_trace_ctx_inherited_and_shadows_ambient () =
+  let engine = Sim.Engine.create () in
+  let ctx_spans = ref [] and ambient_spans = ref [] in
+  Sim.Engine.spawn engine (fun () ->
+      let legacy = Sim.Trace.start engine in
+      Sim.Engine.spawn engine (fun () ->
+          let tr = Sim.Trace.start_ctx engine in
+          Sim.Trace.span "local.op" (fun () -> Sim.Engine.sleep 0.1);
+          Sim.Engine.spawn engine (fun () ->
+              Sim.Trace.span "child.op" (fun () -> Sim.Engine.sleep 0.1));
+          Sim.Engine.sleep 0.5;
+          ctx_spans := Sim.Trace.stop_ctx tr);
+      Sim.Trace.span "ambient.op" (fun () -> Sim.Engine.sleep 1.0);
+      ambient_spans := Sim.Trace.stop legacy);
+  Sim.Engine.run engine;
+  let names spans = List.map (fun s -> s.Sim.Trace.name) spans in
+  Alcotest.(check (list string))
+    "ctx got its own + inherited child" [ "local.op"; "child.op" ]
+    (names !ctx_spans);
+  Alcotest.(check (list string))
+    "ambient untouched by ctx processes" [ "ambient.op" ]
+    (names !ambient_spans)
+
 let () =
   let case name f = Alcotest.test_case name `Quick f in
   let qcase = QCheck_alcotest.to_alcotest in
@@ -441,6 +579,11 @@ let () =
           case "records spans" test_trace_records_spans;
           case "noop without ambient" test_trace_noop_without_ambient;
           case "renders" test_trace_renders;
+          case "span recorded on exception" test_trace_span_records_on_exception;
+          case "nested depth after exception" test_trace_nested_depth_after_exception;
+          case "mark zero width" test_trace_mark_zero_width;
+          case "concurrent contexts disjoint" test_trace_concurrent_contexts_disjoint;
+          case "ctx inherited, shadows ambient" test_trace_ctx_inherited_and_shadows_ambient;
         ] );
       ( "ivar",
         [
