@@ -144,6 +144,63 @@ let drseuss_cmd =
     (Cmd.info "drseuss" ~doc:"Extension: distributed snapshot cache (paper S9)")
     Term.(const run $ nodes $ functions $ seed_arg)
 
+let chaos_cmd =
+  let nodes =
+    Arg.(value & opt int 4 & info [ "nodes" ] ~docv:"N" ~doc:"Cluster size.")
+  in
+  let functions =
+    Arg.(value & opt int 25 & info [ "functions" ] ~docv:"M" ~doc:"Unique functions (default coprime to the cluster size, so repeats migrate across nodes and exercise the fetch path).")
+  in
+  let calls =
+    Arg.(
+      value & opt int 200
+      & info [ "calls" ] ~docv:"K" ~doc:"Invocations per fault rate.")
+  in
+  let rates =
+    Arg.(
+      value
+      & opt (list float) Experiments.Fig_chaos.default_rates
+      & info [ "rates" ] ~docv:"R,R,..."
+          ~doc:"Injected per-site fault rates to sweep (0 = control arm).")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit the sweep as one canonical JSON object (bit-identical \
+                across runs of the same seed) instead of a table.")
+  in
+  let events =
+    Arg.(
+      value & flag
+      & info [ "events" ]
+          ~doc:"Also dump the highest-rate run's failure/recovery timeline \
+                as JSONL (crashes, evictions, retries, failovers).")
+  in
+  let run nodes functions calls rates json events csv seed =
+    List.iter
+      (fun r ->
+        if r < 0.0 || r > 1.0 then begin
+          Printf.eprintf "seussctl: --rates entries must be in [0, 1]\n";
+          exit 2
+        end)
+      rates;
+    let r =
+      Experiments.Fig_chaos.run ~nodes ~functions ~calls ~rates ~seed ()
+    in
+    if json then
+      print (Obs.Json.to_string (Experiments.Fig_chaos.to_json r) ^ "\n")
+    else print (Experiments.Fig_chaos.render r);
+    if events then print r.Experiments.Fig_chaos.timeline;
+    Option.iter (fun path -> Experiments.Fig_chaos.write_csv ~path r) csv
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Extension: DR-SEUSS availability and tail latency under \
+          deterministic fault injection")
+    Term.(const run $ nodes $ functions $ calls $ rates $ json $ events $ csv_arg $ seed_arg)
+
 let ksm_cmd =
   let mem =
     Arg.(value & opt int 3072 & info [ "mem-mib" ] ~docv:"MIB" ~doc:"Node memory budget.")
@@ -522,7 +579,7 @@ let () =
   let doc = "SEUSS (EuroSys '20) reproduction experiments" in
   let main = Cmd.group (Cmd.info "seussctl" ~doc)
       [ table1_cmd; table2_cmd; table3_cmd; fig4_cmd; fig5_cmd; burst_cmd;
-        ablations_cmd; drseuss_cmd; ksm_cmd; autoao_cmd; trace_cmd; snapshots_cmd;
-        top_cmd; events_cmd; all_cmd; info_cmd ]
+        ablations_cmd; drseuss_cmd; chaos_cmd; ksm_cmd; autoao_cmd; trace_cmd;
+        snapshots_cmd; top_cmd; events_cmd; all_cmd; info_cmd ]
   in
   exit (Cmd.eval main)

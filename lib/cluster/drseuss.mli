@@ -9,7 +9,26 @@
     the local base runtime snapshot ({!Seuss.Snapshot.import}) — a few
     milliseconds for a typical 2 MB diff, versus replaying the full
     import+compile cold path. Only a cluster-wide miss pays a true cold
-    start, and the resulting snapshot is published for everyone. *)
+    start, and the resulting snapshot is published for everyone.
+
+    {b Resilience.} The cluster tolerates the failures the fault plane
+    ({!Faults.Fault}) injects, and every recovery decision is emitted as
+    a typed {!Obs.Event} on the cluster {!log}:
+
+    - a crashed node ({!crash_node}, or the [Node_crash] site) is routed
+      around ([Failover]); its registry entries are evicted
+      ([Registry_evict]) and survivors re-publish replacement locations
+      ([Registry_repair]);
+    - a failed or stale remote fetch is retried with exponential backoff
+      and a jittered pause ([Fetch_retry]), trying other holders;
+    - when holders exist but none is reachable (crash or partition), the
+      invocation degrades to a local cold start ([Degraded_cold]) rather
+      than failing;
+    - a partition that cuts the routed node off from every holder
+      re-routes the invocation to a holder itself ([Failover]).
+
+    With no fault plan installed none of this machinery draws, sleeps,
+    or emits: behaviour is identical to a fault-free build. *)
 
 type t
 
@@ -20,6 +39,11 @@ type stats = {
   remote_fetches : int;
   cluster_colds : int;
   bytes_transferred : int64;
+  fetch_retries : int;  (** backed-off fetch re-attempts *)
+  failovers : int;  (** invocations re-routed off dead/partitioned nodes *)
+  degraded_colds : int;  (** holders existed but none reachable *)
+  node_crashes : int;
+  registry_evictions : int;  (** dead/stale holder entries dropped *)
 }
 
 val create :
@@ -37,10 +61,25 @@ val nodes : t -> Seuss.Node.t list
 
 val registry : t -> Registry.t
 
+val log : t -> Obs.Log.t
+(** The cluster's failure/recovery timeline: crash, eviction, repair,
+    retry, failover, degradation events, engine-timestamped. *)
+
+val is_alive : t -> int -> bool
+
+val alive_count : t -> int
+
+val crash_node : t -> int -> unit
+(** Kill node [id]: it stops receiving routes, its registry entries are
+    evicted, and surviving holders re-publish orphaned functions.
+    Idempotent on an already-dead node.
+    @raise Invalid_argument if [id] is out of range. *)
+
 val invoke :
   t -> Seuss.Node.fn -> args:string -> (string, Seuss.Node.invoke_error) result * source
-(** Route one invocation: least-loaded node; remote fetch on local miss
-    when some other node holds the snapshot. *)
+(** Route one invocation: least-loaded live node; remote fetch (with
+    retry) on local miss when some other node holds the snapshot.
+    [Error `Overloaded] with [Cluster_cold] only when no node is alive. *)
 
 val invoke_unregistered :
   t -> Seuss.Node.fn -> args:string -> (string, Seuss.Node.invoke_error) result * source

@@ -25,6 +25,22 @@ let locate t ~fn_id =
 let holder_other_than t ~fn_id ~node_id =
   List.find_opt (fun l -> l.node_id <> node_id) (locate t ~fn_id)
 
+let evict t ~fn_id ~node_id =
+  match Hashtbl.find_opt t.table fn_id with
+  | None -> ()
+  | Some locations ->
+      Hashtbl.replace t.table fn_id
+        (List.filter (fun l -> l.node_id <> node_id) locations)
+
+let held_by t ~node_id =
+  List.sort String.compare
+    (Hashtbl.fold
+       (fun fn_id locations acc ->
+         if List.exists (fun l -> l.node_id = node_id) locations then
+           fn_id :: acc
+         else acc)
+       t.table [])
+
 let forget_node t ~node_id =
   Hashtbl.iter
     (fun fn_id locations ->

@@ -20,6 +20,14 @@ val locate : t -> fn_id:string -> location list
 val holder_other_than : t -> fn_id:string -> node_id:int -> location option
 (** A live holder on some other node, if any. *)
 
+val evict : t -> fn_id:string -> node_id:int -> unit
+(** Drop one holder entry (the fault-plane path: the holder is dead or
+    its entry is stale). Other holders of [fn_id] are untouched. *)
+
+val held_by : t -> node_id:int -> string list
+(** The fn_ids [node_id] currently holds, sorted — the work-list for
+    post-crash eviction and re-publication. *)
+
 val forget_node : t -> node_id:int -> unit
 
 val entries : t -> int

@@ -1,7 +1,33 @@
 let default_budget = Mem.Mconfig.default_budget_bytes
 
+(* Fault-plane hook: SEUSS_FAULT_RATE arms every injection site at the
+   given rate for any harness-run experiment. The plan seed is derived
+   from the run seed by a fixed xor (never split off the engine stream),
+   so arming at rate 0 makes zero extra PRNG draws and leaves every
+   experiment output bit-identical — the CI identity check depends on
+   this. SEUSS_FAULT_SEED overrides the derived seed. *)
+let fault_seed_xor = 0x5EEDFA17L
+
+let fault_seed_of ~seed =
+  match Sys.getenv_opt "SEUSS_FAULT_SEED" with
+  | None -> Int64.logxor seed fault_seed_xor
+  | Some s -> (
+      match Int64.of_string_opt s with
+      | Some v -> v
+      | None ->
+          Printf.eprintf "harness: ignoring malformed SEUSS_FAULT_SEED %S\n" s;
+          Int64.logxor seed fault_seed_xor)
+
+let install_env_faults ~seed engine =
+  match Faults.Fault.rates_of_env () with
+  | None -> ()
+  | Some rates ->
+      Faults.Fault.install
+        (Faults.Fault.make ~seed:(fault_seed_of ~seed) ~rates engine)
+
 let run_sim ?(seed = 7L) body =
   let engine = Sim.Engine.create ~seed () in
+  install_env_faults ~seed engine;
   let result = ref None in
   Sim.Engine.spawn engine ~name:"experiment" (fun () ->
       result := Some (body engine));

@@ -5,7 +5,20 @@
 
 val run_sim : ?seed:int64 -> (Sim.Engine.t -> 'a) -> 'a
 (** Spawn the body as a simulation process and drive the engine until it
-    completes. *)
+    completes. When {!Faults.Fault.env_var} ([SEUSS_FAULT_RATE]) is set,
+    a fault plan with every site at that rate is installed on the engine
+    first, seeded by [seed xor fault_seed_xor] (or [SEUSS_FAULT_SEED]):
+    the derivation never draws from the engine stream, so a rate of 0
+    leaves every experiment output bit-identical to an unfaulted run. *)
+
+val fault_seed_xor : int64
+(** The fixed constant mixed into the run seed to derive a fault-plan
+    seed ([0x5EEDFA17]); shared by the env hook and [fig_chaos] so one
+    run seed fully determines the failure sequence. *)
+
+val install_env_faults : seed:int64 -> Sim.Engine.t -> unit
+(** The [SEUSS_FAULT_RATE] hook described at {!run_sim}, for harnesses
+    that build their own engine. *)
 
 val make_seuss_env :
   ?budget_bytes:int64 -> ?io_delay:float -> Sim.Engine.t -> Seuss.Osenv.t

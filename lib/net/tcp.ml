@@ -21,6 +21,10 @@ let syn_retries = 2
 
 let connect ?(admit = fun () -> true) ~link l =
   let engine = Sim.Engine.self () in
+  (* Fault plane: an injected drop loses this SYN exactly like an
+     admission refusal — the client sleeps the retransmission timeout and
+     spends one attempt of its retry budget. *)
+  let admit () = admit () && not (Faults.Fault.fire Net_drop ~detail:"syn") in
   let rec attempt tries =
     if admit () then begin
       (* Handshake: SYN, SYN/ACK, ACK before data can flow. *)
@@ -52,8 +56,12 @@ let send conn ?size data =
   if conn.closed_local then invalid_arg "Tcp.send: connection closed";
   let size = Option.value size ~default:(String.length data) in
   let link = conn.link in
+  (* Fault plane: a delay spike stalls the sender (head-of-line blocking
+     on a congested path); 0.0 whenever no plan is armed. *)
   Sim.Engine.sleep
-    (link.Netconf.per_message +. (float_of_int size /. link.Netconf.bandwidth));
+    (link.Netconf.per_message
+    +. (float_of_int size /. link.Netconf.bandwidth)
+    +. Faults.Fault.delay ());
   let engine = Sim.Engine.self () in
   Sim.Engine.schedule engine ~delay:link.Netconf.latency (fun () ->
       Sim.Channel.send conn.out (Data { data; size }))

@@ -3,9 +3,12 @@
     A deliberately small TCP model: connections carry framed messages
     with costs derived from a {!Netconf.link} (handshake = 1.5 RTT,
     per-message cost = serialization + fixed overhead, delivery delayed
-    by the one-way latency). Loss is not modeled here — admission
-    failure and drop-induced timeouts live in {!Bridge}, where the paper
-    observed them. *)
+    by the one-way latency). Organic loss is not modeled here —
+    admission failure and drop-induced timeouts live in {!Bridge}, where
+    the paper observed them — but the fault plane can inject loss at two
+    sites: [Net_drop] loses a SYN (consuming one retry of the budget
+    below), and [Net_delay] stalls a {!send} by the plan's delay spike.
+    Both are no-ops when no {!Faults.Fault.plan} is installed. *)
 
 type msg = { data : string; size : int }
 (** [size] is the modeled wire size; it may exceed [String.length data]
@@ -54,3 +57,7 @@ val syn_timeout : float
     SYN retry). *)
 
 val syn_retries : int
+(** Refused/dropped SYNs tolerated after the first attempt (2): a
+    connect makes at most [1 + syn_retries] attempts before giving up —
+    the retry budget the Figures 6-8 'x' marks and the fault-plane drop
+    tests assert against. *)

@@ -24,6 +24,15 @@ type t =
   | Cow_fault of { uc_id : int }
   | Uc_reclaim of { uc_id : int; fn_id : string }
   | Oom_wake of { free_bytes : int64 }
+  | Fault_injected of { site : string; detail : string }
+  | Invoke_retry of { fn_id : string }
+  | Node_crash of { node_id : int }
+  | Fetch_retry of { fn_id : string; attempt : int; backoff : float }
+  | Registry_evict of { fn_id : string; node_id : int; reason : string }
+  | Registry_repair of { node_id : int; republished : int }
+  | Failover of { fn_id : string; from_node : int; to_node : int }
+  | Degraded_cold of { fn_id : string }
+  | Partition_change of { a : int; b : int; healed : bool }
 
 let type_name = function
   | Invoke_start _ -> "invoke_start"
@@ -32,6 +41,15 @@ let type_name = function
   | Cow_fault _ -> "cow_fault"
   | Uc_reclaim _ -> "uc_reclaim"
   | Oom_wake _ -> "oom_wake"
+  | Fault_injected _ -> "fault_injected"
+  | Invoke_retry _ -> "invoke_retry"
+  | Node_crash _ -> "node_crash"
+  | Fetch_retry _ -> "fetch_retry"
+  | Registry_evict _ -> "registry_evict"
+  | Registry_repair _ -> "registry_repair"
+  | Failover _ -> "failover"
+  | Degraded_cold _ -> "degraded_cold"
+  | Partition_change _ -> "partition_change"
 
 let to_json ~time ev =
   let fields =
@@ -59,6 +77,36 @@ let to_json ~time ev =
         [ ("uc_id", Json.Int uc_id); ("fn_id", Json.String fn_id) ]
     | Oom_wake { free_bytes } ->
         [ ("free_bytes", Json.Int (Int64.to_int free_bytes)) ]
+    | Fault_injected { site; detail } ->
+        [ ("site", Json.String site); ("detail", Json.String detail) ]
+    | Invoke_retry { fn_id } -> [ ("fn_id", Json.String fn_id) ]
+    | Node_crash { node_id } -> [ ("node_id", Json.Int node_id) ]
+    | Fetch_retry { fn_id; attempt; backoff } ->
+        [
+          ("fn_id", Json.String fn_id);
+          ("attempt", Json.Int attempt);
+          ("backoff", Json.Float backoff);
+        ]
+    | Registry_evict { fn_id; node_id; reason } ->
+        [
+          ("fn_id", Json.String fn_id);
+          ("node_id", Json.Int node_id);
+          ("reason", Json.String reason);
+        ]
+    | Registry_repair { node_id; republished } ->
+        [
+          ("node_id", Json.Int node_id);
+          ("republished", Json.Int republished);
+        ]
+    | Failover { fn_id; from_node; to_node } ->
+        [
+          ("fn_id", Json.String fn_id);
+          ("from_node", Json.Int from_node);
+          ("to_node", Json.Int to_node);
+        ]
+    | Degraded_cold { fn_id } -> [ ("fn_id", Json.String fn_id) ]
+    | Partition_change { a; b; healed } ->
+        [ ("a", Json.Int a); ("b", Json.Int b); ("healed", Json.Bool healed) ]
   in
   Json.Obj
     (("ts", Json.Float time) :: ("type", Json.String (type_name ev)) :: fields)
@@ -102,6 +150,43 @@ let of_json json =
     | "oom_wake" ->
         let* free_bytes = field "free_bytes" Json.to_int in
         Ok (Oom_wake { free_bytes = Int64.of_int free_bytes })
+    | "fault_injected" ->
+        let* site = field "site" Json.to_str in
+        let* detail = field "detail" Json.to_str in
+        Ok (Fault_injected { site; detail })
+    | "invoke_retry" ->
+        let* fn_id = field "fn_id" Json.to_str in
+        Ok (Invoke_retry { fn_id })
+    | "node_crash" ->
+        let* node_id = field "node_id" Json.to_int in
+        Ok (Node_crash { node_id })
+    | "fetch_retry" ->
+        let* fn_id = field "fn_id" Json.to_str in
+        let* attempt = field "attempt" Json.to_int in
+        let* backoff = field "backoff" Json.to_float in
+        Ok (Fetch_retry { fn_id; attempt; backoff })
+    | "registry_evict" ->
+        let* fn_id = field "fn_id" Json.to_str in
+        let* node_id = field "node_id" Json.to_int in
+        let* reason = field "reason" Json.to_str in
+        Ok (Registry_evict { fn_id; node_id; reason })
+    | "registry_repair" ->
+        let* node_id = field "node_id" Json.to_int in
+        let* republished = field "republished" Json.to_int in
+        Ok (Registry_repair { node_id; republished })
+    | "failover" ->
+        let* fn_id = field "fn_id" Json.to_str in
+        let* from_node = field "from_node" Json.to_int in
+        let* to_node = field "to_node" Json.to_int in
+        Ok (Failover { fn_id; from_node; to_node })
+    | "degraded_cold" ->
+        let* fn_id = field "fn_id" Json.to_str in
+        Ok (Degraded_cold { fn_id })
+    | "partition_change" ->
+        let* a = field "a" Json.to_int in
+        let* b = field "b" Json.to_int in
+        let* healed = field "healed" Json.to_bool in
+        Ok (Partition_change { a; b; healed })
     | other -> Error (Printf.sprintf "event: unknown type %S" other)
   in
   Ok (time, ev)

@@ -39,6 +39,30 @@ type t =
       (** The OOM daemon destroyed an idle UC. *)
   | Oom_wake of { free_bytes : int64 }
       (** Free memory fell below the headroom; the daemon woke. *)
+  | Fault_injected of { site : string; detail : string }
+      (** The fault plane fired at an injection site
+          ([site] is {!Faults.Fault.site_name}). *)
+  | Invoke_retry of { fn_id : string }
+      (** A hot UC died mid-request; the node retried internally on the
+          warm/cold path. *)
+  | Node_crash of { node_id : int }
+      (** A whole cluster node died; its registry entries are evicted. *)
+  | Fetch_retry of { fn_id : string; attempt : int; backoff : float }
+      (** A remote snapshot fetch failed; retrying after an
+          exponentially-backed-off, jittered pause. *)
+  | Registry_evict of { fn_id : string; node_id : int; reason : string }
+      (** A dead or stale holder entry was dropped from the registry. *)
+  | Registry_repair of { node_id : int; republished : int }
+      (** After a node crash, surviving holders re-published
+          [republished] snapshot locations. *)
+  | Failover of { fn_id : string; from_node : int; to_node : int }
+      (** An invocation was re-routed away from a node that could not be
+          served locally or by fetch. *)
+  | Degraded_cold of { fn_id : string }
+      (** Holders exist but none was reachable: the cluster degraded to
+          a local cold start rather than failing the invocation. *)
+  | Partition_change of { a : int; b : int; healed : bool }
+      (** The fabric between nodes [a] and [b] was cut or healed. *)
 
 val type_name : t -> string
 (** The discriminator stored in the ["type"] JSON field. *)

@@ -18,6 +18,7 @@ type stats = {
   warm : int;
   hot : int;
   errors : int;
+  retries : int;
   reclaimed_ucs : int;
   snapshots_captured : int;
 }
@@ -49,6 +50,7 @@ type t = {
   c_errors_cold : Obs.Metrics.counter;
   c_errors_warm : Obs.Metrics.counter;
   c_errors_hot : Obs.Metrics.counter;
+  c_retried : Obs.Metrics.counter;
   c_reclaimed : Obs.Metrics.counter;
   c_oom_wakes : Obs.Metrics.counter;
   c_captured : Obs.Metrics.counter;
@@ -80,6 +82,7 @@ let create ?(config = Config.default) node_env =
     c_errors_cold = errors "cold";
     c_errors_warm = errors "warm";
     c_errors_hot = errors "hot";
+    c_retried = Obs.Metrics.counter m "node_invoke_retries_total";
     c_reclaimed = Obs.Metrics.counter m "node_ucs_reclaimed_total";
     c_oom_wakes = Obs.Metrics.counter m "node_oom_wakes_total";
     c_captured = Obs.Metrics.counter m "node_snapshots_captured_total";
@@ -175,6 +178,7 @@ let stats t =
     warm = inv "warm";
     hot = inv "hot";
     errors = Obs.Metrics.sum_counters m "node_errors_total";
+    retries = Obs.Metrics.sum_counters m "node_invoke_retries_total";
     reclaimed_ucs = Obs.Metrics.sum_counters m "node_ucs_reclaimed_total";
     snapshots_captured =
       Obs.Metrics.sum_counters m "node_snapshots_captured_total";
@@ -223,6 +227,26 @@ let drop_idle t ~fn_id =
         q;
       Queue.clear q
 
+(* Destroy the oldest idle entry; [true] iff a live UC was reclaimed
+   (entries gone stale — taken hot or already destroyed — are skipped). *)
+let reclaim_oldest t =
+  let fn_id, uc = Queue.take t.idle_order in
+  Osenv.burn t.node_env Cost.oom_scan;
+  match Hashtbl.find_opt t.idle fn_id with
+  | Some q when Queue.fold (fun found u -> found || u == uc) false q ->
+      let fresh = Queue.create () in
+      Queue.iter (fun u -> if u != uc then Queue.add u fresh) q;
+      Hashtbl.replace t.idle fn_id fresh;
+      t.idle_total <- t.idle_total - 1;
+      if Uc.status uc = Uc.Running then begin
+        Uc.destroy uc;
+        Obs.Metrics.inc t.c_reclaimed;
+        Osenv.emit t.node_env (Obs.Event.Uc_reclaim { uc_id = Uc.id uc; fn_id });
+        true
+      end
+      else false
+  | _ -> false
+
 (* The paper's trivial OOM daemon: reclaim idle UCs, oldest first, while
    free memory sits below the headroom. *)
 let reclaim_idle_ucs t =
@@ -236,23 +260,22 @@ let reclaim_idle_ucs t =
     Osenv.emit t.node_env (Obs.Event.Oom_wake { free_bytes = free_bytes t })
   end;
   while continue_ () do
-    let fn_id, uc = Queue.take t.idle_order in
-    Osenv.burn t.node_env Cost.oom_scan;
-    (* Skip stale entries: the UC may have been taken hot or destroyed. *)
-    match Hashtbl.find_opt t.idle fn_id with
-    | Some q when Queue.fold (fun found u -> found || u == uc) false q ->
-        let fresh = Queue.create () in
-        Queue.iter (fun u -> if u != uc then Queue.add u fresh) q;
-        Hashtbl.replace t.idle fn_id fresh;
-        t.idle_total <- t.idle_total - 1;
-        if Uc.status uc = Uc.Running then begin
-          Uc.destroy uc;
-          incr reclaimed;
-          Obs.Metrics.inc t.c_reclaimed;
-          Osenv.emit t.node_env
-            (Obs.Event.Uc_reclaim { uc_id = Uc.id uc; fn_id })
-        end
-    | _ -> ()
+    if reclaim_oldest t then incr reclaimed
+  done;
+  refresh_gauges t;
+  !reclaimed
+
+(* An injected OOM storm: a sudden external allocation spike forces the
+   daemon to evict the whole idle-UC cache, not just down to headroom —
+   subsequent repeats of the affected functions degrade hot -> warm. *)
+let storm_reclaim t =
+  let reclaimed = ref 0 in
+  if not (Queue.is_empty t.idle_order) then begin
+    Obs.Metrics.inc t.c_oom_wakes;
+    Osenv.emit t.node_env (Obs.Event.Oom_wake { free_bytes = free_bytes t })
+  end;
+  while not (Queue.is_empty t.idle_order) do
+    if reclaim_oldest t then incr reclaimed
   done;
   refresh_gauges t;
   !reclaimed
@@ -322,12 +345,36 @@ let start t =
 
 let now t = Sim.Engine.now t.node_env.Osenv.engine
 
+(* Consult the fault plane at one of this node's injection sites; when
+   the site fires, count and emit it so the failure timeline is visible
+   in [seussctl events]. No plan installed (or rate 0) => always false,
+   with zero PRNG draws. *)
+let inject t site detail =
+  if Faults.Fault.fire site ~detail then begin
+    Obs.Metrics.inc
+      (Obs.Metrics.counter t.node_env.Osenv.metrics
+         ~labels:[ ("site", Faults.Fault.site_name site) ]
+         "node_faults_injected_total");
+    Osenv.emit t.node_env
+      (Obs.Event.Fault_injected
+         { site = Faults.Fault.site_name site; detail });
+    true
+  end
+  else false
+
 let headroom_check t =
+  if inject t Faults.Fault.Oom_storm "allocation spike" then
+    ignore (storm_reclaim t);
   if Int64.compare (free_bytes t) t.cfg.Config.oom_headroom_bytes < 0 then
     ignore (reclaim_idle_ucs t)
 
 let run_on_uc t ph uc ~args =
   let t0 = now t in
+  (* Fault plane: kill the guest just as the request is handed to it —
+     the request then fails with a lost connection, exactly what a
+     mid-request UC death looks like from the node side. *)
+  if inject t Faults.Fault.Uc_kill (Printf.sprintf "uc-%d" (Uc.id uc)) then
+    Uc.destroy uc;
   let result =
     match
       Uc.request uc (Unikernel.Driver.Run args)
@@ -411,10 +458,16 @@ let cold_invoke t ph fn ~args =
                     t.cfg.Config.cache_function_snapshots
                     && not (Hashtbl.mem t.fn_snapshots fn.fn_id)
                   then begin
-                    let snap =
-                      Uc.capture uc ~env:t.node_env ~name:("fn-" ^ fn.fn_id)
-                    in
-                    install_snapshot t ~fn_id:fn.fn_id snap
+                    (* Fault plane: a failed capture loses the function
+                       snapshot (the invocation itself still succeeds);
+                       the next miss pays the cold path again. *)
+                    if not (inject t Faults.Fault.Capture_fail fn.fn_id)
+                    then begin
+                      let snap =
+                        Uc.capture uc ~env:t.node_env ~name:("fn-" ^ fn.fn_id)
+                      in
+                      install_snapshot t ~fn_id:fn.fn_id snap
+                    end
                   end;
                   Uc.resume uc;
                   ph.p_import <- ph.p_import +. (now t -. t1);
@@ -439,17 +492,32 @@ let cold_invoke t ph fn ~args =
             end
           end)
 
+(* A hot UC died out from under the request: retry internally on the
+   warm (or cold) path. The invocation keeps its first-attempted [Hot]
+   path in the counters — only the separate retry counter moves — and
+   the client never sees the intermediate failure. *)
+let retry_after_hot_death t ph fn ~args =
+  Obs.Metrics.inc t.c_retried;
+  Osenv.emit t.node_env (Obs.Event.Invoke_retry { fn_id = fn.fn_id });
+  match function_snapshot t fn.fn_id with
+  | Some snap -> warm_invoke t ph fn snap ~args
+  | None -> cold_invoke t ph fn ~args
+
 let hot_invoke t ph uc fn ~args =
   Sim.Trace.mark "node.path hot";
   let t0 = now t in
   if Uc.connect uc then begin
     ph.p_deploy <- ph.p_deploy +. (now t -. t0);
-    finish t Hot fn uc (run_on_uc t ph uc ~args)
+    match run_on_uc t ph uc ~args with
+    | Error _ when Uc.status uc = Uc.Dead ->
+        (* The guest died mid-request (not a guest-level error reply):
+           fall back rather than surface a transient to the caller. *)
+        retry_after_hot_death t ph fn ~args
+    | result -> finish t Hot fn uc result
   end
   else begin
     Uc.destroy uc;
-    count_error t Hot;
-    Error `Timeout
+    retry_after_hot_death t ph fn ~args
   end
 
 let invoke t fn ~args =

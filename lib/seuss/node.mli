@@ -9,7 +9,14 @@
 
     Memory pressure is handled by the paper's "trivial" OOM daemon:
     idle UCs (never snapshots with dependents) are reclaimed, oldest
-    first, whenever free memory is below the configured headroom. *)
+    first, whenever free memory is below the configured headroom.
+
+    Fault plane: when a {!Faults.Fault.plan} is installed on the engine
+    the node consults three injection sites — [Uc_kill] (guest dies just
+    as a request is handed to it), [Capture_fail] (a function-snapshot
+    capture is lost; the invocation still succeeds), and [Oom_storm]
+    (an allocation spike evicts the whole idle-UC cache). All are
+    no-draw no-ops when no plan is armed. *)
 
 type t
 
@@ -33,6 +40,10 @@ type stats = {
   warm : int;
   hot : int;
   errors : int;
+  retries : int;
+      (** internal hot-death retries; these invocations stay counted
+          under [hot], so [cold + warm + hot] always equals the number
+          of invocations accepted *)
   reclaimed_ucs : int;
   snapshots_captured : int;
 }

@@ -13,6 +13,12 @@ type t = {
      inherit it at [spawn], and it is saved/restored across Sleep and
      Suspend so a process keeps its value over its whole lifetime. *)
   mutable local : local option;
+  (* Engine-owned fault-plan slot (same universal-type idiom as [local]):
+     the faults library parks its plan here so injection sites anywhere in
+     the stack can find it without the engine depending on them. *)
+  mutable fault_plan : local option;
+  (* Supervised processes that died, newest first. *)
+  mutable crashed : (string * exn) list;
 }
 
 exception Process_failure of string * exn
@@ -34,6 +40,8 @@ let create ?(seed = 1L) () =
     running = false;
     executed = 0;
     local = None;
+    fault_plan = None;
+    crashed = [];
   }
 
 let now t = t.clock
@@ -60,19 +68,31 @@ let self_opt () = !current
 let get_local t = t.local
 let set_local t v = t.local <- v
 
+let fault_plan t = t.fault_plan
+let set_fault_plan t v = t.fault_plan <- v
+
+let failures t = List.rev t.crashed
+
 let sleep delay = Effect.perform (Sleep delay)
 let yield () = sleep 0.0
 let suspend register = Effect.perform (Suspend register)
 
 (* Run [f] as a process: a deep handler interprets Sleep/Suspend by parking
    the continuation in the event queue or with the caller's registrar. The
-   handler stays attached when the continuation is resumed later. *)
-let exec t name f =
+   handler stays attached when the continuation is resumed later, so a
+   supervised process that crashes after a suspension is still caught. *)
+let exec ?supervise t name f =
   let open Effect.Deep in
   match_with f ()
     {
       retc = (fun () -> ());
-      exnc = (fun exn -> raise (Process_failure (name, exn)));
+      exnc =
+        (fun exn ->
+          match supervise with
+          | Some on_crash ->
+              t.crashed <- (name, exn) :: t.crashed;
+              on_crash name exn
+          | None -> raise (Process_failure (name, exn)));
       effc =
         (fun (type a) (eff : a Effect.t) ->
           match eff with
@@ -110,6 +130,12 @@ let spawn t ?(name = "process") f =
   schedule t ~delay:0.0 (fun () ->
       t.local <- inherited;
       exec t name f)
+
+let spawn_supervised t ?(name = "process") ?(on_crash = fun _ _ -> ()) f =
+  let inherited = t.local in
+  schedule t ~delay:0.0 (fun () ->
+      t.local <- inherited;
+      exec ~supervise:on_crash t name f)
 
 let run ?until t =
   if t.running then invalid_arg "Engine.run: already running";

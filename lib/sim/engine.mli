@@ -31,6 +31,18 @@ val spawn : t -> ?name:string -> (unit -> unit) -> unit
     {!sleep} and the blocking primitives. An exception escaping [f] aborts
     the whole simulation run ([name] is reported for diagnosis). *)
 
+val spawn_supervised :
+  t -> ?name:string -> ?on_crash:(string -> exn -> unit) -> (unit -> unit) -> unit
+(** Like {!spawn}, but an exception escaping [f] — including an injected
+    crash from the fault plane — kills only this process: the failure is
+    recorded in {!failures}, [on_crash] (default: nothing) is notified,
+    and the run continues. The supervision survives suspensions: a crash
+    after any number of {!sleep}s or {!suspend}s is still contained. *)
+
+val failures : t -> (string * exn) list
+(** Supervised processes that died so far, oldest first, with the
+    exception that killed each. *)
+
 val run : ?until:float -> t -> unit
 (** [run t] executes events in timestamp order until the queue drains, or
     until simulated time would exceed [until] (remaining events are left
@@ -73,6 +85,20 @@ val get_local : t -> local option
 val set_local : t -> local option -> unit
 (** Overwrite the current process's slot (takes effect for the rest of
     this process's lifetime, including after suspensions). *)
+
+(** {1 Fault-plan slot}
+
+    One engine-owned slot for the fault-injection plan (see the [faults]
+    library), using the same universal-type embedding as {!local}. The
+    engine never interprets the value; it only carries it so injection
+    sites across the stack can reach the plan of the running simulation
+    without a dependency cycle. Empty by default: a simulation with no
+    installed plan makes no PRNG draws for fault decisions, so its event
+    stream is bit-identical to a build without the fault plane. *)
+
+val fault_plan : t -> local option
+
+val set_fault_plan : t -> local option -> unit
 
 val sleep : float -> unit
 (** Suspend the current process for a simulated duration (>= 0). *)

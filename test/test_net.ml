@@ -105,6 +105,86 @@ let test_tcp_send_on_closed_rejected () =
                    | () -> false
                    | exception Invalid_argument _ -> true))))
 
+let test_tcp_injected_drops_exhaust_syn_budget () =
+  (* Fault plane at drop rate 1.0: every SYN is lost, so connect makes
+     its documented 1 + syn_retries attempts and fails, sleeping
+     syn_timeout between attempts — same budget as admission refusal. *)
+  let result = ref (Some ()) and duration = ref 0.0 in
+  let engine = Sim.Engine.create () in
+  let plan =
+    Faults.Fault.make ~seed:5L ~rates:[ (Faults.Fault.Net_drop, 1.0) ] engine
+  in
+  Faults.Fault.install plan;
+  let l = Net.Tcp.listener ~port:1 in
+  Sim.Engine.spawn engine (fun () ->
+      let started = Sim.Engine.now engine in
+      (match Net.Tcp.connect ~link:Net.Netconf.lan l with
+      | None -> result := None
+      | Some _ -> ());
+      duration := Sim.Engine.now engine -. started);
+  Sim.Engine.run engine;
+  Alcotest.(check (option unit)) "failed" None !result;
+  check_float "slept between all retries"
+    (float_of_int Net.Tcp.syn_retries *. Net.Tcp.syn_timeout)
+    !duration;
+  Alcotest.(check int) "one drop per attempt"
+    (1 + Net.Tcp.syn_retries)
+    (List.length
+       (List.filter
+          (fun r -> r.Faults.Fault.site = Faults.Fault.Net_drop)
+          (Faults.Fault.history plan)))
+
+let test_tcp_injected_drop_below_one_can_succeed () =
+  (* At rate 0.5 with a retry budget of 3 attempts, some connects still
+     get through — and with no plan installed, all of them do. *)
+  let successes = ref 0 in
+  let engine = Sim.Engine.create () in
+  let plan =
+    Faults.Fault.make ~seed:11L ~rates:[ (Faults.Fault.Net_drop, 0.5) ] engine
+  in
+  Faults.Fault.install plan;
+  let l = Net.Tcp.listener ~port:1 in
+  Sim.Engine.spawn engine (fun () ->
+      let rec accept_all () =
+        let conn = Net.Tcp.accept l in
+        Net.Tcp.close conn;
+        accept_all ()
+      in
+      accept_all ());
+  Sim.Engine.spawn engine (fun () ->
+      for _ = 1 to 20 do
+        match Net.Tcp.connect ~link:Net.Netconf.lan l with
+        | Some conn ->
+            incr successes;
+            Net.Tcp.close conn
+        | None -> ()
+      done);
+  Sim.Engine.run engine;
+  Alcotest.(check bool) "some got through" true (!successes > 0);
+  Alcotest.(check bool) "some were dropped" true
+    (Faults.Fault.fired plan > 0)
+
+let test_injected_delay_spike_stalls_send () =
+  let elapsed = ref 0.0 in
+  let engine = Sim.Engine.create () in
+  let plan =
+    Faults.Fault.make ~seed:3L ~delay_spike:0.5
+      ~rates:[ (Faults.Fault.Net_delay, 1.0) ]
+      engine
+  in
+  Faults.Fault.install plan;
+  let l = Net.Tcp.listener ~port:1 in
+  Sim.Engine.spawn engine (fun () -> ignore (Net.Tcp.accept l));
+  Sim.Engine.spawn engine (fun () ->
+      match Net.Tcp.connect ~link:Net.Netconf.lan l with
+      | None -> ()
+      | Some conn ->
+          let t0 = Sim.Engine.now engine in
+          Net.Tcp.send conn "x";
+          elapsed := Sim.Engine.now engine -. t0);
+  Sim.Engine.run engine;
+  Alcotest.(check bool) "send stalled by the spike" true (!elapsed >= 0.5)
+
 let test_http_roundtrip () =
   let status = ref 0 and body = ref "" in
   ignore
@@ -272,6 +352,69 @@ let test_bridge_healthy_when_small () =
              done)));
   Alcotest.(check int) "no failures at low population" 0 !failures
 
+let test_bridge_port_exhaustion_counters () =
+  (* The documented Linux bridge port limit is 1024: below it organic
+     drops are rare, far beyond it the drop probability hits its 0.9 cap
+     and failed connects are counted. *)
+  Alcotest.(check int) "documented port limit" 1024
+    Net.Bridge.default_config.Net.Bridge.safe_endpoints;
+  let failures = ref 0 in
+  let bridge = ref None in
+  ignore
+    (run (fun e ->
+         let config =
+           { Net.Bridge.default_config with Net.Bridge.safe_endpoints = 8 }
+         in
+         let b = Net.Bridge.create ~config ~rng:(Sim.Prng.create 13L) () in
+         bridge := Some b;
+         let l = Net.Tcp.listener ~port:1 in
+         Sim.Engine.spawn e (fun () ->
+             let rec accept_all () =
+               let conn = Net.Tcp.accept l in
+               Net.Tcp.close conn;
+               accept_all ()
+             in
+             accept_all ());
+         Sim.Engine.spawn e (fun () ->
+             (* 12x oversubscribed, like ~12k containers on one bridge. *)
+             for _ = 1 to 96 do
+               Net.Bridge.add_endpoint b
+             done;
+             Alcotest.(check (float 1e-9)) "drop probability capped" 0.9
+               (Net.Bridge.drop_probability b);
+             for _ = 1 to 30 do
+               if Option.is_none (Net.Bridge.connect b l) then incr failures
+             done)));
+  let b = Option.get !bridge in
+  Alcotest.(check bool) "connects failed at the cap" true (!failures > 0);
+  Alcotest.(check int) "failed_connects counts them" !failures
+    (Net.Bridge.failed_connects b);
+  Alcotest.(check bool) "each failure burned the whole SYN budget" true
+    (Net.Bridge.dropped_syns b >= (1 + Net.Tcp.syn_retries) * !failures)
+
+let test_bridge_injected_drops_add_to_organic () =
+  (* A healthy, under-populated bridge fails anyway when the fault plane
+     drops every SYN: injected loss composes with the admission model. *)
+  let failures = ref 0 in
+  let engine = Sim.Engine.create () in
+  let plan =
+    Faults.Fault.make ~seed:17L ~rates:[ (Faults.Fault.Net_drop, 1.0) ] engine
+  in
+  Faults.Fault.install plan;
+  let bridge = Net.Bridge.create ~rng:(Sim.Prng.create 3L) () in
+  let l = Net.Tcp.listener ~port:1 in
+  Sim.Engine.spawn engine (fun () ->
+      for _ = 1 to 10 do
+        Net.Bridge.add_endpoint bridge
+      done;
+      for _ = 1 to 5 do
+        if Option.is_none (Net.Bridge.connect bridge l) then incr failures
+      done);
+  Sim.Engine.run engine;
+  Alcotest.(check int) "all five failed" 5 !failures;
+  Alcotest.(check int) "counted by the bridge" 5
+    (Net.Bridge.failed_connects bridge)
+
 let test_bridge_remove_endpoint () =
   let bridge = Net.Bridge.create ~rng:(Sim.Prng.create 1L) () in
   Alcotest.(check bool) "remove on empty raises" true
@@ -353,6 +496,14 @@ let () =
           case "send on closed" test_tcp_send_on_closed_rejected;
           qcase tcp_preserves_order;
         ] );
+      ( "faults",
+        [
+          case "injected drops exhaust SYN budget"
+            test_tcp_injected_drops_exhaust_syn_budget;
+          case "partial drop rate can succeed"
+            test_tcp_injected_drop_below_one_can_succeed;
+          case "delay spike stalls send" test_injected_delay_spike_stalls_send;
+        ] );
       ( "http",
         [
           case "roundtrip" test_http_roundtrip;
@@ -371,6 +522,8 @@ let () =
           case "creation slows with population" test_bridge_creation_slows_with_population;
           case "drops under saturation" test_bridge_drops_under_saturation;
           case "healthy when small" test_bridge_healthy_when_small;
+          case "port exhaustion counters" test_bridge_port_exhaustion_counters;
+          case "injected drops add to organic" test_bridge_injected_drops_add_to_organic;
           case "remove endpoint" test_bridge_remove_endpoint;
           qcase bridge_drop_probability_monotone;
         ] );

@@ -62,6 +62,16 @@ let test_event_roundtrip_all_variants () =
       Obs.Event.Cow_fault { uc_id = 7 };
       Obs.Event.Uc_reclaim { uc_id = 7; fn_id = "fn-1" };
       Obs.Event.Oom_wake { free_bytes = 1048576L };
+      Obs.Event.Fault_injected { site = "uc_kill"; detail = "uc-42" };
+      Obs.Event.Invoke_retry { fn_id = "fn-1" };
+      Obs.Event.Node_crash { node_id = 2 };
+      Obs.Event.Fetch_retry { fn_id = "fn-1"; attempt = 2; backoff = 0.075 };
+      Obs.Event.Registry_evict
+        { fn_id = "fn-1"; node_id = 3; reason = "dead holder" };
+      Obs.Event.Registry_repair { node_id = 1; republished = 4 };
+      Obs.Event.Failover { fn_id = "fn-1"; from_node = 0; to_node = 2 };
+      Obs.Event.Degraded_cold { fn_id = "fn-1" };
+      Obs.Event.Partition_change { a = 0; b = 3; healed = false };
     ]
   in
   List.iter
