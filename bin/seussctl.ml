@@ -201,6 +201,46 @@ let chaos_cmd =
           deterministic fault injection")
     Term.(const run $ nodes $ functions $ calls $ rates $ json $ events $ csv_arg $ seed_arg)
 
+let reap_cmd =
+  let functions =
+    Arg.(
+      value & opt int 8
+      & info [ "functions" ] ~docv:"M" ~doc:"Distinct functions.")
+  in
+  let rounds =
+    Arg.(
+      value & opt int 20
+      & info [ "rounds" ] ~docv:"R"
+          ~doc:
+            "Measured warm rounds per arm (the recording round is \
+             excluded).")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit the comparison as one canonical JSON object \
+                (bit-identical across runs of the same seed) instead of \
+                a table.")
+  in
+  let run functions rounds json csv seed =
+    if functions < 1 || rounds < 1 then begin
+      Printf.eprintf "seussctl: --functions and --rounds must be positive\n";
+      exit 2
+    end;
+    let r = Experiments.Fig_reap.run ~functions ~rounds ~seed () in
+    if json then
+      print (Obs.Json.to_string (Experiments.Fig_reap.to_json r) ^ "\n")
+    else print (Experiments.Fig_reap.render r);
+    Option.iter (fun path -> Experiments.Fig_reap.write_csv ~path r) csv
+  in
+  Cmd.v
+    (Cmd.info "reap"
+       ~doc:
+         "Extension: REAP-style working-set record & prefault on warm \
+          snapshot deploys, on vs off")
+    Term.(const run $ functions $ rounds $ json $ csv_arg $ seed_arg)
+
 let ksm_cmd =
   let mem =
     Arg.(value & opt int 3072 & info [ "mem-mib" ] ~docv:"MIB" ~doc:"Node memory budget.")
@@ -579,7 +619,7 @@ let () =
   let doc = "SEUSS (EuroSys '20) reproduction experiments" in
   let main = Cmd.group (Cmd.info "seussctl" ~doc)
       [ table1_cmd; table2_cmd; table3_cmd; fig4_cmd; fig5_cmd; burst_cmd;
-        ablations_cmd; drseuss_cmd; chaos_cmd; ksm_cmd; autoao_cmd; trace_cmd;
+        ablations_cmd; drseuss_cmd; chaos_cmd; reap_cmd; ksm_cmd; autoao_cmd; trace_cmd;
         snapshots_cmd; top_cmd; events_cmd; all_cmd; info_cmd ]
   in
   exit (Cmd.eval main)

@@ -63,4 +63,11 @@ let run ?(scale = Quick) ?(seed = 7L) () =
   progress "Ablations...";
   let ablation_invocations = match scale with Quick -> 10 | Full -> 30 in
   add (Ablations.render (Ablations.run ~invocations:ablation_invocations ~seed ()));
+  progress "Working-set prefault (REAP)...";
+  let reap_functions, reap_rounds =
+    match scale with Quick -> (4, 8) | Full -> (8, 20)
+  in
+  add
+    (Fig_reap.render
+       (Fig_reap.run ~functions:reap_functions ~rounds:reap_rounds ~seed ()));
   Buffer.contents buf

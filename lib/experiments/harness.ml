@@ -45,8 +45,30 @@ let make_seuss_env ?(budget_bytes = default_budget) ?(io_delay = 0.25) engine =
   Seuss.Osenv.register_host env "http://io-server" io_listener;
   env
 
-let seuss_node ?config env =
-  let node = Seuss.Node.create ?config env in
+(* Prefault hook: SEUSS_PREFAULT=1 (or =0) overrides the config's
+   working-set-prefault flag for any harness-built SEUSS node, the same
+   way SEUSS_FAULT_RATE arms the fault plane. Unset leaves the config
+   alone; =0 forces the flag off, which is also its default, so a
+   SEUSS_PREFAULT=0 run is bit-identical to an unhooked one — the CI
+   transparency check depends on this. *)
+let prefault_env_var = "SEUSS_PREFAULT"
+
+let prefault_of_env () =
+  match Sys.getenv_opt prefault_env_var with
+  | None -> None
+  | Some ("1" | "true" | "yes" | "on") -> Some true
+  | Some ("0" | "false" | "no" | "off") -> Some false
+  | Some s ->
+      Printf.eprintf "harness: ignoring malformed %s %S\n" prefault_env_var s;
+      None
+
+let apply_env_prefault config =
+  match prefault_of_env () with
+  | None -> config
+  | Some v -> { config with Seuss.Config.prefault_working_set = v }
+
+let seuss_node ?(config = Seuss.Config.default) env =
+  let node = Seuss.Node.create ~config:(apply_env_prefault config) env in
   Seuss.Node.start node;
   node
 

@@ -25,9 +25,24 @@ val make_seuss_env :
 (** An 88 GB/16-core environment with the external blocking HTTP
     endpoint registered as ["http://io-server"]. *)
 
+val prefault_env_var : string
+(** ["SEUSS_PREFAULT"]. *)
+
+val prefault_of_env : unit -> bool option
+(** [Some true] / [Some false] when {!prefault_env_var} is set to a
+    recognised on/off value; [None] when unset or malformed. *)
+
+val apply_env_prefault : Seuss.Config.t -> Seuss.Config.t
+(** Override [prefault_working_set] from the environment (applied by
+    {!seuss_node} to every harness-built node). [SEUSS_PREFAULT=0] is
+    indistinguishable from unset because the flag defaults to off. *)
+
 val seuss_node :
   ?config:Seuss.Config.t -> Seuss.Osenv.t -> Seuss.Node.t
-(** Create and start a SEUSS node (blocking: boots the runtime). *)
+(** Create and start a SEUSS node (blocking: boots the runtime). The
+    config's prefault flag is subject to the [SEUSS_PREFAULT] override;
+    experiments needing fixed arms (e.g. [Fig_reap]) build their nodes
+    directly. *)
 
 val seuss_controller :
   ?config:Seuss.Config.t -> Seuss.Osenv.t -> Platform.Controller.t * Seuss.Node.t

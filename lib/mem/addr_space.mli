@@ -17,6 +17,13 @@ type fault = No_fault | Zero_fill | Cow_copy
 
 type write_stats = { pages : int; zero_fills : int; cow_copies : int }
 
+type prefault_stats = {
+  requested : int;  (** vpns passed in (duplicates counted again) *)
+  prefault_zero_fills : int;  (** were absent: fresh zero frames mapped *)
+  prefault_cow_copies : int;  (** were copy-on-write: privately copied *)
+  already_mapped : int;  (** were already writable: only flags set *)
+}
+
 val create : Frame.t -> t
 (** A fresh, empty address space. *)
 
@@ -44,6 +51,36 @@ val set_fault_hook : t -> (fault -> unit) -> unit
 
 val touch_read : t -> vpn:int -> unit
 (** Sets the accessed bit on a present page; no-op on absent pages. *)
+
+(** {2 Working-set recording and batched prefault (REAP)}
+
+    Recording the ordered set of vpns demand-faulted during a deploy's
+    first invocation, then installing that set in one batched pass on
+    later deploys from the same snapshot, removes the per-page fault
+    storm from the warm path (Ustiugov et al., ASPLOS '21). *)
+
+val start_trace : t -> unit
+(** Arm the access trace: every subsequently {e resolved} fault
+    ([Zero_fill] / [Cow_copy]) appends its vpn, in fault order. Arming
+    replaces any trace in progress. Recording stops silently after
+    65536 vpns (a runaway function, not a working set). *)
+
+val take_trace : t -> int list
+(** Disarm and return the vpns recorded since {!start_trace}, in fault
+    order (each vpn appears at most once per trace: a page faults at
+    most once between freezes). Empty if not armed. *)
+
+val tracing : t -> bool
+
+val prefault : t -> vpns:int list -> prefault_stats
+(** Install a recorded working set in one batched page-table pass: each
+    vpn ends in exactly the state a demand {!touch_write} would leave it
+    (zero-filled, COW-copied, or just dirty+accessed), lifetime and
+    mapped/dirty counters included, but the fault hook never fires — no
+    faults occur; the caller charges one batched cost from the stats.
+    Structural sharing is preserved: only leaves holding prefaulted vpns
+    are privatized. @raise Frame.Out_of_memory mid-batch (installed
+    pages stay installed, like a partial {!write_range}). *)
 
 val write_range : t -> vpn:int -> pages:int -> write_stats
 (** Write [pages] consecutive pages starting at [vpn]. *)

@@ -160,6 +160,35 @@ let structure_bytes t =
   let leaf_bytes = entries * word in
   root + (private_leaf_tables t * leaf_bytes)
 
+(* Validation (tests): walk a family of tables, deduplicating physically
+   shared leaves, and return the per-frame reference counts the allocator
+   should be reporting — each distinct leaf holds one reference per
+   present entry, shared leaves exactly once. *)
+let expected_refcounts tables =
+  let seen = ref [] in
+  let counts = Hashtbl.create 64 in
+  List.iter
+    (fun t ->
+      check_alive t;
+      Array.iter
+        (function
+          | None -> ()
+          | Some leaf ->
+              if not (List.memq leaf !seen) then begin
+                seen := leaf :: !seen;
+                Array.iter
+                  (fun e ->
+                    if Entry.present e then
+                      let f = Entry.frame e in
+                      Hashtbl.replace counts f
+                        (1
+                        + Option.value ~default:0 (Hashtbl.find_opt counts f)))
+                  leaf.entries
+              end)
+        t.dirs)
+    tables;
+  counts
+
 let release t =
   check_alive t;
   Array.iteri

@@ -33,6 +33,14 @@ type t =
   | Failover of { fn_id : string; from_node : int; to_node : int }
   | Degraded_cold of { fn_id : string }
   | Partition_change of { a : int; b : int; healed : bool }
+  | Ws_record of { snapshot : string; pages : int }
+  | Ws_prefault of {
+      uc_id : int;
+      snapshot : string;
+      pages : int;
+      cow_copied : int;
+      zero_filled : int;
+    }
 
 let type_name = function
   | Invoke_start _ -> "invoke_start"
@@ -50,6 +58,8 @@ let type_name = function
   | Failover _ -> "failover"
   | Degraded_cold _ -> "degraded_cold"
   | Partition_change _ -> "partition_change"
+  | Ws_record _ -> "ws_record"
+  | Ws_prefault _ -> "ws_prefault"
 
 let to_json ~time ev =
   let fields =
@@ -107,6 +117,16 @@ let to_json ~time ev =
     | Degraded_cold { fn_id } -> [ ("fn_id", Json.String fn_id) ]
     | Partition_change { a; b; healed } ->
         [ ("a", Json.Int a); ("b", Json.Int b); ("healed", Json.Bool healed) ]
+    | Ws_record { snapshot; pages } ->
+        [ ("snapshot", Json.String snapshot); ("pages", Json.Int pages) ]
+    | Ws_prefault { uc_id; snapshot; pages; cow_copied; zero_filled } ->
+        [
+          ("uc_id", Json.Int uc_id);
+          ("snapshot", Json.String snapshot);
+          ("pages", Json.Int pages);
+          ("cow_copied", Json.Int cow_copied);
+          ("zero_filled", Json.Int zero_filled);
+        ]
   in
   Json.Obj
     (("ts", Json.Float time) :: ("type", Json.String (type_name ev)) :: fields)
@@ -187,6 +207,17 @@ let of_json json =
         let* b = field "b" Json.to_int in
         let* healed = field "healed" Json.to_bool in
         Ok (Partition_change { a; b; healed })
+    | "ws_record" ->
+        let* snapshot = field "snapshot" Json.to_str in
+        let* pages = field "pages" Json.to_int in
+        Ok (Ws_record { snapshot; pages })
+    | "ws_prefault" ->
+        let* uc_id = field "uc_id" Json.to_int in
+        let* snapshot = field "snapshot" Json.to_str in
+        let* pages = field "pages" Json.to_int in
+        let* cow_copied = field "cow_copied" Json.to_int in
+        let* zero_filled = field "zero_filled" Json.to_int in
+        Ok (Ws_prefault { uc_id; snapshot; pages; cow_copied; zero_filled })
     | other -> Error (Printf.sprintf "event: unknown type %S" other)
   in
   Ok (time, ev)

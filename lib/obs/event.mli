@@ -63,6 +63,19 @@ type t =
           a local cold start rather than failing the invocation. *)
   | Partition_change of { a : int; b : int; healed : bool }
       (** The fabric between nodes [a] and [b] was cut or healed. *)
+  | Ws_record of { snapshot : string; pages : int }
+      (** The first invocation from [snapshot] completed with working-set
+          recording on; [pages] vpns were captured for future prefault. *)
+  | Ws_prefault of {
+      uc_id : int;
+      snapshot : string;
+      pages : int;  (** working-set size requested *)
+      cow_copied : int;
+      zero_filled : int;
+    }
+      (** A warm deploy batch-installed [snapshot]'s recorded working
+          set into UC [uc_id] before the guest ran. Pages neither copied
+          nor zero-filled were already mapped in the snapshot stack. *)
 
 val type_name : t -> string
 (** The discriminator stored in the ["type"] JSON field. *)

@@ -8,6 +8,7 @@ type t = {
   oom_headroom_bytes : int64;
   max_function_snapshots : int;
   invoke_timeout : float;
+  prefault_working_set : bool;
   runtimes : Unikernel.Image.t list;
 }
 
@@ -20,6 +21,7 @@ let default =
     oom_headroom_bytes = Int64.of_int (Mem.Mconfig.mib 1024);
     max_function_snapshots = 200_000;
     invoke_timeout = 60.0;
+    prefault_working_set = false;
     runtimes = [ Unikernel.Image.node ];
   }
 

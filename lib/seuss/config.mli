@@ -20,6 +20,12 @@ type t = {
           deletion-safety rule (only snapshots with no active UCs and no
           child snapshots are deleted, oldest first) *)
   invoke_timeout : float;  (** seconds before an invocation errors out *)
+  prefault_working_set : bool;
+      (** REAP-style warm deploys: record the vpns demand-faulted by the
+          first invocation from each function snapshot and batch-install
+          them on every later deploy, replacing the demand-fault storm
+          with one [Cost.prefault_time] pass. Off by default — the off
+          path is bit-identical to a build without the feature. *)
   runtimes : Unikernel.Image.t list;  (** images to boot at node start *)
 }
 

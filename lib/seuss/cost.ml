@@ -8,3 +8,13 @@ let capture_per_dirty_page = Mem.Mconfig.page_copy_time
 let destroy = 120e-6
 let oom_scan = 15e-6
 let shim_per_message = 3.9e-3
+let prefault_fixed = 12e-6
+let prefault_cow_per_page = 0.45e-6
+let prefault_zero_per_page = 0.15e-6
+
+let prefault_time (st : Mem.Addr_space.prefault_stats) =
+  prefault_fixed
+  +. (float_of_int st.Mem.Addr_space.prefault_cow_copies
+     *. prefault_cow_per_page)
+  +. (float_of_int st.Mem.Addr_space.prefault_zero_fills
+     *. prefault_zero_per_page)

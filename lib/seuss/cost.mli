@@ -43,3 +43,31 @@ val shim_per_message : float
     single TCP connection; the two transfers serialize at ~3.9 ms each,
     reproducing both Table 3's shim-bound 128.6 creations/s and the
     "about 8 ms" the extra hop adds to hot round trips (§7). *)
+
+(** {2 Working-set prefault (REAP, Ustiugov et al. ASPLOS '21)}
+
+    A demand fault pays a VM exit, handler dispatch, and TLB refill on
+    top of the page work itself; those trap costs are folded into
+    {!Mem.Mconfig.page_copy_time} (0.78 us) and
+    {!Mem.Mconfig.zero_fill_time} (0.35 us). Installing a recorded
+    working set in one batched page-table pass keeps only the copy/zero
+    work — REAP measures the record-and-prefetch path eliminating ~97%
+    of cold-start page-fault stalls; we model the per-page saving
+    conservatively as the trap share of each fault (~0.33 us of a COW
+    fault, ~0.20 us of a zero fill). *)
+
+val prefault_fixed : float
+(** One trap into the prefault handler per batch (~12 us), regardless
+    of batch size. *)
+
+val prefault_cow_per_page : float
+(** Copying one snapshot page during a batched install: the 0.78 us
+    demand COW fault minus its trap share. *)
+
+val prefault_zero_per_page : float
+(** Mapping one fresh zero page during a batched install: the 0.35 us
+    demand zero fill minus its trap share. *)
+
+val prefault_time : Mem.Addr_space.prefault_stats -> float
+(** Core time for one batch: fixed trap + per-page install work.
+    Already-mapped pages are free (flag updates ride the same pass). *)

@@ -212,7 +212,13 @@ let pop_idle t fn_id =
         | None -> None
         | Some uc ->
             t.idle_total <- t.idle_total - 1;
-            if Uc.status uc = Uc.Running then Some uc else take ()
+            if Uc.status uc = Uc.Running then Some uc
+            else begin
+              (* Died in the cache (guest OOM): reclaim its frames and
+                 snapshot reference on the way past. *)
+              Uc.destroy uc;
+              take ()
+            end
       in
       take ()
 
@@ -222,7 +228,7 @@ let drop_idle t ~fn_id =
   | Some q ->
       Queue.iter
         (fun uc ->
-          if Uc.status uc = Uc.Running then Uc.destroy uc;
+          Uc.destroy uc;
           t.idle_total <- t.idle_total - 1)
         q;
       Queue.clear q
@@ -244,7 +250,12 @@ let reclaim_oldest t =
         Osenv.emit t.node_env (Obs.Event.Uc_reclaim { uc_id = Uc.id uc; fn_id });
         true
       end
-      else false
+      else begin
+        (* Already dead in the cache: no live UC reclaimed, but its
+           resources still need draining. *)
+        Uc.destroy uc;
+        false
+      end
   | _ -> false
 
 (* The paper's trivial OOM daemon: reclaim idle UCs, oldest first, while
@@ -408,6 +419,22 @@ let warm_invoke t ph fn snap ~args =
       count_error t Warm;
       Error `Overloaded
   | uc ->
+      (* REAP-style warm deploys: replay the snapshot's recorded working
+         set before the guest runs, or — on the snapshot's first warm
+         invocation — record it for every deploy after. The deploy just
+         above has not yielded yet, so the batch install lands before
+         the guest's restore writes can fault. *)
+      let recording =
+        t.cfg.Config.prefault_working_set
+        &&
+        match Snapshot.working_set snap with
+        | Some ws ->
+            ignore (Uc.prefault uc ~vpns:ws);
+            false
+        | None ->
+            Uc.start_ws_record uc;
+            true
+      in
       if not (Uc.connect uc) then begin
         Uc.destroy uc;
         count_error t Warm;
@@ -415,7 +442,17 @@ let warm_invoke t ph fn snap ~args =
       end
       else begin
         ph.p_deploy <- ph.p_deploy +. (now t -. t0);
-        finish t Warm fn uc (run_on_uc t ph uc ~args)
+        let result = run_on_uc t ph uc ~args in
+        if recording then begin
+          let ws = Uc.take_ws_record uc in
+          if Result.is_ok result && ws <> [] then begin
+            Snapshot.record_working_set snap ws;
+            Osenv.emit t.node_env
+              (Obs.Event.Ws_record
+                 { snapshot = snap.Snapshot.name; pages = List.length ws })
+          end
+        end;
+        finish t Warm fn uc result
       end
 
 let cold_invoke t ph fn ~args =
@@ -561,6 +598,28 @@ let invoke t fn ~args =
   (result, path)
 
 let last_served_uc t = t.last_uc
+
+(* Orderly teardown, for leak audits: destroy every idle UC, then delete
+   function snapshots (their dependents are now zero), then bases. After
+   shutdown the node holds no frames — a consistent allocator reports
+   [used_frames = 0]. *)
+let shutdown t =
+  (match t.last_uc with Some uc -> Uc.destroy uc | None -> ());
+  t.last_uc <- None;
+  Hashtbl.iter (fun _ q -> Queue.iter Uc.destroy q) t.idle;
+  Hashtbl.reset t.idle;
+  Queue.clear t.idle_order;
+  t.idle_total <- 0;
+  Hashtbl.iter
+    (fun _ snap -> ignore (Snapshot.try_delete ~env:t.node_env snap))
+    t.fn_snapshots;
+  Hashtbl.reset t.fn_snapshots;
+  Queue.clear t.snap_order;
+  List.iter
+    (fun (_, base) -> ignore (Snapshot.try_delete ~env:t.node_env base))
+    t.bases;
+  t.bases <- [];
+  refresh_gauges t
 
 let deploy_idle t runtime =
   match base_snapshot t runtime with

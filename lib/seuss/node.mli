@@ -7,6 +7,12 @@
     - {b warm}: deploy from the function snapshot, import arguments, run;
     - {b hot}: reuse an idle UC over its existing connection.
 
+    With {!Config.t.prefault_working_set} on, the warm path records the
+    pages demand-faulted by each function snapshot's first invocation
+    and batch-installs them (REAP-style) on every later deploy from
+    that snapshot, replacing the per-page fault storm with a single
+    {!Cost.prefault_time} charge.
+
     Memory pressure is handled by the paper's "trivial" OOM daemon:
     idle UCs (never snapshots with dependents) are reclaimed, oldest
     first, whenever free memory is below the configured headroom.
@@ -107,3 +113,10 @@ val drop_idle : t -> fn_id:string -> unit
 val reclaim_idle_ucs : t -> int
 (** Force the OOM daemon's sweep: destroy idle UCs (oldest first) until
     free memory exceeds the headroom; returns the number reclaimed. *)
+
+val shutdown : t -> unit
+(** Orderly teardown: destroy every idle UC (and the last-served one),
+    then delete all function snapshots and base snapshots. Afterwards
+    the node holds no frame references — with no other allocator users,
+    [Mem.Frame.used_frames] returns to zero. Must run inside a
+    simulation process (deletions charge {!Cost.destroy}). *)

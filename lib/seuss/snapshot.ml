@@ -9,6 +9,7 @@ type t = {
   total_pages : int;
   mutable dependents : int;
   mutable deleted : bool;
+  mutable working_set : int array option;
 }
 
 let capture ~env ~name ~parent ~image ~space ~guest =
@@ -35,6 +36,7 @@ let capture ~env ~name ~parent ~image ~space ~guest =
     total_pages = Mem.Addr_space.mapped_pages space;
     dependents = 0;
     deleted = false;
+    working_set = None;
   }
 
 let import ~env ~name ~local_base ~remote ~transfer_time =
@@ -74,6 +76,7 @@ let import ~env ~name ~local_base ~remote ~transfer_time =
     total_pages = total;
     dependents = 0;
     deleted = false;
+    working_set = None;
   }
 
 let check_alive t name =
@@ -90,6 +93,20 @@ let decref t =
   t.dependents <- t.dependents - 1
 
 let dependents t = t.dependents
+
+(* First writer wins: the working set is recorded once, from the first
+   completed invocation, and replayed verbatim ever after (REAP keeps the
+   first trace too — stability of serverless working sets is the paper's
+   enabling observation). *)
+let record_working_set t vpns =
+  check_alive t "record_working_set";
+  match t.working_set with
+  | Some _ -> ()
+  | None -> if vpns <> [] then t.working_set <- Some (Array.of_list vpns)
+
+let working_set t =
+  check_alive t "working_set";
+  match t.working_set with None -> None | Some a -> Some (Array.to_list a)
 
 let is_deleted t = t.deleted
 

@@ -23,6 +23,9 @@ type t = private {
   total_pages : int;  (** full mapping, diff + everything shared below *)
   mutable dependents : int;
   mutable deleted : bool;
+  mutable working_set : int array option;
+      (** vpns demand-faulted by the first completed invocation deployed
+          from this snapshot, in fault order (REAP-style record) *)
 }
 
 val capture :
@@ -65,6 +68,16 @@ val addref : t -> unit
 val decref : t -> unit
 
 val dependents : t -> int
+
+val record_working_set : t -> int list -> unit
+(** Attach the ordered list of vpns demand-faulted during the first
+    completed invocation from this snapshot. First record wins — later
+    calls (and empty traces) are ignored, mirroring REAP's
+    record-once/replay-forever design.
+    @raise Invalid_argument on a deleted snapshot. *)
+
+val working_set : t -> int list option
+(** The recorded working set, in original fault order, if any. *)
 
 val is_deleted : t -> bool
 

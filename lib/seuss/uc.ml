@@ -13,6 +13,7 @@ type t = {
   mutable guest : Unikernel.Guest.state option;
   mutable conn : Net.Tcp.conn option;
   mutable st : status;
+  mutable released : bool;
   mutable used_at : float;
 }
 
@@ -68,6 +69,7 @@ let make env ~image ~space ~source =
       guest = None;
       conn = None;
       st = Running;
+      released = false;
       used_at = Sim.Engine.now env.Osenv.engine;
     }
   in
@@ -199,10 +201,41 @@ let capture t ~env ~name =
            });
       snap)
 
+let start_ws_record t = Mem.Addr_space.start_trace t.space
+
+let take_ws_record t = Mem.Addr_space.take_trace t.space
+
+let prefault t ~vpns =
+  (* Install first, bill second: [Addr_space.prefault] never yields, so
+     every page is resident before the guest's restore path can run;
+     the batch's core time is burned once the pages are in place. *)
+  let stats = Mem.Addr_space.prefault t.space ~vpns in
+  Osenv.burn t.env (Cost.prefault_time stats);
+  let snapshot =
+    match t.source with Some s -> s.Snapshot.name | None -> "<boot>"
+  in
+  Osenv.emit t.env
+    (Obs.Event.Ws_prefault
+       {
+         uc_id = t.uc_id;
+         snapshot;
+         pages = stats.Mem.Addr_space.requested;
+         cow_copied = stats.Mem.Addr_space.prefault_cow_copies;
+         zero_filled = stats.Mem.Addr_space.prefault_zero_fills;
+       });
+  stats
+
+(* Status and resource ownership are separate concerns: a guest that
+   dies on its own (OOM mid-write) flips [st] to [Dead] without passing
+   through [destroy], so release must key on its own flag or the dead
+   UC's frames and snapshot reference leak forever. *)
 let destroy t =
   if t.st = Running then begin
     t.st <- Dead;
-    Osenv.burn t.env Cost.destroy;
+    Osenv.burn t.env Cost.destroy
+  end;
+  if not t.released then begin
+    t.released <- true;
     (match t.conn with Some conn -> Net.Tcp.close conn | None -> ());
     t.conn <- None;
     Net.Proxy.unregister t.env.Osenv.proxy ~port:t.uc_port;

@@ -58,9 +58,28 @@ val capture : t -> env:Osenv.t -> name:string -> Snapshot.t
 (** Snapshot this UC (it must be parked at a breakpoint). The UC's
     source snapshot becomes the parent. *)
 
+val start_ws_record : t -> unit
+(** Begin recording the vpns this UC demand-faults, in fault order
+    (REAP-style working-set record; see {!Config.t.prefault_working_set}). *)
+
+val take_ws_record : t -> int list
+(** Stop recording and return the ordered faulted vpns ([[]] if
+    recording was never started). *)
+
+val prefault : t -> vpns:int list -> Mem.Addr_space.prefault_stats
+(** Batch-install a recorded working set into this UC's address space
+    before the guest runs: pages are resident synchronously (no yield
+    until after install), then one {!Cost.prefault_time} charge covers
+    the batch and a [Ws_prefault] event is emitted. Demand-fault
+    telemetry (hooks, COW events) does not fire for prefaulted pages. *)
+
 val destroy : t -> unit
 (** Kill the UC: close the connection, unmap the proxy port, release
-    all private frames, drop the snapshot reference. Idempotent. *)
+    all private frames, drop the snapshot reference. Idempotent, and
+    safe on a UC whose guest already died on its own (OOM): resources
+    are released exactly once regardless of how the UC reached [Dead];
+    the {!Cost.destroy} charge applies only on the [Running] -> [Dead]
+    transition. *)
 
 val private_pages : t -> int
 (** Frames exclusively owned by this UC (zero-fills + COW copies since

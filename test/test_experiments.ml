@@ -148,6 +148,36 @@ let test_auto_ao_recovers_costs () =
         (c.Experiments.Auto_ao.inferred_ms > 0.0))
     r.Experiments.Auto_ao.components
 
+let test_fig4_deterministic () =
+  (* Two in-process runs with the same seed must be structurally
+     identical — the golden guarantee every CI cmp check builds on. *)
+  let run () = Experiments.Fig4.run ~set_sizes:[ 64 ] ~client_threads:16 () in
+  let r1 = run () and r2 = run () in
+  Alcotest.(check bool) "same-seed runs identical" true (r1 = r2);
+  Alcotest.(check string) "rendered output identical"
+    (Experiments.Fig4.render r1)
+    (Experiments.Fig4.render r2)
+
+let test_fig_reap_reduction () =
+  let r = Experiments.Fig_reap.run ~functions:4 ~rounds:6 () in
+  let open Experiments.Fig_reap in
+  (* The PR's acceptance bar: prefaulting the recorded working set cuts
+     warm-deploy fault-handling time by at least 30%. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "reduction %.1f%% >= 30%%" r.reduction_pct)
+    true
+    (r.reduction_pct >= 30.0);
+  (* Steady state replays entirely from the batch: demand faults gone. *)
+  Alcotest.(check bool) "demand COW faults eliminated" true
+    (r.on_.cow_faults < r.off.cow_faults && r.on_.cow_faults = 0);
+  Alcotest.(check int) "same offered load" r.off.warm_invocations
+    r.on_.warm_invocations;
+  Alcotest.(check bool) "prefault batches ran" true (r.on_.prefault_batches > 0);
+  Alcotest.(check int) "off arm never prefaults" 0 r.off.prefault_batches;
+  (* Wall-clock latency must improve too, not just the fault accounting. *)
+  Alcotest.(check bool) "warm mean latency improves" true
+    (r.on_.mean_ms < r.off.mean_ms)
+
 let test_report_rendering () =
   let text =
     Experiments.Report.comparison ~title:"T" ~note:"n"
@@ -174,6 +204,8 @@ let () =
           case "fig4 crossover" test_fig4_crossover;
           case "fig5 percentiles" test_fig5_percentiles;
           case "burst contrast" test_burst_contrast;
+          case "fig4 deterministic" test_fig4_deterministic;
+          case "fig_reap reduction" test_fig_reap_reduction;
         ] );
       ( "misc",
         [

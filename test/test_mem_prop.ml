@@ -1,0 +1,287 @@
+(* Randomized property battery for the mem substrate, driven by the
+   simulator's own splitmix64 stream (Sim.Prng) rather than QCheck
+   generators: the schedules are a deterministic function of the seed,
+   so a failure report names the exact (seed, schedule, step) to replay.
+
+   Two families:
+
+   - schedules: random interleavings of touch_read / touch_write /
+     write_range / freeze / COW-clone / release / prefault over a family
+     of address spaces, asserting after EVERY operation that the O(1)
+     counters match full page-table walks and that the frame allocator's
+     refcounts are exactly the ones implied by the live tables
+     (Page_table.expected_refcounts);
+
+   - differential: a batched prefault followed by an invocation's writes
+     leaves an address space byte-identical (same frames, same flags,
+     same counters) to pure demand faulting of the same vpns — only the
+     fault-hook activity differs.
+
+   SEUSS_PROP_SEED overrides the base seed (CI rotates it). *)
+
+module F = Mem.Frame
+module PT = Mem.Page_table
+module AS = Mem.Addr_space
+
+let base_seed =
+  match Sys.getenv_opt "SEUSS_PROP_SEED" with
+  | None -> 17L
+  | Some s -> (
+      match Int64.of_string_opt s with
+      | Some v -> v
+      | None ->
+          Printf.eprintf "test_mem_prop: malformed SEUSS_PROP_SEED %S\n" s;
+          17L)
+
+let schedules = 200
+let mib n = Int64.of_int (Mem.Mconfig.mib n)
+
+(* {1 Invariant checks} *)
+
+let check_counters ~ctx space =
+  let m = AS.mapped_pages space and ms = AS.mapped_pages_slow space in
+  if m <> ms then
+    Alcotest.failf "%s: mapped_pages %d <> slow walk %d" ctx m ms;
+  let d = AS.dirty_pages space and ds = AS.dirty_pages_slow space in
+  if d <> ds then Alcotest.failf "%s: dirty_pages %d <> slow walk %d" ctx d ds
+
+let check_refcounts ~ctx frames spaces =
+  let expected = PT.expected_refcounts (List.map AS.table spaces) in
+  let live = Hashtbl.length expected and used = F.used_frames frames in
+  if live <> used then
+    Alcotest.failf "%s: tables reference %d frames, allocator holds %d" ctx
+      live used;
+  Hashtbl.iter
+    (fun fr rc ->
+      let actual = F.refcount frames fr in
+      if actual <> rc then
+        Alcotest.failf "%s: frame %d refcount %d, tables imply %d" ctx fr
+          actual rc)
+    expected
+
+let check_invariants ~ctx frames spaces =
+  List.iter (check_counters ~ctx) spaces;
+  check_refcounts ~ctx frames spaces
+
+(* {1 Random schedules} *)
+
+let max_spaces = 6
+let vpn_span = 2048
+
+(* One schedule: a fresh allocator, a frozen root, then [steps] random
+   operations over a growing/shrinking family of spaces, with the full
+   invariant set checked after every single operation. *)
+let run_schedule ~seed ~sched =
+  let prng = Sim.Prng.create (Int64.add seed (Int64.of_int sched)) in
+  let frames = F.create ~budget_bytes:(mib 256) () in
+  let root = AS.create frames in
+  ignore (AS.write_range root ~vpn:0 ~pages:64);
+  AS.freeze root;
+  let spaces = ref [ root ] in
+  let pick () =
+    List.nth !spaces (Sim.Prng.int prng (List.length !spaces))
+  in
+  let steps = 24 + Sim.Prng.int prng 25 in
+  for step = 1 to steps do
+    let ctx = Printf.sprintf "seed %Ld sched %d step %d" seed sched step in
+    (match Sim.Prng.int prng 100 with
+    | r when r < 30 ->
+        ignore (AS.touch_write (pick ()) ~vpn:(Sim.Prng.int prng vpn_span))
+    | r when r < 40 -> AS.touch_read (pick ()) ~vpn:(Sim.Prng.int prng vpn_span)
+    | r when r < 55 ->
+        ignore
+          (AS.write_range (pick ())
+             ~vpn:(Sim.Prng.int prng (vpn_span - 16))
+             ~pages:(1 + Sim.Prng.int prng 16))
+    | r when r < 63 -> AS.freeze (pick ())
+    | r when r < 78 ->
+        if List.length !spaces < max_spaces then begin
+          let parent = pick () in
+          AS.freeze parent;
+          spaces := AS.of_table frames (AS.table parent) :: !spaces
+        end
+    | r when r < 88 -> (
+        (* Release any member — including a parent whose clones are
+           still live: shared leaves must keep their frames alive. *)
+        match !spaces with
+        | _ :: _ :: _ ->
+            let victim = pick () in
+            AS.release victim;
+            spaces := List.filter (fun s -> s != victim) !spaces
+        | _ -> ())
+    | _ ->
+        let space = pick () in
+        let n = 1 + Sim.Prng.int prng 32 in
+        let vpns = List.init n (fun _ -> Sim.Prng.int prng vpn_span) in
+        ignore (AS.prefault space ~vpns));
+    check_invariants ~ctx frames !spaces
+  done;
+  List.iter AS.release !spaces;
+  let used = F.used_frames frames in
+  if used <> 0 then
+    Alcotest.failf "seed %Ld sched %d: %d frames leaked after full release"
+      seed sched used
+
+let test_random_schedules () =
+  for sched = 0 to schedules - 1 do
+    run_schedule ~seed:base_seed ~sched
+  done
+
+(* {1 Differential: prefault vs demand faulting} *)
+
+(* Identical worlds: same allocator budget, same frozen parent, so the
+   allocation order — and therefore every frame id — is a deterministic
+   function of the operations applied. *)
+let build_universe () =
+  let frames = F.create ~budget_bytes:(mib 64) () in
+  let parent = AS.create frames in
+  ignore (AS.write_range parent ~vpn:0 ~pages:96);
+  AS.freeze parent;
+  let child = AS.of_table frames (AS.table parent) in
+  (frames, parent, child)
+
+let entries_of space =
+  List.sort compare
+    (PT.fold_present (AS.table space) ~init:[] ~f:(fun acc ~vpn e ->
+         ( vpn,
+           PT.Entry.frame e,
+           PT.Entry.writable e,
+           PT.Entry.cow e,
+           PT.Entry.dirty e,
+           PT.Entry.accessed e )
+         :: acc))
+
+let state_of space =
+  ( AS.mapped_pages space,
+    AS.dirty_pages space,
+    AS.lifetime_zero_fills space,
+    AS.lifetime_cow_copies space,
+    entries_of space )
+
+let test_prefault_matches_demand () =
+  let prng = Sim.Prng.create (Int64.logxor base_seed 0xD1FFL) in
+  for round = 1 to 60 do
+    (* A working set mixing COW hits (parent range) and fresh pages,
+       duplicates allowed, plus follow-up invocation writes. *)
+    let ws =
+      List.init
+        (1 + Sim.Prng.int prng 48)
+        (fun _ -> Sim.Prng.int prng 160)
+    in
+    let follow_ups =
+      List.init
+        (Sim.Prng.int prng 24)
+        (fun _ -> Sim.Prng.int prng 200)
+    in
+    (* Arm 1: pure demand faulting, counting hook activity. *)
+    let frames_d, parent_d, demand = build_universe () in
+    let demand_faults = ref 0 in
+    AS.set_fault_hook demand (fun _ -> incr demand_faults);
+    List.iter (fun vpn -> ignore (AS.touch_write demand ~vpn)) ws;
+    List.iter (fun vpn -> ignore (AS.touch_write demand ~vpn)) follow_ups;
+    (* Arm 2: batched prefault of the same set, then the same writes. *)
+    let frames_p, parent_p, prefaulted = build_universe () in
+    let prefault_faults = ref 0 in
+    AS.set_fault_hook prefaulted (fun _ -> incr prefault_faults);
+    let stats = AS.prefault prefaulted ~vpns:ws in
+    List.iter (fun vpn -> ignore (AS.touch_write prefaulted ~vpn)) follow_ups;
+    if state_of demand <> state_of prefaulted then
+      Alcotest.failf
+        "round %d: prefaulted space diverged from demand-faulted twin" round;
+    (* Only the fault-count telemetry may differ: the hook never fires
+       for the batch, so the demand arm saw exactly the batch's installs
+       more than the prefault arm did. *)
+    let delta = stats.AS.prefault_zero_fills + stats.AS.prefault_cow_copies in
+    if !demand_faults - !prefault_faults <> delta then
+      Alcotest.failf "round %d: fault-count delta %d, prefault installed %d"
+        round
+        (!demand_faults - !prefault_faults)
+        delta;
+    Alcotest.(check int)
+      "requested counts every vpn" (List.length ws) stats.AS.requested;
+    (* Both worlds drain to zero. *)
+    AS.release demand;
+    AS.release parent_d;
+    AS.release prefaulted;
+    AS.release parent_p;
+    Alcotest.(check int) "demand world drained" 0 (F.used_frames frames_d);
+    Alcotest.(check int) "prefault world drained" 0 (F.used_frames frames_p)
+  done
+
+let test_prefault_rejects_read_only () =
+  let frames = F.create ~budget_bytes:(mib 4) () in
+  let space = AS.create frames in
+  let fr = F.alloc frames in
+  PT.set (AS.table space) ~vpn:7
+    (PT.Entry.make ~frame:fr ~writable:false ~cow:false ~dirty:false
+       ~accessed:false);
+  Alcotest.(check bool) "protection violation raises" true
+    (match AS.prefault space ~vpns:[ 7 ] with
+    | _ -> false
+    | exception Invalid_argument _ -> true)
+
+(* {1 Trace recording} *)
+
+let test_trace_records_fault_order () =
+  let frames, parent, child = build_universe () in
+  AS.start_trace child;
+  Alcotest.(check bool) "armed" true (AS.tracing child);
+  ignore (AS.touch_write child ~vpn:120);
+  (* no fault on repeat *)
+  ignore (AS.touch_write child ~vpn:120);
+  ignore (AS.touch_write child ~vpn:3);
+  ignore (AS.touch_write child ~vpn:777);
+  Alcotest.(check (list int))
+    "faulted vpns in order" [ 120; 3; 777 ] (AS.take_trace child);
+  Alcotest.(check bool) "disarmed" false (AS.tracing child);
+  Alcotest.(check (list int)) "empty when unarmed" [] (AS.take_trace child);
+  AS.release child;
+  AS.release parent;
+  ignore frames
+
+(* {1 Release with live COW clones (refcount drain)} *)
+
+let test_release_parent_under_live_clones () =
+  let frames = F.create ~budget_bytes:(mib 64) () in
+  let parent = AS.create frames in
+  ignore (AS.write_range parent ~vpn:0 ~pages:64);
+  AS.freeze parent;
+  let c1 = AS.of_table frames (AS.table parent)
+  and c2 = AS.of_table frames (AS.table parent) in
+  ignore (AS.write_range c1 ~vpn:0 ~pages:8);
+  ignore (AS.write_range c2 ~vpn:32 ~pages:8);
+  (* Drop the parent first: everything the clones share must survive. *)
+  AS.release parent;
+  check_invariants ~ctx:"after parent release" frames [ c1; c2 ];
+  ignore (AS.touch_write c1 ~vpn:40);
+  ignore (AS.touch_write c2 ~vpn:4);
+  check_invariants ~ctx:"after post-release writes" frames [ c1; c2 ];
+  AS.release c1;
+  check_invariants ~ctx:"after c1 release" frames [ c2 ];
+  AS.release c2;
+  Alcotest.(check int) "all frames drained" 0 (F.used_frames frames)
+
+let () =
+  let case name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "mem_prop"
+    [
+      ( "schedules",
+        [
+          case
+            (Printf.sprintf "%d random schedules (seed %Ld)" schedules
+               base_seed)
+            test_random_schedules;
+        ] );
+      ( "differential",
+        [
+          case "prefault == demand faulting" test_prefault_matches_demand;
+          case "read-only page rejected" test_prefault_rejects_read_only;
+        ] );
+      ( "trace",
+        [ case "records fault order once" test_trace_records_fault_order ] );
+      ( "drain",
+        [
+          case "parent release under live clones"
+            test_release_parent_under_live_clones;
+        ] );
+    ]

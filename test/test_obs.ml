@@ -72,6 +72,15 @@ let test_event_roundtrip_all_variants () =
       Obs.Event.Failover { fn_id = "fn-1"; from_node = 0; to_node = 2 };
       Obs.Event.Degraded_cold { fn_id = "fn-1" };
       Obs.Event.Partition_change { a = 0; b = 3; healed = false };
+      Obs.Event.Ws_record { snapshot = "fn-fn-1"; pages = 546 };
+      Obs.Event.Ws_prefault
+        {
+          uc_id = 7;
+          snapshot = "fn-fn-1";
+          pages = 546;
+          cow_copied = 530;
+          zero_filled = 16;
+        };
     ]
   in
   List.iter

@@ -633,6 +633,127 @@ let test_shim_serializes () =
       Alcotest.(check bool) "rate limited by the single connection" true
         (elapsed >= 10.0 *. 2.0 *. Seuss.Cost.shim_per_message *. 0.9))
 
+(* {1 Resource drain: dead UCs and orderly shutdown} *)
+
+let test_dead_uc_destroy_releases () =
+  (* A guest that dies of OOM mid-boot flips to Dead without passing
+     through destroy; destroying it afterwards must still release its
+     frames (the pre-fix behavior left them — and the snapshot
+     reference — stranded forever). *)
+  let engine = Sim.Engine.create ~seed:11L () in
+  let env =
+    Seuss.Osenv.create ~budget_bytes:(Int64.of_int (Mem.Mconfig.mib 4)) engine
+  in
+  let completed = ref false in
+  Sim.Engine.spawn engine ~name:"experiment" (fun () ->
+      let uc = Seuss.Uc.boot env Unikernel.Image.node in
+      (match Seuss.Uc.await_breakpoint uc ~timeout:5.0 with
+      | Some _ -> Alcotest.fail "boot unexpectedly completed in 4 MiB"
+      | None -> ());
+      Alcotest.(check bool) "guest died" true
+        (Seuss.Uc.status uc = Seuss.Uc.Dead);
+      Alcotest.(check bool) "dead UC still holds frames" true
+        (Mem.Frame.used_frames env.Seuss.Osenv.frames > 0);
+      Seuss.Uc.destroy uc;
+      Alcotest.(check int) "destroy drained them" 0
+        (Mem.Frame.used_frames env.Seuss.Osenv.frames);
+      (* Still idempotent. *)
+      Seuss.Uc.destroy uc;
+      completed := true);
+  Sim.Engine.run engine;
+  if not !completed then Alcotest.fail "simulation did not complete"
+
+let test_node_shutdown_drains_frames () =
+  with_node (fun env node ->
+      for k = 1 to 4 do
+        let f =
+          fn
+            ~id:(Printf.sprintf "drain-%d" k)
+            (Printf.sprintf "function main(args) { return {k: %d}; }" k)
+        in
+        (* cold, then hot, so snapshots and idle UCs both populate *)
+        ignore (expect_ok (N.invoke node f ~args:"{}"));
+        ignore (expect_ok (N.invoke node f ~args:"{}"))
+      done;
+      Alcotest.(check bool) "node holds frames while serving" true
+        (Mem.Frame.used_frames env.Seuss.Osenv.frames > 0);
+      N.shutdown node;
+      Alcotest.(check int) "shutdown drains every frame" 0
+        (Mem.Frame.used_frames env.Seuss.Osenv.frames))
+
+(* {1 Working-set record & prefault (REAP)} *)
+
+let prefault_config =
+  {
+    Seuss.Config.default with
+    Seuss.Config.prefault_working_set = true;
+    (* force every repeat onto the warm path *)
+    cache_idle_ucs = false;
+  }
+
+let test_ws_recorded_then_prefaulted () =
+  with_node ~config:prefault_config (fun env node ->
+      ignore (expect_ok (N.invoke node nop_fn ~args:"{}"));
+      let snap =
+        match N.function_snapshot node "nop" with
+        | Some s -> s
+        | None -> Alcotest.fail "no function snapshot"
+      in
+      Alcotest.(check bool) "no working set before first warm run" true
+        (Seuss.Snapshot.working_set snap = None);
+      let r1, p1 = expect_ok (N.invoke node nop_fn ~args:"{}") in
+      Alcotest.(check bool) "recording run is warm" true (p1 = N.Warm);
+      let ws =
+        match Seuss.Snapshot.working_set snap with
+        | Some ws -> ws
+        | None -> Alcotest.fail "working set not recorded"
+      in
+      Alcotest.(check bool) "working set is substantial" true
+        (List.length ws > 100);
+      Alcotest.(check bool) "record event emitted" true
+        (List.exists
+           (fun r ->
+             match r.Obs.Log.ev with
+             | Obs.Event.Ws_record { snapshot; pages } ->
+                 snapshot = snap.Seuss.Snapshot.name
+                 && pages = List.length ws
+             | _ -> false)
+           (Obs.Log.records env.Seuss.Osenv.log));
+      (* The next warm deploy replays the set: one batch, and the
+         demand-fault telemetry goes quiet. *)
+      let prefaults = ref 0 and cow_events = ref 0 in
+      Obs.Log.subscribe env.Seuss.Osenv.log (fun r ->
+          match r.Obs.Log.ev with
+          | Obs.Event.Ws_prefault _ -> incr prefaults
+          | Obs.Event.Cow_fault _ -> incr cow_events
+          | _ -> ());
+      let r2, p2 = expect_ok (N.invoke node nop_fn ~args:"{}") in
+      Alcotest.(check bool) "prefaulted run is warm" true (p2 = N.Warm);
+      Alcotest.(check int) "one prefault batch" 1 !prefaults;
+      Alcotest.(check int) "no demand COW events" 0 !cow_events;
+      Alcotest.(check string) "same reply either way" r1 r2)
+
+let test_prefault_off_is_inert () =
+  with_node
+    ~config:{ Seuss.Config.default with Seuss.Config.cache_idle_ucs = false }
+    (fun env node ->
+      ignore (expect_ok (N.invoke node nop_fn ~args:"{}"));
+      ignore (expect_ok (N.invoke node nop_fn ~args:"{}"));
+      ignore (expect_ok (N.invoke node nop_fn ~args:"{}"));
+      (match N.function_snapshot node "nop" with
+      | Some snap ->
+          Alcotest.(check bool) "no working set recorded" true
+            (Seuss.Snapshot.working_set snap = None)
+      | None -> Alcotest.fail "no function snapshot");
+      Alcotest.(check bool) "no ws events emitted" true
+        (not
+           (List.exists
+              (fun r ->
+                match r.Obs.Log.ev with
+                | Obs.Event.Ws_record _ | Obs.Event.Ws_prefault _ -> true
+                | _ -> false)
+              (Obs.Log.records env.Seuss.Osenv.log))))
+
 let () =
   let case name f = Alcotest.test_case name `Quick f in
   Alcotest.run "seuss"
@@ -692,6 +813,16 @@ let () =
           case "invoke timeout recovers" test_invoke_timeout_recovers;
           case "uc destroyed under connection" test_uc_destroyed_under_connection;
           case "guest oom surfaces" test_guest_oom_surfaces_as_error;
+        ] );
+      ( "drain",
+        [
+          case "dead uc destroy releases" test_dead_uc_destroy_releases;
+          case "shutdown drains frames" test_node_shutdown_drains_frames;
+        ] );
+      ( "prefault",
+        [
+          case "ws recorded then prefaulted" test_ws_recorded_then_prefaulted;
+          case "off is inert" test_prefault_off_is_inert;
         ] );
       ( "shim",
         [
