@@ -276,6 +276,7 @@ let trace_cmd =
   in
   let run source seed =
     let engine = Sim.Engine.create ~seed () in
+    if Experiments.Harness.hb_of_env () then ignore (Sim.Hb.enable engine);
     Sim.Engine.spawn engine ~name:"trace" (fun () ->
         let env = Seuss.Osenv.create engine in
         let node = Seuss.Node.create env in
@@ -348,6 +349,7 @@ let events_cmd =
       exit 2
     end;
     let engine = Sim.Engine.create ~seed () in
+    if Experiments.Harness.hb_of_env () then ignore (Sim.Hb.enable engine);
     Sim.Engine.spawn engine ~name:"events" (fun () ->
         let env = Seuss.Osenv.create engine in
         let node = Seuss.Node.create env in
@@ -390,6 +392,7 @@ let top_cmd =
     require_positive "--clients" (float_of_int clients);
     require_positive "--functions" (float_of_int functions);
     let engine = Sim.Engine.create ~seed () in
+    if Experiments.Harness.hb_of_env () then ignore (Sim.Hb.enable engine);
     Sim.Engine.spawn engine ~name:"top" (fun () ->
         let env = Seuss.Osenv.create engine in
         let node = Seuss.Node.create env in
@@ -521,6 +524,7 @@ let snapshots_cmd =
   in
   let run functions seed =
     let engine = Sim.Engine.create ~seed () in
+    if Experiments.Harness.hb_of_env () then ignore (Sim.Hb.enable engine);
     Sim.Engine.spawn engine ~name:"snapshots" (fun () ->
         let env = Seuss.Osenv.create engine in
         let node = Seuss.Node.create env in
@@ -568,7 +572,7 @@ let snapshots_cmd =
         Stats.Tablefmt.add_separator table;
         List.iter
           (fun (fn_id, s) -> row ("  +- " ^ fn_id) s)
-          (List.sort compare (Seuss.Node.snapshot_inventory node));
+          (Seuss.Node.snapshot_inventory node);
         print_string (Stats.Tablefmt.render table);
         let shared =
           match Seuss.Node.base_snapshot node Unikernel.Image.Node with

@@ -81,7 +81,7 @@ let container_count t = t.total
 
 let idle_count t =
   Queue.length t.stemcells
-  + Hashtbl.fold
+  + Det.fold
       (fun _ q acc ->
         Queue.fold (fun acc c -> if c.dead || c.busy then acc else acc + 1) acc q)
       t.warm 0
@@ -175,6 +175,7 @@ let evict_one_idle t =
               match Hashtbl.find_opt t.warm fn_id with
               | Some q ->
                   let fresh = Queue.create () in
+                  (* seusslint: allow physical-eq — removing this exact container record from the queue *)
                   Queue.iter (fun x -> if x != c then Queue.add x fresh) q;
                   Hashtbl.replace t.warm fn_id fresh
               | None -> ())

@@ -132,7 +132,7 @@ let crash_node t id =
                 Registry.publish t.reg ~fn_id ~node_id:m.id snap;
                 incr republished
               end)
-            (List.sort compare (Seuss.Node.snapshot_inventory m.node));
+            (Seuss.Node.snapshot_inventory m.node);
           if !republished > 0 then
             Obs.Log.emit t.log
               (Obs.Event.Registry_repair

@@ -25,8 +25,24 @@ let install_env_faults ~seed engine =
       Faults.Fault.install
         (Faults.Fault.make ~seed:(fault_seed_of ~seed) ~rates engine)
 
+(* Sanitizer hook: SEUSS_HB=1 arms the happens-before checker before the
+   experiment body spawns, so spawn edges are tracked from the root
+   process down. Race reports surface as San_race events on the env log
+   (see Osenv.create) and via Sim.Hb.races. Tie shuffling is separate:
+   Engine.create reads SEUSS_SHUFFLE_SEED itself. *)
+let hb_env_var = "SEUSS_HB"
+
+let hb_of_env () =
+  match Sys.getenv_opt hb_env_var with
+  | None | Some ("0" | "false" | "no" | "off") -> false
+  | Some ("1" | "true" | "yes" | "on") -> true
+  | Some s ->
+      Printf.eprintf "harness: ignoring malformed %s %S\n" hb_env_var s;
+      false
+
 let run_sim ?(seed = 7L) body =
   let engine = Sim.Engine.create ~seed () in
+  if hb_of_env () then ignore (Sim.Hb.enable engine);
   install_env_faults ~seed engine;
   let result = ref None in
   Sim.Engine.spawn engine ~name:"experiment" (fun () ->

@@ -9,7 +9,15 @@ val run_sim : ?seed:int64 -> (Sim.Engine.t -> 'a) -> 'a
     a fault plan with every site at that rate is installed on the engine
     first, seeded by [seed xor fault_seed_xor] (or [SEUSS_FAULT_SEED]):
     the derivation never draws from the engine stream, so a rate of 0
-    leaves every experiment output bit-identical to an unfaulted run. *)
+    leaves every experiment output bit-identical to an unfaulted run.
+    When {!hb_env_var} ([SEUSS_HB]) is on, the happens-before schedule
+    sanitizer ({!Sim.Hb}) is armed before the body spawns. *)
+
+val hb_env_var : string
+(** ["SEUSS_HB"]. *)
+
+val hb_of_env : unit -> bool
+(** Whether {!hb_env_var} is set to a recognised "on" value. *)
 
 val fault_seed_xor : int64
 (** The fixed constant mixed into the run seed to derive a fault-plan

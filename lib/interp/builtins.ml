@@ -74,11 +74,7 @@ let install host =
             arity "keys" 1 args;
             match args with
             | [ Value.Obj h ] ->
-                let ks =
-                  Hashtbl.fold (fun k _ acc -> k :: acc) h []
-                  |> List.sort compare
-                  |> List.map (fun k -> Value.Str k)
-                in
+                let ks = List.map (fun k -> Value.Str k) (Det.keys h) in
                 let v = Value.arr_of_list ks in
                 host.alloc (Value.heap_bytes v);
                 v

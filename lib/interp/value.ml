@@ -48,10 +48,12 @@ let equal a b =
   | Bool x, Bool y -> x = y
   | Num x, Num y -> x = y
   | Str x, Str y -> x = y
-  | Arr x, Arr y -> x == y
-  | Obj x, Obj y -> x == y
-  | Closure x, Closure y -> x == y
-  | Builtin (_, f), Builtin (_, g) -> f == g
+  (* Reference types compare by identity — the guest language's (==)
+     semantics, like JS objects. *)
+  | Arr x, Arr y -> x == y (* seusslint: allow physical-eq — guest reference identity *)
+  | Obj x, Obj y -> x == y (* seusslint: allow physical-eq — guest reference identity *)
+  | Closure x, Closure y -> x == y (* seusslint: allow physical-eq — guest reference identity *)
+  | Builtin (_, f), Builtin (_, g) -> f == g (* seusslint: allow physical-eq — guest reference identity *)
   | _ -> false
 
 let type_name = function
@@ -91,8 +93,7 @@ let rec to_string = function
       Printf.sprintf "[%s]" (String.concat ", " body)
   | Obj h ->
       let fields =
-        Hashtbl.fold (fun k v acc -> (k, v) :: acc) h []
-        |> List.sort (fun (a, _) (b, _) -> compare a b)
+        Det.bindings h
         |> List.map (fun (k, v) -> Printf.sprintf "\"%s\": %s" (escape k) (to_string v))
       in
       Printf.sprintf "{%s}" (String.concat ", " fields)
@@ -122,7 +123,7 @@ let rec copy_value memo v =
   | Builtin (name, _) -> (
       match memo.rebind name with Some fresh -> fresh | None -> v)
   | Arr a -> (
-      match List.find_opt (fun (orig, _) -> orig == v) memo.vals with
+      match List.find_opt (fun (orig, _) -> orig == v) memo.vals with (* seusslint: allow physical-eq — memo table keyed by identity to preserve sharing *)
       | Some (_, copy) -> copy
       | None ->
           let fresh = { items = Array.make (Array.length a.items) Null; len = a.len } in
@@ -133,16 +134,18 @@ let rec copy_value memo v =
           done;
           copy)
   | Obj h -> (
-      match List.find_opt (fun (orig, _) -> orig == v) memo.vals with
+      match List.find_opt (fun (orig, _) -> orig == v) memo.vals with (* seusslint: allow physical-eq — memo table keyed by identity to preserve sharing *)
       | Some (_, copy) -> copy
       | None ->
           let fresh = Hashtbl.create (max 4 (Hashtbl.length h)) in
           let copy = Obj fresh in
           memo.vals <- (v, copy) :: memo.vals;
-          Hashtbl.iter (fun k x -> Hashtbl.replace fresh k (copy_value memo x)) h;
+          (* Sorted copy order so memo seeding (hence child sharing) does
+             not depend on the source table's bucket layout. *)
+          Det.iter (fun k x -> Hashtbl.replace fresh k (copy_value memo x)) h;
           copy)
   | Closure c -> (
-      match List.find_opt (fun (orig, _) -> orig == v) memo.vals with
+      match List.find_opt (fun (orig, _) -> orig == v) memo.vals with (* seusslint: allow physical-eq — memo table keyed by identity to preserve sharing *)
       | Some (_, copy) -> copy
       | None ->
           let copy = Closure { c with env = copy_env_memo memo c.env } in
@@ -150,7 +153,7 @@ let rec copy_value memo v =
           copy)
 
 and copy_env_memo memo env =
-  match List.find_opt (fun (orig, _) -> orig == env) memo.envs with
+  match List.find_opt (fun (orig, _) -> orig == env) memo.envs with (* seusslint: allow physical-eq — memo table keyed by identity to preserve sharing *)
   | Some (_, copy) -> copy
   | None ->
       (* Seed before touching parent or values: the graph may reach this
@@ -162,7 +165,7 @@ and copy_env_memo memo env =
       (match env.parent with
       | Some p -> fresh.parent <- Some (copy_env_memo memo p)
       | None -> ());
-      Hashtbl.iter
+      Det.iter
         (fun name v -> Hashtbl.replace fresh.vars name (copy_value memo v))
         env.vars;
       fresh

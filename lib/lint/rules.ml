@@ -1,0 +1,63 @@
+(* The seusslint rule catalogue. Every rule guards one way simulation
+   determinism or resource safety has actually broken (or nearly broken)
+   in this codebase; the checker in {!Check} enforces them over the
+   Parsetree of each source under lib/ and bin/. *)
+
+type id =
+  | Bare_random  (** [Random.*] outside the seeded PRNG plumbing *)
+  | Wallclock  (** [Unix.gettimeofday] / [Sys.time] inside lib/ *)
+  | Hashtbl_order  (** raw [Hashtbl.iter]/[Hashtbl.fold] inside lib/ *)
+  | Physical_eq  (** [==] / [!=] inside lib/ *)
+  | Stdout_print  (** [print_*] / [Printf.printf] inside lib/ *)
+  | Frame_site  (** frame acquire/release outside the audited site list *)
+
+let all = [ Bare_random; Wallclock; Hashtbl_order; Physical_eq; Stdout_print; Frame_site ]
+
+let name = function
+  | Bare_random -> "bare-random"
+  | Wallclock -> "wallclock"
+  | Hashtbl_order -> "hashtbl-order"
+  | Physical_eq -> "physical-eq"
+  | Stdout_print -> "stdout-print"
+  | Frame_site -> "frame-site"
+
+let of_name = function
+  | "bare-random" -> Some Bare_random
+  | "wallclock" -> Some Wallclock
+  | "hashtbl-order" -> Some Hashtbl_order
+  | "physical-eq" -> Some Physical_eq
+  | "stdout-print" -> Some Stdout_print
+  | "frame-site" -> Some Frame_site
+  | _ -> None
+
+let describe = function
+  | Bare_random ->
+      "Random.* draws from ambient global state; all randomness must flow \
+       from a seeded Sim.Prng stream (or the Faults plan) so runs replay \
+       bit-identically"
+  | Wallclock ->
+      "Unix.gettimeofday / Sys.time read the host clock; simulation code \
+       must read Sim.Engine.now, which only advances with the event heap"
+  | Hashtbl_order ->
+      "Hashtbl.iter / Hashtbl.fold visit buckets in insertion-history \
+       order; results that reach output, the event heap or teardown must \
+       go through the sorted Det wrappers"
+  | Physical_eq ->
+      "== / != compare physical identity, which GC moves and copying make \
+       treacherous on mutable simulation records; use structural (=) or \
+       carry an allow comment justifying the identity check"
+  | Stdout_print ->
+      "print_* / Printf.printf write to stdout from library code; node \
+       output must flow through the Obs event log or a formatter the \
+       caller controls"
+  | Frame_site ->
+      "physical frame acquire/release (Frame.alloc / incref / decref) at \
+       a call site missing from the audited site list in Lint.Sites; add \
+       the site there after checking its pairing"
+
+(* Meta-diagnostics the checker itself can emit. They are not
+   suppressible — an allow comment that is wrong or dead is itself the
+   defect being reported. *)
+let bad_allow = "bad-allow"
+let unused_allow = "unused-allow"
+let parse_error = "parse-error"

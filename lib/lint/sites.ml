@@ -1,0 +1,38 @@
+(* The audited frame acquire/release site list.
+
+   Every call to Frame.alloc / Frame.incref / Frame.decref must happen
+   inside one of the (file, top-level binding, operation) triples below;
+   the checker reports any other call site as [frame-site]. The list is
+   the reviewable inventory of where physical frames change hands — when
+   adding a site, check its release pairing before extending it. *)
+
+type op = Alloc | Incref | Decref
+
+let op_name = function Alloc -> "alloc" | Incref -> "incref" | Decref -> "decref"
+
+let op_of_name = function
+  | "alloc" -> Some Alloc
+  | "incref" -> Some Incref
+  | "decref" -> Some Decref
+  | _ -> None
+
+(* (repo-relative file, enclosing top-level binding, operation) *)
+let audited : (string * string * op) list =
+  [
+    (* COW fault paths: a private copy or a zero-fill allocates; the
+       page-table entry swap drops the old mapping's reference. *)
+    ("lib/mem/addr_space.ml", "touch_write", Alloc);
+    ("lib/mem/addr_space.ml", "prefault", Alloc);
+    ("lib/mem/page_table.ml", "private_leaf", Incref);
+    ("lib/mem/page_table.ml", "set", Decref);
+    ("lib/mem/page_table.ml", "release", Decref);
+    (* KSM baseline: the shared master page, and one reference per
+       merged duplicate. *)
+    ("lib/baselines/ksm.ml", "create", Alloc);
+    ("lib/baselines/ksm.ml", "merge_batch", Incref);
+  ]
+
+let allowed ~file ~binding op =
+  List.exists
+    (fun (f, b, o) -> String.equal f file && String.equal b binding && o = op)
+    audited

@@ -2,9 +2,24 @@ type msg = { data : string; size : int }
 
 type frame = Data of msg | Fin
 
+(* One direction of a connection. Frames are stamped with a sequence
+   number in sender program order and re-ordered on the receiving side,
+   so delivery order matches send order even when several frames land at
+   the same simulated instant and the engine's tie shuffler permutes
+   their events — real TCP is FIFO per direction, and the schedule
+   sanitizer holds the model to that. *)
+type dir = {
+  ch : (int * frame) Sim.Channel.t;
+  mutable tx_seq : int;  (* next sequence number to assign (sender side) *)
+  mutable rx_seq : int;  (* next sequence number to deliver (receiver side) *)
+  mutable ooo : (int * frame) list;  (* out-of-order frames, buffered *)
+}
+
+let make_dir () = { ch = Sim.Channel.create (); tx_seq = 0; rx_seq = 0; ooo = [] }
+
 type conn = {
-  out : frame Sim.Channel.t;
-  inc : frame Sim.Channel.t;
+  out : dir;
+  inc : dir;
   link : Netconf.link;
   mutable closed_local : bool;
   mutable closed_remote : bool;
@@ -29,7 +44,7 @@ let connect ?(admit = fun () -> true) ~link l =
     if admit () then begin
       (* Handshake: SYN, SYN/ACK, ACK before data can flow. *)
       Sim.Engine.sleep (3.0 *. link.Netconf.latency);
-      let a2b = Sim.Channel.create () and b2a = Sim.Channel.create () in
+      let a2b = make_dir () and b2a = make_dir () in
       let client =
         { out = a2b; inc = b2a; link; closed_local = false; closed_remote = false }
       in
@@ -52,6 +67,48 @@ let accept l = Sim.Channel.recv l.accepts
 
 let accept_timeout l ~timeout = Sim.Channel.recv_timeout l.accepts ~timeout
 
+(* Put a frame on the wire: claim the next sequence number now (sender
+   program order), deliver one link latency later. *)
+let transmit dir ~latency frame =
+  let seq = dir.tx_seq in
+  dir.tx_seq <- seq + 1;
+  match Sim.Engine.self () with
+  | engine ->
+      Sim.Engine.schedule engine ~delay:latency (fun () ->
+          Sim.Channel.send dir.ch (seq, frame))
+  | exception Invalid_argument _ ->
+      (* Outside a run (cleanup after the simulation ended). *)
+      Sim.Channel.send dir.ch (seq, frame)
+
+(* Next frame in sequence order, buffering any that arrive early.
+   [deadline] is an absolute sim time; [None] means block forever. *)
+let rec next_frame dir ~deadline =
+  match List.assoc_opt dir.rx_seq dir.ooo with
+  | Some frame ->
+      dir.ooo <- List.remove_assoc dir.rx_seq dir.ooo;
+      dir.rx_seq <- dir.rx_seq + 1;
+      Some frame
+  | None -> (
+      let arrived =
+        match deadline with
+        | None -> Some (Sim.Channel.recv dir.ch)
+        | Some d ->
+            let remaining = d -. Sim.Engine.now (Sim.Engine.self ()) in
+            if remaining < 0.0 then None
+            else Sim.Channel.recv_timeout dir.ch ~timeout:remaining
+      in
+      match arrived with
+      | None -> None
+      | Some (seq, frame) ->
+          if seq = dir.rx_seq then begin
+            dir.rx_seq <- dir.rx_seq + 1;
+            Some frame
+          end
+          else begin
+            dir.ooo <- (seq, frame) :: dir.ooo;
+            next_frame dir ~deadline
+          end)
+
 let send conn ?size data =
   if conn.closed_local then invalid_arg "Tcp.send: connection closed";
   let size = Option.value size ~default:(String.length data) in
@@ -62,9 +119,7 @@ let send conn ?size data =
     (link.Netconf.per_message
     +. (float_of_int size /. link.Netconf.bandwidth)
     +. Faults.Fault.delay ());
-  let engine = Sim.Engine.self () in
-  Sim.Engine.schedule engine ~delay:link.Netconf.latency (fun () ->
-      Sim.Channel.send conn.out (Data { data; size }))
+  transmit conn.out ~latency:link.Netconf.latency (Data { data; size })
 
 let interpret conn = function
   | Some (Data m) -> Some m
@@ -78,25 +133,20 @@ let interpret conn = function
 
 let recv conn =
   if conn.closed_remote then None
-  else interpret conn (Some (Sim.Channel.recv conn.inc))
+  else interpret conn (next_frame conn.inc ~deadline:None)
 
 let recv_timeout conn ~timeout =
   if conn.closed_remote then Some None
   else
-    match Sim.Channel.recv_timeout conn.inc ~timeout with
+    let deadline = Sim.Engine.now (Sim.Engine.self ()) +. timeout in
+    match next_frame conn.inc ~deadline:(Some deadline) with
     | None -> None
     | Some frame -> Some (interpret conn (Some frame))
 
 let close conn =
   if not conn.closed_local then begin
     conn.closed_local <- true;
-    match Sim.Engine.self () with
-    | engine ->
-        Sim.Engine.schedule engine ~delay:conn.link.Netconf.latency (fun () ->
-            Sim.Channel.send conn.out Fin)
-    | exception Invalid_argument _ ->
-        (* Closing outside a run (cleanup after the simulation ended). *)
-        Sim.Channel.send conn.out Fin
+    transmit conn.out ~latency:conn.link.Netconf.latency Fin
   end
 
 let is_closed conn = conn.closed_local || conn.closed_remote

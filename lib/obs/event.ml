@@ -41,6 +41,12 @@ type t =
       cow_copied : int;
       zero_filled : int;
     }
+  | San_race of {
+      cell : string;
+      kind : string;
+      first_pid : int;
+      second_pid : int;
+    }
 
 let type_name = function
   | Invoke_start _ -> "invoke_start"
@@ -60,6 +66,7 @@ let type_name = function
   | Partition_change _ -> "partition_change"
   | Ws_record _ -> "ws_record"
   | Ws_prefault _ -> "ws_prefault"
+  | San_race _ -> "san_race"
 
 let to_json ~time ev =
   let fields =
@@ -126,6 +133,13 @@ let to_json ~time ev =
           ("pages", Json.Int pages);
           ("cow_copied", Json.Int cow_copied);
           ("zero_filled", Json.Int zero_filled);
+        ]
+    | San_race { cell; kind; first_pid; second_pid } ->
+        [
+          ("cell", Json.String cell);
+          ("kind", Json.String kind);
+          ("first_pid", Json.Int first_pid);
+          ("second_pid", Json.Int second_pid);
         ]
   in
   Json.Obj
@@ -218,6 +232,12 @@ let of_json json =
         let* cow_copied = field "cow_copied" Json.to_int in
         let* zero_filled = field "zero_filled" Json.to_int in
         Ok (Ws_prefault { uc_id; snapshot; pages; cow_copied; zero_filled })
+    | "san_race" ->
+        let* cell = field "cell" Json.to_str in
+        let* kind = field "kind" Json.to_str in
+        let* first_pid = field "first_pid" Json.to_int in
+        let* second_pid = field "second_pid" Json.to_int in
+        Ok (San_race { cell; kind; first_pid; second_pid })
     | other -> Error (Printf.sprintf "event: unknown type %S" other)
   in
   Ok (time, ev)

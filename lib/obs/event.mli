@@ -76,6 +76,15 @@ type t =
       (** A warm deploy batch-installed [snapshot]'s recorded working
           set into UC [uc_id] before the guest ran. Pages neither copied
           nor zero-filled were already mapped in the snapshot stack. *)
+  | San_race of {
+      cell : string;  (** registered shared-cell name, e.g. ["registry.table"] *)
+      kind : string;  (** {!Sim.Hb.kind_name}: ["write-write"] or ["read-write"] *)
+      first_pid : int;
+      second_pid : int;
+    }
+      (** The schedule sanitizer observed two same-timestamp accesses to
+          a registered shared cell with no happens-before edge between
+          the owning processes. Only emitted when {!Sim.Hb} is armed. *)
 
 val type_name : t -> string
 (** The discriminator stored in the ["type"] JSON field. *)

@@ -96,7 +96,7 @@ let hist_quantile hist q =
   end
 
 let sum_counters t ?(where = []) name =
-  Hashtbl.fold
+  Det.fold
     (fun (n, labels) inst acc ->
       match inst with
       | C c
@@ -112,8 +112,10 @@ type reading =
   | Histogram_v of { n : int; mean : float; p50 : float; p99 : float }
 
 let dump t =
-  Hashtbl.fold
-    (fun (name, labels) inst acc ->
+  (* Det.bindings sorts by the (name, labels) key, which is exactly the
+     output order dump always promised. *)
+  List.map
+    (fun ((name, labels), inst) ->
       let reading =
         match inst with
         | C c -> Counter_v c.c
@@ -127,9 +129,8 @@ let dump t =
                 p99 = hist_quantile h 0.99;
               }
       in
-      (name, labels, reading) :: acc)
-    t.table []
-  |> List.sort (fun (n1, l1, _) (n2, l2, _) -> compare (n1, l1) (n2, l2))
+      (name, labels, reading))
+    (Det.bindings t.table)
 
 let render t =
   let table =

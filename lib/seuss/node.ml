@@ -126,7 +126,9 @@ let function_snapshot t fn_id = Hashtbl.find_opt t.fn_snapshots fn_id
 let snapshot_count t = Hashtbl.length t.fn_snapshots
 
 let snapshot_inventory t =
-  Hashtbl.fold (fun fn_id snap acc -> (fn_id, snap) :: acc) t.fn_snapshots []
+  (* Sorted by fn_id so consumers (registry repair, the snapshots
+     dashboard) see a reproducible inventory. *)
+  Det.bindings t.fn_snapshots
 
 (* Keep the snapshot cache within its configured bound: walk the
    insertion order looking for a snapshot that is safe to delete (§6: no
@@ -162,7 +164,7 @@ let install_snapshot t ~fn_id snap =
 let idle_uc_count t = t.idle_total
 
 let idle_ucs t =
-  Hashtbl.fold
+  Det.fold
     (fun _ q acc -> Queue.fold (fun acc uc -> uc :: acc) acc q)
     t.idle []
 
@@ -239,8 +241,10 @@ let reclaim_oldest t =
   let fn_id, uc = Queue.take t.idle_order in
   Osenv.burn t.node_env Cost.oom_scan;
   match Hashtbl.find_opt t.idle fn_id with
+  (* seusslint: allow physical-eq — queue membership of this exact UC record *)
   | Some q when Queue.fold (fun found u -> found || u == uc) false q ->
       let fresh = Queue.create () in
+      (* seusslint: allow physical-eq — removing this exact UC record from the queue *)
       Queue.iter (fun u -> if u != uc then Queue.add u fresh) q;
       Hashtbl.replace t.idle fn_id fresh;
       t.idle_total <- t.idle_total - 1;
@@ -606,11 +610,13 @@ let last_served_uc t = t.last_uc
 let shutdown t =
   (match t.last_uc with Some uc -> Uc.destroy uc | None -> ());
   t.last_uc <- None;
-  Hashtbl.iter (fun _ q -> Queue.iter Uc.destroy q) t.idle;
+  (* Destroy in sorted-key order: frees recycle through the allocator's
+     free list, so teardown order must not depend on bucket layout. *)
+  Det.iter (fun _ q -> Queue.iter Uc.destroy q) t.idle;
   Hashtbl.reset t.idle;
   Queue.clear t.idle_order;
   t.idle_total <- 0;
-  Hashtbl.iter
+  Det.iter
     (fun _ snap -> ignore (Snapshot.try_delete ~env:t.node_env snap))
     t.fn_snapshots;
   Hashtbl.reset t.fn_snapshots;

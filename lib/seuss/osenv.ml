@@ -7,11 +7,33 @@ type t = {
   mutable next_port : int;
   mutable next_id : int;
   hosts : (string, Net.Tcp.listener) Hashtbl.t;
+  hosts_cell : Sim.Hb.cell;
   log : Obs.Log.t;
   metrics : Obs.Metrics.t;
 }
 
 let create ?budget_bytes ?(cores = 16) ?log_capacity engine =
+  let log =
+    Obs.Log.create ?capacity:log_capacity
+      ~clock:(fun () -> Sim.Engine.now engine)
+      ()
+  in
+  (* When the schedule sanitizer is armed, surface its race reports on
+     this node's event log so they land in exported timelines. The
+     reporter slot is global to the checker: the most recently created
+     env hosts the reports (single-node experiments have exactly one). *)
+  if Sim.Hb.enabled engine then
+    Sim.Hb.set_reporter engine
+      (Some
+         (fun (r : Sim.Hb.race) ->
+           Obs.Log.emit log
+             (Obs.Event.San_race
+                {
+                  cell = r.cell;
+                  kind = Sim.Hb.kind_name r.kind;
+                  first_pid = r.first_pid;
+                  second_pid = r.second_pid;
+                })));
   {
     engine;
     frames = Mem.Frame.create ?budget_bytes ();
@@ -21,10 +43,8 @@ let create ?budget_bytes ?(cores = 16) ?log_capacity engine =
     next_port = 10_000;
     next_id = 0;
     hosts = Hashtbl.create 8;
-    log =
-      Obs.Log.create ?capacity:log_capacity
-        ~clock:(fun () -> Sim.Engine.now engine)
-        ();
+    hosts_cell = Sim.Hb.cell ~name:"osenv.hosts";
+    log;
     metrics = Obs.Metrics.create ();
   }
 
@@ -42,10 +62,16 @@ let fresh_id t =
   t.next_id <- t.next_id + 1;
   t.next_id
 
-let register_host t name listener = Hashtbl.replace t.hosts name listener
+let register_host t name listener =
+  Sim.Hb.write t.hosts_cell;
+  Hashtbl.replace t.hosts name listener
 
 let resolve t url =
-  Hashtbl.fold
+  Sim.Hb.read t.hosts_cell;
+  (* Longest registered prefix wins; among equal-length matches (only
+     possible via duplicate registration) the lexicographically smallest
+     prefix, so the answer never depends on bucket layout. *)
+  Det.fold
     (fun prefix listener best ->
       let plen = String.length prefix in
       let matches =

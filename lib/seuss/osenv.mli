@@ -13,6 +13,8 @@ type t = {
   mutable next_port : int;
   mutable next_id : int;
   hosts : (string, Net.Tcp.listener) Hashtbl.t;
+  hosts_cell : Sim.Hb.cell;
+      (** sanitizer-registered shared cell covering [hosts] *)
   log : Obs.Log.t;  (** engine-timestamped structured event log *)
   metrics : Obs.Metrics.t;  (** the node's metrics registry *)
 }

@@ -4,27 +4,37 @@ type 'a t = {
      queue because an item can be consumed by a non-blocked receiver that
      runs first at the same timestamp. *)
   readers : (unit -> unit) Queue.t;
+  (* Happens-before edge carrier: send publishes, a successful receive
+     observes (no-op unless the schedule sanitizer is armed). *)
+  hb : Hb.sync;
 }
 
-let create () = { items = Queue.create (); readers = Queue.create () }
+let create () =
+  { items = Queue.create (); readers = Queue.create (); hb = Hb.make_sync () }
 
 let send t x =
+  Hb.signal t.hb;
   Queue.add x t.items;
   match Queue.take_opt t.readers with
   | Some resume -> resume ()
   | None -> ()
 
-let try_recv t = Queue.take_opt t.items
+let try_recv t =
+  match Queue.take_opt t.items with
+  | Some x ->
+      Hb.observe t.hb;
+      Some x
+  | None -> None
 
 let rec recv t =
-  match Queue.take_opt t.items with
+  match try_recv t with
   | Some x -> x
   | None ->
       Engine.suspend (fun resume -> Queue.add resume t.readers);
       recv t
 
 let recv_timeout t ~timeout =
-  match Queue.take_opt t.items with
+  match try_recv t with
   | Some x -> Some x
   | None ->
       let deadline = Engine.now (Engine.self ()) +. timeout in
@@ -32,15 +42,15 @@ let recv_timeout t ~timeout =
         let race : [ `Ready | `Timeout ] Ivar.t = Ivar.create () in
         let engine = Engine.self () in
         let remaining = deadline -. Engine.now engine in
-        if remaining < 0.0 then Queue.take_opt t.items
+        if remaining < 0.0 then try_recv t
         else begin
           Engine.schedule engine ~delay:remaining (fun () ->
               ignore (Ivar.try_fill race `Timeout));
           Queue.add (fun () -> ignore (Ivar.try_fill race `Ready)) t.readers;
           match Ivar.read race with
-          | `Timeout -> Queue.take_opt t.items
+          | `Timeout -> try_recv t
           | `Ready -> (
-              match Queue.take_opt t.items with
+              match try_recv t with
               | Some x -> Some x
               | None -> wait () (* item stolen at same timestamp; re-arm *))
         end

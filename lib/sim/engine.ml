@@ -1,4 +1,4 @@
-type event = { time : float; seq : int; thunk : unit -> unit }
+type event = { time : float; seq : int; pri : int; thunk : unit -> unit }
 
 type local = exn
 
@@ -7,12 +7,30 @@ type t = {
   mutable seq : int;
   events : event Heap.t;
   prng : Prng.t;
+  (* Schedule-sanitizer tie shuffler: when armed, every scheduled event
+     draws a random priority from this private stream and equal-timestamp
+     events fire in priority order instead of FIFO. A correct experiment
+     is insensitive to tie order, so its outputs must be byte-identical
+     under any shuffle seed; a divergence pinpoints latent
+     order-dependence. [None] (the default) draws nothing and preserves
+     exact FIFO tie-breaking, bit-identical to an unarmed build. *)
+  tie : Prng.t option;
   mutable running : bool;
   mutable executed : int;
   (* The process-local slot of the currently-dispatching event: children
      inherit it at [spawn], and it is saved/restored across Sleep and
      Suspend so a process keeps its value over its whole lifetime. *)
   mutable local : local option;
+  (* Second process-local slot, reserved for the happens-before
+     sanitizer ([Hb]): kept separate from [local] so arming the
+     sanitizer never competes with trace contexts for the one slot.
+     Unlike [local], inheritance at [spawn] goes through [san_fork] so
+     the sanitizer can fork (not share) per-process state. *)
+  mutable san_local : local option;
+  mutable san_fork : (local option -> local option) option;
+  (* Engine-owned sanitizer-state slot (same universal-type idiom as
+     [fault_plan]): [Hb] parks its per-engine checker state here. *)
+  mutable san_state : local option;
   (* Engine-owned fault-plan slot (same universal-type idiom as [local]):
      the faults library parks its plan here so injection sites anywhere in
      the stack can find it without the engine depending on them. *)
@@ -29,17 +47,40 @@ type _ Effect.t +=
 
 let cmp_event a b =
   let c = compare a.time b.time in
-  if c <> 0 then c else compare a.seq b.seq
+  if c <> 0 then c
+  else
+    let c = compare a.pri b.pri in
+    if c <> 0 then c else compare a.seq b.seq
 
-let create ?(seed = 1L) () =
+let shuffle_env_var = "SEUSS_SHUFFLE_SEED"
+
+let shuffle_seed_of_env () =
+  match Sys.getenv_opt shuffle_env_var with
+  | None | Some "" -> None  (* "" = unset: callers can't delete env vars *)
+  | Some s -> (
+      match Int64.of_string_opt (String.trim s) with
+      | Some v -> Some v
+      | None ->
+          Printf.eprintf "warning: ignoring malformed %s=%S\n%!"
+            shuffle_env_var s;
+          None)
+
+let create ?(seed = 1L) ?tie_seed () =
+  let tie_seed =
+    match tie_seed with Some _ -> tie_seed | None -> shuffle_seed_of_env ()
+  in
   {
     clock = 0.0;
     seq = 0;
     events = Heap.create ~cmp:cmp_event;
     prng = Prng.create seed;
+    tie = Option.map Prng.create tie_seed;
     running = false;
     executed = 0;
     local = None;
+    san_local = None;
+    san_fork = None;
+    san_state = None;
     fault_plan = None;
     crashed = [];
   }
@@ -47,12 +88,16 @@ let create ?(seed = 1L) () =
 let now t = t.clock
 let rng t = t.prng
 let events_executed t = t.executed
+let tie_shuffling t = Option.is_some t.tie
 
 let schedule t ~delay thunk =
   if not (Float.is_finite delay) || delay < 0.0 then
     invalid_arg "Engine.schedule: delay must be finite and non-negative";
   t.seq <- t.seq + 1;
-  Heap.push t.events { time = t.clock +. delay; seq = t.seq; thunk }
+  let pri =
+    match t.tie with None -> 0 | Some p -> Prng.int p 0x4000_0000
+  in
+  Heap.push t.events { time = t.clock +. delay; seq = t.seq; pri; thunk }
 
 (* The engine currently dispatching an event; the simulator is
    single-threaded so a global is unambiguous. *)
@@ -67,6 +112,13 @@ let self_opt () = !current
 
 let get_local t = t.local
 let set_local t v = t.local <- v
+
+let get_san_local t = t.san_local
+let set_san_local t v = t.san_local <- v
+let set_san_fork t f = t.san_fork <- f
+
+let san_state t = t.san_state
+let set_san_state t v = t.san_state <- v
 
 let fault_plan t = t.fault_plan
 let set_fault_plan t v = t.fault_plan <- v
@@ -100,13 +152,16 @@ let exec ?supervise t name f =
               Some
                 (fun (k : (a, unit) continuation) ->
                   let saved = t.local in
+                  let saved_san = t.san_local in
                   schedule t ~delay (fun () ->
                       t.local <- saved;
+                      t.san_local <- saved_san;
                       continue k ()))
           | Suspend register ->
               Some
                 (fun (k : (a, unit) continuation) ->
                   let saved = t.local in
+                  let saved_san = t.san_local in
                   let resumed = ref false in
                   let resume () =
                     if !resumed then
@@ -115,6 +170,7 @@ let exec ?supervise t name f =
                       resumed := true;
                       schedule t ~delay:0.0 (fun () ->
                           t.local <- saved;
+                          t.san_local <- saved_san;
                           continue k ())
                     end
                   in
@@ -122,19 +178,32 @@ let exec ?supervise t name f =
           | _ -> None);
     }
 
+(* The sanitizer slot a child starts with: forked from the spawner's via
+   [san_fork] when the happens-before checker is armed, shared otherwise
+   (in which case it is [None] anyway — nothing installs the slot but the
+   checker). Computed at [spawn] time, so the child is ordered after
+   everything its parent did before the spawn and concurrent with the
+   rest. *)
+let child_san t =
+  match t.san_fork with None -> t.san_local | Some fork -> fork t.san_local
+
 let spawn t ?(name = "process") f =
   (* Children inherit the spawner's local slot (e.g. its trace
      context), so work fanned out by an invocation records into the
      invocation's own trace. *)
   let inherited = t.local in
+  let inherited_san = child_san t in
   schedule t ~delay:0.0 (fun () ->
       t.local <- inherited;
+      t.san_local <- inherited_san;
       exec t name f)
 
 let spawn_supervised t ?(name = "process") ?(on_crash = fun _ _ -> ()) f =
   let inherited = t.local in
+  let inherited_san = child_san t in
   schedule t ~delay:0.0 (fun () ->
       t.local <- inherited;
+      t.san_local <- inherited_san;
       exec ~supervise:on_crash t name f)
 
 let run ?until t =
@@ -144,6 +213,7 @@ let run ?until t =
   let restore () =
     t.running <- false;
     t.local <- None;
+    t.san_local <- None;
     current := None
   in
   (try
@@ -160,9 +230,10 @@ let run ?until t =
                ignore (Heap.pop t.events);
                t.clock <- ev.time;
                t.executed <- t.executed + 1;
-               (* Each event starts with a clean slot; process
-                  continuations restore their own saved value. *)
+               (* Each event starts with clean slots; process
+                  continuations restore their own saved values. *)
                t.local <- None;
+               t.san_local <- None;
                ev.thunk ())
      done
    with exn ->

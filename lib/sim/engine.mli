@@ -8,14 +8,34 @@
     Inside a process, {!sleep} advances simulated time and blocking
     primitives ({!Ivar}, {!Semaphore}, {!Channel}) suspend via {!suspend}.
     Events at equal timestamps fire in FIFO order (a monotonic sequence
-    number breaks ties), which makes whole-experiment runs reproducible. *)
+    number breaks ties), which makes whole-experiment runs reproducible.
+    The schedule sanitizer ([tie_seed] below, plus the {!Hb} checker)
+    deliberately perturbs that tie order to flush out code that silently
+    depends on it. *)
 
 type t
 
-val create : ?seed:int64 -> unit -> t
+val create : ?seed:int64 -> ?tie_seed:int64 -> unit -> t
 (** [create ?seed ()] is a fresh engine at time [0.0]. [seed] (default
     [1L]) initialises the engine's PRNG, from which experiments derive all
-    randomness. *)
+    randomness.
+
+    [tie_seed] arms the schedule sanitizer's tie shuffler: events at
+    equal timestamps fire in a seeded-random order instead of FIFO
+    (order across distinct timestamps is untouched). Experiments that
+    are honestly deterministic produce byte-identical outputs under any
+    [tie_seed]; a divergence pinpoints latent dependence on same-time
+    event order. When [tie_seed] is absent, the [SEUSS_SHUFFLE_SEED]
+    environment variable supplies it, so released binaries can be swept
+    without code changes (the unit-test FIFO contract assumes the
+    variable is unset under [dune runtest]). Unarmed engines draw
+    nothing from the shuffle stream and keep exact FIFO tie-breaking. *)
+
+val tie_shuffling : t -> bool
+(** Whether the tie shuffler is armed on this engine. *)
+
+val shuffle_env_var : string
+(** ["SEUSS_SHUFFLE_SEED"]. *)
 
 val now : t -> float
 (** Current simulated time, in seconds. *)
@@ -85,6 +105,35 @@ val get_local : t -> local option
 val set_local : t -> local option -> unit
 (** Overwrite the current process's slot (takes effect for the rest of
     this process's lifetime, including after suspensions). *)
+
+(** {1 Sanitizer process slot}
+
+    A second process-local slot, reserved for the happens-before
+    sanitizer ({!Hb}) so it never competes with trace contexts for
+    {!get_local}. It behaves like the primary slot (preserved across
+    {!sleep}/{!suspend}, cleared for plain {!schedule} callbacks) except
+    at {!spawn}: if a fork hook is installed the child's initial slot is
+    [fork parent_slot] — computed when [spawn] is called — letting the
+    sanitizer give every process its own identity while recording the
+    spawn ordering edge. *)
+
+val get_san_local : t -> local option
+
+val set_san_local : t -> local option -> unit
+
+val set_san_fork : t -> (local option -> local option) option -> unit
+
+(** {1 Sanitizer engine slot}
+
+    Engine-owned slot for the happens-before checker's per-engine state,
+    using the same universal-type embedding as {!fault_plan}. Empty by
+    default; an engine with no checker installed makes no extra PRNG
+    draws and schedules nothing extra, so its event stream is
+    bit-identical to an unsanitized build. *)
+
+val san_state : t -> local option
+
+val set_san_state : t -> local option -> unit
 
 (** {1 Fault-plan slot}
 

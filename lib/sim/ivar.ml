@@ -1,13 +1,19 @@
 type 'a state = Empty of (unit -> unit) Queue.t | Full of 'a
 
-type 'a t = { mutable state : 'a state }
+type 'a t = {
+  mutable state : 'a state;
+  (* Happens-before edge carrier: the fill publishes, readers observe
+     (no-op unless the schedule sanitizer is armed). *)
+  hb : Hb.sync;
+}
 
-let create () = { state = Empty (Queue.create ()) }
+let create () = { state = Empty (Queue.create ()); hb = Hb.make_sync () }
 
 let try_fill t v =
   match t.state with
   | Full _ -> false
   | Empty waiters ->
+      Hb.signal t.hb;
       t.state <- Full v;
       Queue.iter (fun resume -> resume ()) waiters;
       true
@@ -17,20 +23,31 @@ let fill t v =
 
 let is_full t = match t.state with Full _ -> true | Empty _ -> false
 
-let peek t = match t.state with Full v -> Some v | Empty _ -> None
+let peek t =
+  match t.state with
+  | Full v ->
+      Hb.observe t.hb;
+      Some v
+  | Empty _ -> None
 
 let read t =
   match t.state with
-  | Full v -> v
-  | Empty waiters ->
+  | Full v ->
+      Hb.observe t.hb;
+      v
+  | Empty waiters -> (
       Engine.suspend (fun resume -> Queue.add resume waiters);
-      (match t.state with
-      | Full v -> v
+      match t.state with
+      | Full v ->
+          Hb.observe t.hb;
+          v
       | Empty _ -> assert false)
 
 let read_timeout t ~timeout =
   match t.state with
-  | Full v -> Some v
+  | Full v ->
+      Hb.observe t.hb;
+      Some v
   | Empty _ ->
       (* Race the fill against a timer through a secondary ivar so the
          blocked reader is woken exactly once. *)

@@ -2,11 +2,14 @@ type t = {
   capacity : int;
   mutable avail : int;
   waiters : (unit -> unit) Queue.t;
+  (* Happens-before edge carrier: release publishes, a successful
+     acquire observes (no-op unless the schedule sanitizer is armed). *)
+  hb : Hb.sync;
 }
 
 let create n =
   if n < 0 then invalid_arg "Semaphore.create: negative capacity";
-  { capacity = n; avail = n; waiters = Queue.create () }
+  { capacity = n; avail = n; waiters = Queue.create (); hb = Hb.make_sync () }
 
 let capacity t = t.capacity
 let available t = t.avail
@@ -16,18 +19,22 @@ let in_use t = t.capacity - t.avail
 let try_acquire t =
   if t.avail > 0 then begin
     t.avail <- t.avail - 1;
+    Hb.observe t.hb;
     true
   end
   else false
 
 let acquire t =
-  if not (try_acquire t) then
-    Engine.suspend (fun resume -> Queue.add resume t.waiters)
+  if not (try_acquire t) then begin
+    Engine.suspend (fun resume -> Queue.add resume t.waiters);
+    Hb.observe t.hb
+  end
 (* The permit is handed directly to the woken waiter: [release] does not
    increment [avail] when a waiter is pending, so no third party can steal
    the permit between release and wakeup. *)
 
 let release t =
+  Hb.signal t.hb;
   match Queue.take_opt t.waiters with
   | Some resume -> resume ()
   | None ->

@@ -46,6 +46,7 @@ let stop_ctx t =
   (match Engine.self_opt () with
   | Some engine -> (
       match Engine.get_local engine with
+      (* seusslint: allow physical-eq — only this exact context may uninstall itself *)
       | Some (Ctx u) when u == t -> Engine.set_local engine None
       | _ -> ())
   | None -> ());

@@ -1,0 +1,7 @@
+(* Fixture: a justified suppression — must lint clean. *)
+type r = { mutable n : int }
+
+(* seusslint: allow physical-eq — fixture exercising suppression *)
+let same a b = a == b
+
+let also_same (a : r) b = a == b (* seusslint: allow physical-eq — inline form *)

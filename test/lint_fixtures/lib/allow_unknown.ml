@@ -1,0 +1,4 @@
+(* Fixture: allow comment naming a rule that does not exist. *)
+
+(* seusslint: allow no-such-rule — this id is not in the catalogue *)
+let id x = x

@@ -1,0 +1,4 @@
+(* Fixture: a frame acquisition outside the audited site list. *)
+let grab frames = Frame.alloc frames
+let keep frames f = Frame.incref frames f
+let drop frames f = Frame.decref frames f

@@ -1,0 +1,3 @@
+(* Fixture: raw bucket-order iteration escaping into a result. *)
+let dump tbl = Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+let walk tbl f = Hashtbl.iter f tbl

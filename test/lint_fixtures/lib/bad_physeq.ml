@@ -1,0 +1,5 @@
+(* Fixture: physical identity on records. *)
+type r = { mutable n : int }
+
+let same a b = a == b
+let differ a b = a != b && a.n = b.n

@@ -1,0 +1,3 @@
+(* Fixture: stdout writes from library code. *)
+let shout () = print_endline "hello"
+let tell n = Printf.printf "n=%d\n" n

@@ -1,0 +1,2 @@
+(* Fixture: draws from the ambient global PRNG. *)
+let roll () = Random.int 6

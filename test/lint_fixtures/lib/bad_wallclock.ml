@@ -1,0 +1,3 @@
+(* Fixture: reads the host clock from simulated code. *)
+let stamp () = Unix.gettimeofday ()
+let cpu () = Sys.time ()

@@ -1,0 +1,94 @@
+(* seusslint coverage: every rule fires on its known-bad fixture, the
+   allow machinery suppresses/complains correctly, and the shipped tree
+   itself lints clean. *)
+
+let fixture name = Filename.concat "lint_fixtures/lib" name
+
+(* Fixtures pose as lib/ sources so lib-only rules apply to them. *)
+let check name = Lint.Check.check_file ~rel:("lib/" ^ name) (fixture name)
+
+let rules_hit vs =
+  List.sort_uniq String.compare (List.map (fun v -> v.Lint.Check.rule) vs)
+
+let check_fires () =
+  let cases =
+    [
+      ("bad_random.ml", "bare-random", 1);
+      ("bad_wallclock.ml", "wallclock", 2);
+      ("bad_hashtbl.ml", "hashtbl-order", 2);
+      ("bad_physeq.ml", "physical-eq", 2);
+      ("bad_print.ml", "stdout-print", 2);
+      ("bad_frame.ml", "frame-site", 3);
+    ]
+  in
+  List.iter
+    (fun (file, rule, expected) ->
+      let vs = check file in
+      Alcotest.(check (list string)) (file ^ " rule") [ rule ] (rules_hit vs);
+      Alcotest.(check int) (file ^ " count") expected (List.length vs))
+    cases
+
+let check_no_parse_errors () =
+  (* The fixtures must be valid OCaml — a parse-error violation would
+     silently satisfy the nonzero-exit expectation for the wrong reason. *)
+  List.iter
+    (fun file ->
+      let vs = check file in
+      List.iter
+        (fun v ->
+          if String.equal v.Lint.Check.rule Lint.Rules.parse_error then
+            Alcotest.failf "%s failed to parse: %s" file v.Lint.Check.message)
+        vs)
+    (Array.to_list (Sys.readdir "lint_fixtures/lib"))
+
+let check_allow_suppresses () =
+  Alcotest.(check (list string)) "allow_ok clean" [] (rules_hit (check "allow_ok.ml"))
+
+let check_allow_unknown () =
+  Alcotest.(check (list string))
+    "unknown rule id reported" [ Lint.Rules.bad_allow ]
+    (rules_hit (check "allow_unknown.ml"))
+
+let check_allow_unused () =
+  Alcotest.(check (list string))
+    "dead allowance reported" [ Lint.Rules.unused_allow ]
+    (rules_hit (check "allow_unused.ml"))
+
+let check_positions () =
+  match check "bad_random.ml" with
+  | [ v ] ->
+      Alcotest.(check string) "file" "lib/bad_random.ml" v.Lint.Check.file;
+      Alcotest.(check int) "line" 2 v.Lint.Check.line
+  | vs -> Alcotest.failf "expected exactly one violation, got %d" (List.length vs)
+
+let check_clean_tree () =
+  (* The shipped sources (copied into the build sandbox as our library
+     deps) must lint clean — the same gate CI applies via seusslint. *)
+  let roots = List.filter Sys.file_exists [ "../lib"; "../bin" ] in
+  if roots = [] then ()
+  else
+    let vs = Lint.Check.check_tree roots in
+    List.iter
+      (fun v ->
+        Printf.eprintf "unexpected: %s:%d [%s] %s\n" v.Lint.Check.file
+          v.Lint.Check.line v.Lint.Check.rule v.Lint.Check.message)
+      vs;
+    Alcotest.(check int) "violations in shipped tree" 0 (List.length vs)
+
+let () =
+  Alcotest.run "lint"
+    [
+      ( "rules",
+        [
+          Alcotest.test_case "each fixture fires its rule" `Quick check_fires;
+          Alcotest.test_case "fixtures parse" `Quick check_no_parse_errors;
+          Alcotest.test_case "positions reported" `Quick check_positions;
+        ] );
+      ( "allow",
+        [
+          Alcotest.test_case "suppression works" `Quick check_allow_suppresses;
+          Alcotest.test_case "unknown rule rejected" `Quick check_allow_unknown;
+          Alcotest.test_case "unused allowance rejected" `Quick check_allow_unused;
+        ] );
+      ("tree", [ Alcotest.test_case "shipped tree is clean" `Quick check_clean_tree ]);
+    ]

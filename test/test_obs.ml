@@ -81,6 +81,8 @@ let test_event_roundtrip_all_variants () =
           cow_copied = 530;
           zero_filled = 16;
         };
+      Obs.Event.San_race
+        { cell = "registry.table"; kind = "write/write"; first_pid = 1; second_pid = 4 };
     ]
   in
   List.iter
