@@ -21,16 +21,26 @@ let list_rules () =
 let () =
   let roots = ref [] in
   let list = ref false in
-  let spec = [ ("--list-rules", Arg.Set list, " Print the rule catalogue and exit") ] in
+  let strip = ref "" in
+  let spec =
+    [
+      ("--list-rules", Arg.Set list, " Print the rule catalogue and exit");
+      ( "--strip-prefix",
+        Arg.Set_string strip,
+        "PREFIX Drop PREFIX from paths before rule classification (so a \
+         fixture tree like test/lint_fixtures/lib is linted as lib/)" );
+    ]
+  in
   Arg.parse (Arg.align spec)
     (fun dir -> roots := dir :: !roots)
-    "seusslint [--list-rules] [DIR ...]   (default roots: lib bin)";
+    "seusslint [--list-rules] [--strip-prefix PREFIX] [DIR ...]   (default roots: lib bin)";
   if !list then begin
     list_rules ();
     exit 0
   end;
   let roots = match List.rev !roots with [] -> [ "lib"; "bin" ] | rs -> rs in
-  let violations = Lint.Check.check_tree roots in
+  let strip_prefix = match !strip with "" -> None | p -> Some p in
+  let violations = Lint.Check.check_tree ?strip_prefix roots in
   List.iter
     (fun (v : Lint.Check.violation) ->
       Printf.printf "%s:%d:%d: [%s] %s\n" v.file v.line v.col v.rule v.message)

@@ -360,6 +360,30 @@ let rec source_files dir =
         [] entries
   | exception Sys_error _ -> []
 
-let check_tree roots =
+(* Drop a leading [prefix] (itself normalized of ./ and ../) from [rel],
+   so a fixture tree like test/lint_fixtures/lib/... classifies as
+   lib/... — lets the lib-only rules fire on known-bad fixtures. *)
+let strip_rel_prefix ~prefix rel =
+  let prefix = rel_of_path prefix in
+  let prefix =
+    if prefix <> "" && prefix.[String.length prefix - 1] <> '/' then prefix ^ "/"
+    else prefix
+  in
+  if prefix <> "" && prefixed ~prefix rel then
+    String.sub rel (String.length prefix) (String.length rel - String.length prefix)
+  else rel
+
+let check_tree ?strip_prefix roots =
+  let rel_of path =
+    let rel = rel_of_path path in
+    match strip_prefix with
+    | None -> rel
+    | Some prefix -> strip_rel_prefix ~prefix rel
+  in
   List.sort compare_violation
-    (List.concat_map (fun root -> List.concat_map (fun f -> check_file f) (source_files root)) roots)
+    (List.concat_map
+       (fun root ->
+         List.concat_map
+           (fun f -> check_file ~rel:(rel_of f) f)
+           (source_files root))
+       roots)

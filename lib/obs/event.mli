@@ -78,7 +78,7 @@ type t =
           nor zero-filled were already mapped in the snapshot stack. *)
   | San_race of {
       cell : string;  (** registered shared-cell name, e.g. ["registry.table"] *)
-      kind : string;  (** {!Sim.Hb.kind_name}: ["write-write"] or ["read-write"] *)
+      kind : string;  (** {!Sim.Hb.kind_name}: ["write/write"] or ["read/write"] *)
       first_pid : int;
       second_pid : int;
     }

@@ -19,21 +19,20 @@ let create ?budget_bytes ?(cores = 16) ?log_capacity engine =
       ()
   in
   (* When the schedule sanitizer is armed, surface its race reports on
-     this node's event log so they land in exported timelines. The
-     reporter slot is global to the checker: the most recently created
-     env hosts the reports (single-node experiments have exactly one). *)
+     this node's event log so they land in exported timelines. Reporters
+     accumulate on the shared checker, so in a multi-node cluster every
+     node's log receives every race — a race is a cross-node fact and no
+     single node owns it. *)
   if Sim.Hb.enabled engine then
-    Sim.Hb.set_reporter engine
-      (Some
-         (fun (r : Sim.Hb.race) ->
-           Obs.Log.emit log
-             (Obs.Event.San_race
-                {
-                  cell = r.cell;
-                  kind = Sim.Hb.kind_name r.kind;
-                  first_pid = r.first_pid;
-                  second_pid = r.second_pid;
-                })));
+    Sim.Hb.add_reporter engine (fun (r : Sim.Hb.race) ->
+        Obs.Log.emit log
+          (Obs.Event.San_race
+             {
+               cell = r.cell;
+               kind = Sim.Hb.kind_name r.kind;
+               first_pid = r.first_pid;
+               second_pid = r.second_pid;
+             }));
   {
     engine;
     frames = Mem.Frame.create ?budget_bytes ();

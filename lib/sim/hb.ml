@@ -67,7 +67,7 @@ type state = {
   engine : Engine.t;
   mutable next_pid : int;
   mutable races : race list; (* newest first *)
-  mutable reporter : (race -> unit) option;
+  mutable reporters : (race -> unit) list; (* registration order *)
 }
 
 exception State_slot of state
@@ -100,7 +100,7 @@ let enable engine =
   match state_of engine with
   | Some st -> st
   | None ->
-      let st = { engine; next_pid = 0; races = []; reporter = None } in
+      let st = { engine; next_pid = 0; races = []; reporters = [] } in
       Engine.set_san_state engine (Some (State_slot st));
       (* Spawn edge: the child is ordered after the parent's history at
          the spawn point; bumping the parent's own component afterwards
@@ -123,10 +123,10 @@ let enable engine =
                   { pid = child_pid; vc = vc_set inherited child_pid 1 })));
       st
 
-let set_reporter engine f =
+let add_reporter engine f =
   match state_of engine with
-  | None -> invalid_arg "Hb.set_reporter: sanitizer not enabled"
-  | Some st -> st.reporter <- f
+  | None -> invalid_arg "Hb.add_reporter: sanitizer not enabled"
+  | Some st -> st.reporters <- st.reporters @ [ f ]
 
 let races engine =
   match state_of engine with None -> [] | Some st -> List.rev st.races
@@ -178,7 +178,7 @@ let cell_name c = c.name
 
 let report st race =
   st.races <- race :: st.races;
-  match st.reporter with None -> () | Some f -> f race
+  List.iter (fun f -> f race) st.reporters
 
 let access c ~write =
   with_state (fun st ->

@@ -35,9 +35,13 @@ type race = {
   second_pid : int;
 }
 
-val set_reporter : Engine.t -> (race -> unit) option -> unit
+val add_reporter : Engine.t -> (race -> unit) -> unit
 (** Also deliver each race as it is found (e.g. to emit a typed [Obs]
-    event). @raise Invalid_argument if the checker is not enabled. *)
+    event). Reporters accumulate: every registered reporter receives
+    every subsequent race, so each node env on a shared engine can log
+    races to its own timeline. Races found before any reporter is
+    registered remain visible via {!races} only.
+    @raise Invalid_argument if the checker is not enabled. *)
 
 val races : Engine.t -> race list
 (** Races found so far, oldest first; [[]] when not enabled. *)

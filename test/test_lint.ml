@@ -61,6 +61,35 @@ let check_positions () =
       Alcotest.(check int) "line" 2 v.Lint.Check.line
   | vs -> Alcotest.failf "expected exactly one violation, got %d" (List.length vs)
 
+let check_strip_prefix_tree () =
+  (* Mirror CI's "Fixtures still fail" step: a tree run over the fixture
+     root with the prefix stripped must classify files as lib/, fire
+     every lib-only rule, and leave the clean allow_ok fixture clean. *)
+  let vs =
+    Lint.Check.check_tree ~strip_prefix:"lint_fixtures" [ "lint_fixtures" ]
+  in
+  List.iter
+    (fun v ->
+      Alcotest.(check bool)
+        (v.Lint.Check.file ^ " reported lib-relative")
+        true
+        (String.length v.Lint.Check.file >= 4
+        && String.equal (String.sub v.Lint.Check.file 0 4) "lib/"))
+    vs;
+  let rules = rules_hit vs in
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) (r ^ " fires in the fixture tree") true
+        (List.mem r rules))
+    [
+      "bare-random"; "wallclock"; "hashtbl-order"; "physical-eq";
+      "stdout-print"; "frame-site";
+    ];
+  Alcotest.(check bool) "allow_ok stays clean" false
+    (List.exists
+       (fun v -> String.equal v.Lint.Check.file "lib/allow_ok.ml")
+       vs)
+
 let check_clean_tree () =
   (* The shipped sources (copied into the build sandbox as our library
      deps) must lint clean — the same gate CI applies via seusslint. *)
@@ -90,5 +119,10 @@ let () =
           Alcotest.test_case "unknown rule rejected" `Quick check_allow_unknown;
           Alcotest.test_case "unused allowance rejected" `Quick check_allow_unused;
         ] );
-      ("tree", [ Alcotest.test_case "shipped tree is clean" `Quick check_clean_tree ]);
+      ( "tree",
+        [
+          Alcotest.test_case "fixture tree under --strip-prefix" `Quick
+            check_strip_prefix_tree;
+          Alcotest.test_case "shipped tree is clean" `Quick check_clean_tree;
+        ] );
     ]

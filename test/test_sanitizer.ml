@@ -5,6 +5,12 @@
 
 (* {1 Tie shuffling} *)
 
+let with_shuffle seed f =
+  (* "" reads as unset (Unix offers no unsetenv). *)
+  Unix.putenv Sim.Engine.shuffle_env_var
+    (match seed with None -> "" | Some s -> Int64.to_string s);
+  Fun.protect ~finally:(fun () -> Unix.putenv Sim.Engine.shuffle_env_var "") f
+
 (* Deliberately order-dependent: the output string is exactly the order
    in which same-timestamp processes ran. *)
 let toy ?tie_seed () =
@@ -18,13 +24,17 @@ let toy ?tie_seed () =
   Sim.Engine.run engine;
   Buffer.contents out
 
+(* The FIFO assertions require an *unarmed* shuffler: run them under a
+   cleared SEUSS_SHUFFLE_SEED so the CI shuffle matrix (which exports the
+   env var for the whole test binary) cannot arm Engine.create here. *)
 let fifo_baseline () =
-  Alcotest.(check string) "unarmed runs are FIFO and repeatable" (toy ())
-    (toy ());
-  Alcotest.(check string) "FIFO order is spawn order" "12345678" (toy ())
+  with_shuffle None (fun () ->
+      Alcotest.(check string) "unarmed runs are FIFO and repeatable" (toy ())
+        (toy ());
+      Alcotest.(check string) "FIFO order is spawn order" "12345678" (toy ()))
 
 let shuffle_catches_order_dependence () =
-  let baseline = toy () in
+  let baseline = with_shuffle None (fun () -> toy ()) in
   let perturbed =
     List.exists
       (fun s -> not (String.equal baseline (toy ~tie_seed:s ())))
@@ -43,12 +53,6 @@ let shuffle_deterministic_per_seed () =
     [ 1L; 2L; 3L ]
 
 (* {1 Experiment byte-identity under shuffling} *)
-
-let with_shuffle seed f =
-  (* "" reads as unset (Unix offers no unsetenv). *)
-  Unix.putenv Sim.Engine.shuffle_env_var
-    (match seed with None -> "" | Some s -> Int64.to_string s);
-  Fun.protect ~finally:(fun () -> Unix.putenv Sim.Engine.shuffle_env_var "") f
 
 let assert_shuffle_identical name render =
   let baseline = with_shuffle None render in
