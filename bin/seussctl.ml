@@ -10,6 +10,31 @@ let seed_arg =
 
 let print s = print_string s
 
+(* Drive an engine the subcommand built itself and surface stuck
+   waiters on stderr — stdout stays byte-identical, which the CI
+   sanitizer-transparency check depends on. With SEUSS_DEADLOCK=1 the
+   wait-for-graph detector adds one provenance line per stranded
+   process. *)
+let run_watched engine =
+  Sim.Engine.run engine;
+  let stuck = Sim.Engine.stuck_waiters engine in
+  if stuck > 0 then begin
+    Printf.eprintf
+      "seussctl: %d process%s still parked at quiescence (set %s=1 for a \
+       wait-for-graph report)\n"
+      stuck
+      (if stuck = 1 then "" else "es")
+      Sim.Engine.deadlock_env_var;
+    List.iter
+      (fun (s : Sim.Engine.stranded) ->
+        Printf.eprintf
+          "seussctl:   %s (pid %d, spawned %.6f) stuck on %s since %.6f%s\n"
+          s.Sim.Engine.proc s.Sim.Engine.pid s.Sim.Engine.spawned_at
+          s.Sim.Engine.resource s.Sim.Engine.waiting_since
+          (if s.Sim.Engine.in_cycle then " [wait cycle]" else ""))
+      (Sim.Engine.stranded_waiters engine)
+  end
+
 let table1_cmd =
   let invocations =
     Arg.(
@@ -301,7 +326,7 @@ let trace_cmd =
         traced "cold" (fun () -> ());
         traced "hot" (fun () -> ());
         traced "warm" (fun () -> Seuss.Node.drop_idle node ~fn_id:"traced"));
-    Sim.Engine.run engine
+    run_watched engine
   in
   Cmd.v
     (Cmd.info "trace"
@@ -356,7 +381,7 @@ let events_cmd =
         Seuss.Node.start node;
         obs_workload ~functions ~calls node;
         print_string (Obs.Log.to_jsonl env.Seuss.Osenv.log));
-    Sim.Engine.run engine
+    run_watched engine
   in
   Cmd.v
     (Cmd.info "events"
@@ -496,7 +521,7 @@ let top_cmd =
           Sim.Engine.sleep interval;
           frame ()
         done);
-    Sim.Engine.run engine
+    run_watched engine
   in
   Cmd.v
     (Cmd.info "top"
@@ -595,7 +620,7 @@ let snapshots_cmd =
              (Int64.add (Int64.mul (Int64.of_int functions) shared) diffs)
           /. 1048576.0)
           (Int64.to_float (Int64.add shared diffs) /. 1048576.0));
-    Sim.Engine.run engine
+    run_watched engine
   in
   Cmd.v
     (Cmd.info "snapshots"

@@ -1,30 +1,73 @@
 (* The seusslint driver — determinism & resource-safety linter.
 
-   Parses every .ml under the given roots (default: lib bin) with
-   compiler-libs and enforces the rule catalogue in Lint.Rules; exits 1
-   if any unsuppressed violation remains. Suppress a justified hit with
-     (* seusslint: allow <rule> — <reason> *)
-   on the offending line or the line above it. *)
+   Two passes over every .ml under the given roots (default: lib bin),
+   selected with --pass:
+
+   - base (default): the per-file syntactic rules in Lint.Check.
+     Suppress a justified hit with
+       (* seusslint: allow <rule> — <reason> *)
+     on the offending line or the line above it.
+   - deadlock: the interprocedural blocking/deadlock rules in
+     Lint.Deadlock (block-in-handler, lock-order, unreleased-acquire).
+     Suppressions use the pass's own marker:
+       (* seussdead: allow <rule> — <reason> *)
+
+   Exits 1 if any unsuppressed violation remains. --json swaps the
+   human report for one JSON object per line (file, line, col, rule,
+   message), for CI problem matchers and tooling. *)
 
 let list_rules () =
-  print_endline "seusslint rules:";
+  print_endline "seusslint rules (base pass):";
   List.iter
-    (fun r -> Printf.printf "  %-14s %s\n" (Lint.Rules.name r) (Lint.Rules.describe r))
-    Lint.Rules.all;
+    (fun r ->
+      Printf.printf "  %-18s %s\n" (Lint.Rules.name r) (Lint.Rules.describe r))
+    Lint.Rules.syntactic;
+  print_endline "seusslint rules (deadlock pass, --pass deadlock):";
+  List.iter
+    (fun r ->
+      Printf.printf "  %-18s %s\n" (Lint.Rules.name r) (Lint.Rules.describe r))
+    Lint.Rules.deadlock;
   Printf.printf
-    "  %-14s reported for malformed/unknown allow comments (not suppressible)\n"
+    "  %-18s reported for malformed/unknown allow comments (not suppressible)\n"
     Lint.Rules.bad_allow;
   Printf.printf
-    "  %-14s reported for allow comments that suppress nothing (not suppressible)\n"
+    "  %-18s reported for allow comments that suppress nothing (not \
+     suppressible)\n"
     Lint.Rules.unused_allow
+
+(* Minimal JSON string escaping: the report fields are ASCII paths and
+   rule prose, but messages may carry quotes or em dashes. *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
 
 let () =
   let roots = ref [] in
   let list = ref false in
   let strip = ref "" in
+  let pass = ref "base" in
+  let json = ref false in
   let spec =
     [
       ("--list-rules", Arg.Set list, " Print the rule catalogue and exit");
+      ( "--pass",
+        Arg.Symbol ([ "base"; "deadlock" ], fun p -> pass := p),
+        " Which pass to run: base (per-file syntactic rules, default) or \
+         deadlock (interprocedural blocking/lock-order analysis)" );
+      ( "--json",
+        Arg.Set json,
+        " Emit one JSON object per violation instead of the human report" );
       ( "--strip-prefix",
         Arg.Set_string strip,
         "PREFIX Drop PREFIX from paths before rule classification (so a \
@@ -33,22 +76,37 @@ let () =
   in
   Arg.parse (Arg.align spec)
     (fun dir -> roots := dir :: !roots)
-    "seusslint [--list-rules] [--strip-prefix PREFIX] [DIR ...]   (default roots: lib bin)";
+    "seusslint [--list-rules] [--pass base|deadlock] [--json] [--strip-prefix \
+     PREFIX] [DIR ...]   (default roots: lib bin)";
   if !list then begin
     list_rules ();
     exit 0
   end;
   let roots = match List.rev !roots with [] -> [ "lib"; "bin" ] | rs -> rs in
   let strip_prefix = match !strip with "" -> None | p -> Some p in
-  let violations = Lint.Check.check_tree ?strip_prefix roots in
+  let violations =
+    match !pass with
+    | "deadlock" -> Lint.Deadlock.check_tree ?strip_prefix roots
+    | _ -> Lint.Check.check_tree ?strip_prefix roots
+  in
   List.iter
     (fun (v : Lint.Check.violation) ->
-      Printf.printf "%s:%d:%d: [%s] %s\n" v.file v.line v.col v.rule v.message)
+      if !json then
+        Printf.printf
+          "{\"file\":\"%s\",\"line\":%d,\"col\":%d,\"rule\":\"%s\",\"message\":\"%s\"}\n"
+          (json_escape v.file) v.line v.col (json_escape v.rule)
+          (json_escape v.message)
+      else
+        Printf.printf "%s:%d:%d: [%s] %s\n" v.file v.line v.col v.rule
+          v.message)
     violations;
   match violations with
   | [] ->
-      Printf.printf "seusslint: clean (%s)\n" (String.concat " " roots);
+      if not !json then
+        Printf.printf "seusslint: clean (%s, %s pass)\n"
+          (String.concat " " roots) !pass;
       exit 0
   | vs ->
-      Printf.printf "seusslint: %d violation(s)\n" (List.length vs);
+      if not !json then
+        Printf.printf "seusslint: %d violation(s)\n" (List.length vs);
       exit 1

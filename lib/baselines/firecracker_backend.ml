@@ -14,6 +14,7 @@ type t = {
 }
 
 let create env =
+  (* seussdead: lock firecracker.setup *)
   { env; setup = Sim.Semaphore.create device_parallelism; count = 0; spaces = [] }
 
 let create_instance t () =

@@ -113,8 +113,12 @@ let new_container t ~fn_id =
       in
       (* The container's invocation server answers requests arriving over
          the bridge. *)
+      (* The invocation server parks in accept between requests (and
+         forever after destroy, which only marks [dead]) — a daemon by
+         design, not a stranded waiter. *)
       Sim.Engine.spawn t.env.Seuss.Osenv.engine
         ~name:(Printf.sprintf "container-%d" c.c_id)
+        ~daemon:true
         (fun () ->
           let rec loop () =
             let conn = Net.Tcp.accept c.listener in

@@ -40,6 +40,19 @@ let hb_of_env () =
       Printf.eprintf "harness: ignoring malformed %s %S\n" hb_env_var s;
       false
 
+(* Deadlock hook: SEUSS_DEADLOCK=1 arms the engine's wait-for-graph
+   detector (Engine.create reads the variable itself, like
+   SEUSS_SHUFFLE_SEED). Stranded waiters surface as San_deadlock events
+   on the env log (see Osenv.create) and through the two counters
+   below, recorded after every run_sim — before the completion check,
+   so a stuck experiment still leaves its post-mortem behind. *)
+let deadlock_env_var = Sim.Engine.deadlock_env_var
+
+let last_stuck = ref 0
+let last_stranded : Sim.Engine.stranded list ref = ref []
+let last_stuck_waiters () = !last_stuck
+let last_stranded_waiters () = !last_stranded
+
 let run_sim ?(seed = 7L) body =
   let engine = Sim.Engine.create ~seed () in
   if hb_of_env () then ignore (Sim.Hb.enable engine);
@@ -48,6 +61,8 @@ let run_sim ?(seed = 7L) body =
   Sim.Engine.spawn engine ~name:"experiment" (fun () ->
       result := Some (body engine));
   Sim.Engine.run engine;
+  last_stuck := Sim.Engine.stuck_waiters engine;
+  last_stranded := Sim.Engine.stranded_waiters engine;
   match !result with
   | Some v -> v
   | None -> failwith "experiment did not complete"

@@ -11,13 +11,30 @@ val run_sim : ?seed:int64 -> (Sim.Engine.t -> 'a) -> 'a
     the derivation never draws from the engine stream, so a rate of 0
     leaves every experiment output bit-identical to an unfaulted run.
     When {!hb_env_var} ([SEUSS_HB]) is on, the happens-before schedule
-    sanitizer ({!Sim.Hb}) is armed before the body spawns. *)
+    sanitizer ({!Sim.Hb}) is armed before the body spawns. The engine
+    itself reads {!deadlock_env_var} ([SEUSS_DEADLOCK]) to arm the
+    wait-for-graph deadlock detector; either way, after the run the
+    engine's stuck-waiter count and stranded report are recorded and
+    readable via {!last_stuck_waiters} / {!last_stranded_waiters}. *)
 
 val hb_env_var : string
 (** ["SEUSS_HB"]. *)
 
 val hb_of_env : unit -> bool
 (** Whether {!hb_env_var} is set to a recognised "on" value. *)
+
+val deadlock_env_var : string
+(** ["SEUSS_DEADLOCK"] — re-export of {!Sim.Engine.deadlock_env_var}. *)
+
+val last_stuck_waiters : unit -> int
+(** {!Sim.Engine.stuck_waiters} of the most recent {!run_sim} engine at
+    quiescence: non-daemon processes that were still parked when the
+    event queue drained. Meaningful even with the detector off; [0]
+    for a clean experiment. *)
+
+val last_stranded_waiters : unit -> Sim.Engine.stranded list
+(** {!Sim.Engine.stranded_waiters} of the most recent {!run_sim} run —
+    [[]] unless [SEUSS_DEADLOCK] armed the detector. *)
 
 val fault_seed_xor : int64
 (** The fixed constant mixed into the run seed to derive a fault-plan

@@ -32,45 +32,66 @@ type allow = {
 
 let marker = "seusslint:"
 
-(* Split "allow <rule> <sep> <reason>" after the marker; [None] when the
-   comment is not seusslint-directed at all. *)
-let parse_allow_text text =
+(* Split a comment into (verb, payload) after [marker]; [None] when the
+   comment is not marker-directed at all. Shared with the deadlock pass,
+   which reads its own marker ("seussdead:") and more verbs than
+   "allow". *)
+let parse_directive ~marker text =
   let trimmed = String.trim text in
-      let starred =
-        (* Doc comments reach us with a leading '*'. *)
-        if String.length trimmed > 0 && trimmed.[0] = '*' then
-          String.trim (String.sub trimmed 1 (String.length trimmed - 1))
-        else trimmed
-      in
-      let mlen = String.length marker in
-      if String.length starred < mlen || String.sub starred 0 mlen <> marker
-      then None
-      else
-        let rest = String.trim (String.sub starred mlen (String.length starred - mlen)) in
-        match String.index_opt rest ' ' with
-        | Some i when String.sub rest 0 i = "allow" ->
-            let after = String.trim (String.sub rest (i + 1) (String.length rest - i - 1)) in
-            let rule_id, reason =
-              match String.index_opt after ' ' with
-              | None -> (after, "")
-              | Some j ->
-                  ( String.sub after 0 j,
-                    String.trim (String.sub after (j + 1) (String.length after - j - 1)) )
-            in
-            (* Strip the separator ("—", "--" or "-") off the reason. *)
-            let reason =
-              let try_strip prefix s =
-                let pl = String.length prefix in
-                if String.length s >= pl && String.sub s 0 pl = prefix then
-                  Some (String.trim (String.sub s pl (String.length s - pl)))
-                else None
-              in
-              match List.find_map (fun p -> try_strip p reason) [ "\xe2\x80\x94"; "--"; "-" ] with
-              | Some stripped -> stripped
-              | None -> reason
-            in
-            Some (`Allow (rule_id, reason))
-        | _ -> Some `Malformed
+  let starred =
+    (* Doc comments reach us with a leading '*'. *)
+    if String.length trimmed > 0 && trimmed.[0] = '*' then
+      String.trim (String.sub trimmed 1 (String.length trimmed - 1))
+    else trimmed
+  in
+  let mlen = String.length marker in
+  if String.length starred < mlen || String.sub starred 0 mlen <> marker then
+    None
+  else
+    let rest =
+      String.trim (String.sub starred mlen (String.length starred - mlen))
+    in
+    match String.index_opt rest ' ' with
+    | None -> Some (rest, "")
+    | Some i ->
+        Some
+          ( String.sub rest 0 i,
+            String.trim (String.sub rest (i + 1) (String.length rest - i - 1))
+          )
+
+(* Split an allow payload "<rule> <sep> <reason>" into the rule id and
+   the reason with its leading separator ("—", "--" or "-") stripped. *)
+let split_allow_payload after =
+  let rule_id, reason =
+    match String.index_opt after ' ' with
+    | None -> (after, "")
+    | Some j ->
+        ( String.sub after 0 j,
+          String.trim (String.sub after (j + 1) (String.length after - j - 1))
+        )
+  in
+  let reason =
+    let try_strip prefix s =
+      let pl = String.length prefix in
+      if String.length s >= pl && String.sub s 0 pl = prefix then
+        Some (String.trim (String.sub s pl (String.length s - pl)))
+      else None
+    in
+    match
+      List.find_map (fun p -> try_strip p reason) [ "\xe2\x80\x94"; "--"; "-" ]
+    with
+    | Some stripped -> stripped
+    | None -> reason
+  in
+  (rule_id, reason)
+
+let parse_allow_text text =
+  match parse_directive ~marker text with
+  | None -> None
+  | Some ("allow", payload) when payload <> "" ->
+      let rule_id, reason = split_allow_payload payload in
+      Some (`Allow (rule_id, reason))
+  | Some _ -> Some `Malformed
 
 (* {1 The Parsetree walk} *)
 
@@ -253,6 +274,20 @@ let check_file ?rel path =
           let line = loc.loc_start.Lexing.pos_lnum in
           let col = loc.loc_start.Lexing.pos_cnum - loc.loc_start.Lexing.pos_bol in
           match Rules.of_name rule_id with
+          | Some r when not (List.mem r Rules.syntactic) ->
+              meta :=
+                {
+                  file = rel;
+                  line;
+                  col;
+                  rule = Rules.bad_allow;
+                  message =
+                    Printf.sprintf
+                      "rule %s belongs to the deadlock pass; suppress it with \
+                       a seussdead: allow comment"
+                      rule_id;
+                }
+                :: !meta
           | None ->
               meta :=
                 {

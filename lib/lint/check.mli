@@ -1,0 +1,68 @@
+(** The seusslint per-file checker.
+
+    Parses one source with compiler-libs, walks the Parsetree for hits
+    of the syntactic rules ({!Rules.syntactic}), then reconciles them
+    against the file's [seusslint: allow] comments. No typing pass —
+    every rule is decidable (conservatively) on names alone, which keeps
+    the linter dependency-free and fast enough to run on every build.
+
+    The pieces shared with the interprocedural deadlock pass
+    ({!Deadlock}) — source discovery, comment gathering, directive
+    parsing and path normalization — are exported here. *)
+
+type violation = {
+  file : string;  (** repo-relative path *)
+  line : int;
+  col : int;
+  rule : string;  (** {!Rules.name}, or a meta-diagnostic id *)
+  message : string;
+}
+
+val compare_violation : violation -> violation -> int
+(** Orders by (file, line, col, rule) for stable reports. *)
+
+val check_file : ?rel:string -> string -> violation list
+(** [check_file path] lints one source. [rel] overrides the
+    repo-relative path used for rule classification (lib/-only rules)
+    and reporting; it defaults to [path] with leading [./]/[../]
+    stripped. *)
+
+val check_tree : ?strip_prefix:string -> string list -> violation list
+(** Lint every [.ml] under the given roots, sorted. [strip_prefix] is
+    dropped from the front of each relative path before classification,
+    so a fixture tree like [test/lint_fixtures/lib] is linted as
+    [lib/]. *)
+
+(** {1 Shared plumbing} *)
+
+val marker : string
+(** ["seusslint:"] — the comment marker of the base pass. *)
+
+val source_files : string -> string list
+(** All [.ml] files under a directory, sorted, skipping [_build] and
+    dot-directories. [[]] if the directory is unreadable. *)
+
+val rel_of_path : string -> string
+(** Strip leading [./] and [../] segments so ["lib/..."] classification
+    works from a build sandbox. *)
+
+val strip_rel_prefix : prefix:string -> string -> string
+(** Drop a leading [prefix] (itself normalized) from a relative path. *)
+
+val read_file : string -> string
+
+val gather_comments : string -> string -> (string * Location.t) list
+(** [gather_comments src path] lexes [src] (named [path] for locations)
+    to exhaustion and returns every comment with its location. *)
+
+val parse_directive :
+  marker:string -> string -> (string * string) option
+(** [parse_directive ~marker text] is [Some (verb, payload)] when the
+    comment text starts with [marker] (doc-comment [*] prefixes are
+    tolerated): [verb] is the first word after the marker and [payload]
+    the trimmed remainder. [None] when the comment is not
+    marker-directed at all. *)
+
+val split_allow_payload : string -> string * string
+(** Split an allow payload ["<rule> — <reason>"] into the rule id and
+    the reason, stripping the separator ([—], [--] or [-]). *)

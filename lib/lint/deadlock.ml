@@ -1,0 +1,976 @@
+(* seussdead — the interprocedural blocking/deadlock pass.
+
+   Where {!Check} decides every rule inside one file, this pass builds a
+   call graph over the whole tree first: each top-level binding becomes
+   a node keyed "Module.binding" (module = capitalized basename), and
+   every identifier a function references is a conservative call edge —
+   referencing a function counts as calling it, which keeps higher-order
+   code (callbacks handed to registrars, closures stored in records)
+   inside the approximation. Name resolution is suffix-based: a
+   reference [Sim.Semaphore.acquire] resolves to every definition whose
+   key matches its last two components ("Semaphore.acquire"), and an
+   unqualified reference resolves within its own module. Ambiguity (two
+   modules with one basename) resolves to the whole candidate set; a
+   summary holds if it holds for any candidate.
+
+   On that graph two summaries reach a fixpoint per function:
+
+   - may-block: the function can reach a blocking primitive
+     (Semaphore.acquire / with_permit, Channel.recv / send, Ivar.read,
+     Engine.sleep / yield / suspend, and the *_timeout variants);
+   - may-acquire: the set of semaphore lock classes the function can
+     reach an acquire of.
+
+   Lock classes are declared at creation sites with
+   (* seussdead: lock <class> *); acquire sites are classified by the
+   name of the semaphore expression (its last field or variable
+   component, e.g. [t.kernel] -> "kernel"), matched against creations in
+   the same file first and tree-wide second. An acquire that names no
+   class stays out of the lock rules but still seeds may-block.
+
+   Three rules:
+   - block-in-handler: no may-block call reachable from an atomic
+     context — a callback at one of the audited registrars in
+     {!Contexts}, an audited (file, binding) pair, or a binding marked
+     (* seussdead: atomic <reason> *).
+   - lock-order: the acquired-while-holding graph over lock classes
+     (direct acquires plus the may-acquire summary of every function
+     referenced while holding) must be acyclic, and every
+     Semaphore.create must carry a lock annotation.
+   - unreleased-acquire: a bare acquire of a classified lock whose
+     enclosing function never releases that class.
+
+   Suppressions use the pass's own marker so they never collide with the
+   base pass: (* seussdead: allow <rule> — <reason> *), validated by the
+   same bad-allow/unused-allow meta-rules. *)
+
+let marker = "seussdead:"
+
+module SSet = Set.Make (String)
+
+let blocking_primitives =
+  [
+    "Semaphore.acquire"; "Semaphore.with_permit"; "Channel.recv";
+    "Channel.recv_timeout"; "Channel.send"; "Ivar.read"; "Ivar.read_timeout";
+    "Engine.sleep"; "Engine.yield"; "Engine.suspend";
+  ]
+
+(* Last one or two path components, joined — the resolution key. *)
+let suffix2 path =
+  match List.rev path with
+  | [] -> ""
+  | [ x ] -> x
+  | x :: m :: _ -> m ^ "." ^ x
+
+let is_seed path = List.mem (suffix2 path) blocking_primitives
+
+(* {1 Scan products} *)
+
+type fn = {
+  fn_id : int;
+  fn_key : string;  (* "Module.binding" *)
+  fn_module : string;
+  fn_file : string;
+  fn_line : int;
+  mutable fn_refs : (string list * int) list;  (* ident path, line *)
+  mutable fn_acquires : (string * int) list;
+      (* classifiable acquires, bare + with_permit: (hint, line) *)
+  mutable fn_bare : (string * int) list;  (* bare acquires only *)
+  mutable fn_releases : string list;  (* release hints *)
+  mutable fn_atomic : bool;  (* audited or seussdead:-annotated atomic *)
+}
+
+type region = {
+  rg_desc : string;
+  rg_module : string;
+  rg_file : string;
+  rg_line : int;
+  mutable rg_refs : (string list * int) list;
+}
+
+type held = {
+  h_hint : string;  (* hint of the lock held at this point *)
+  h_target : [ `Call of string list | `Acquire of string ];
+  h_module : string;
+  h_file : string;
+  h_line : int;
+}
+
+type creation = {
+  c_file : string;
+  c_line : int;
+  c_hint : string;
+  mutable c_class : string option;
+}
+
+type directive = {
+  d_payload : string;
+  d_first : int;
+  d_last : int;
+  d_line : int;
+  mutable d_used : bool;
+}
+
+type allow = {
+  al_rule : Rules.id;
+  al_first : int;
+  al_last : int;
+  al_line : int;
+  mutable al_used : bool;
+}
+
+type file_scan = {
+  fs_rel : string;
+  mutable fs_fns : fn list;  (* definition order *)
+  mutable fs_regions : region list;
+  mutable fs_helds : held list;
+  mutable fs_creations : creation list;
+  mutable fs_allows : allow list;
+  mutable fs_meta : Check.violation list;
+}
+
+let mk file line col rule message =
+  { Check.file; line; col; rule = Rules.name rule; message }
+
+let mk_meta file line col rule message = { Check.file; line; col; rule; message }
+
+(* {1 The per-file walk} *)
+
+type tstate = {
+  s_rel : string;
+  s_module : string;
+  mutable s_next_id : int;
+  mutable s_fns : fn list;  (* reverse order *)
+  mutable s_cur : fn;
+  mutable s_hint : string;  (* innermost binding/field name *)
+  mutable s_holding : string list;  (* hints of locks held here *)
+  mutable s_active : region list;  (* atomic regions being walked *)
+  mutable s_regions : region list;
+  mutable s_helds : held list;
+  mutable s_creations : creation list;
+}
+
+let module_of rel =
+  String.capitalize_ascii Filename.(remove_extension (basename rel))
+
+let new_fn st name line =
+  let f =
+    {
+      fn_id = st.s_next_id;
+      fn_key = st.s_module ^ "." ^ name;
+      fn_module = st.s_module;
+      fn_file = st.s_rel;
+      fn_line = line;
+      fn_refs = [];
+      fn_acquires = [];
+      fn_bare = [];
+      fn_releases = [];
+      fn_atomic = false;
+    }
+  in
+  st.s_next_id <- st.s_next_id + 1;
+  st.s_fns <- f :: st.s_fns;
+  f
+
+let record_ref st path line =
+  st.s_cur.fn_refs <- (path, line) :: st.s_cur.fn_refs;
+  List.iter (fun rg -> rg.rg_refs <- (path, line) :: rg.rg_refs) st.s_active;
+  List.iter
+    (fun h ->
+      st.s_helds <-
+        {
+          h_hint = h;
+          h_target = `Call path;
+          h_module = st.s_module;
+          h_file = st.s_rel;
+          h_line = line;
+        }
+        :: st.s_helds)
+    st.s_holding
+
+let record_acquire st hint line ~bare =
+  st.s_cur.fn_acquires <- (hint, line) :: st.s_cur.fn_acquires;
+  if bare then st.s_cur.fn_bare <- (hint, line) :: st.s_cur.fn_bare;
+  List.iter
+    (fun h ->
+      if not (String.equal h hint) then
+        st.s_helds <-
+          {
+            h_hint = h;
+            h_target = `Acquire hint;
+            h_module = st.s_module;
+            h_file = st.s_rel;
+            h_line = line;
+          }
+          :: st.s_helds)
+    st.s_holding
+
+(* Remove one occurrence, program-order approximation of release. *)
+let rec remove_one x = function
+  | [] -> []
+  | y :: rest -> if String.equal x y then rest else y :: remove_one x rest
+
+let hint_of_expr (e : Parsetree.expression) =
+  let last_of lid =
+    match List.rev (Longident.flatten lid) with [] -> "" | x :: _ -> x
+  in
+  match e.pexp_desc with
+  | Pexp_ident { txt; _ } -> last_of txt
+  | Pexp_field (_, { txt; _ }) -> last_of txt
+  | _ -> ""
+
+(* A semaphore operation applied by name: qualified through a
+   [Semaphore] path component, or unqualified inside semaphore.ml. *)
+let sem_op st path =
+  match List.rev path with
+  | op :: rest ->
+      let qualifies =
+        match rest with
+        | m :: _ -> String.equal m "Semaphore"
+        | [] -> String.equal st.s_module "Semaphore"
+      in
+      if not qualifies then None
+      else (
+        match op with
+        | "acquire" -> Some `Acquire
+        | "with_permit" -> Some `With_permit
+        | "release" -> Some `Release
+        | "create" -> Some `Create
+        | _ -> None)
+  | [] -> None
+
+let positional args =
+  List.filter_map (function Asttypes.Nolabel, e -> Some e | _ -> None) args
+
+let callback_arg_of spec args =
+  match spec with
+  | Contexts.Label l ->
+      List.find_map
+        (function
+          | (Asttypes.Labelled l' | Asttypes.Optional l'), e
+            when String.equal l l' ->
+              Some e
+          | _ -> None)
+        args
+  | Contexts.Positional n -> List.nth_opt (positional args) n
+
+let iterator st =
+  let open Ast_iterator in
+  let walk_args sub args = List.iter (fun (_, a) -> sub.expr sub a) args in
+  let handle_apply sub path loc args =
+    let line = loc.Location.loc_start.Lexing.pos_lnum in
+    record_ref st path line;
+    match sem_op st path with
+    | Some `Create ->
+        st.s_creations <-
+          { c_file = st.s_rel; c_line = line; c_hint = st.s_hint;
+            c_class = None }
+          :: st.s_creations;
+        walk_args sub args
+    | Some `Acquire ->
+        let hint =
+          match positional args with e :: _ -> hint_of_expr e | [] -> ""
+        in
+        record_acquire st hint line ~bare:true;
+        if hint <> "" then st.s_holding <- hint :: st.s_holding;
+        walk_args sub args
+    | Some `Release ->
+        let hint =
+          match positional args with e :: _ -> hint_of_expr e | [] -> ""
+        in
+        if hint <> "" then begin
+          st.s_cur.fn_releases <- hint :: st.s_cur.fn_releases;
+          st.s_holding <- remove_one hint st.s_holding
+        end;
+        walk_args sub args
+    | Some `With_permit -> (
+        match positional args with
+        | sem :: body :: _ ->
+            let hint = hint_of_expr sem in
+            record_acquire st hint line ~bare:false;
+            if hint <> "" then
+              st.s_cur.fn_releases <- hint :: st.s_cur.fn_releases;
+            sub.expr sub sem;
+            let saved = st.s_holding in
+            if hint <> "" then st.s_holding <- hint :: st.s_holding;
+            sub.expr sub body;
+            st.s_holding <- saved
+        | _ -> walk_args sub args)
+    | None -> (
+        match Contexts.registrar_of ~suffix:(suffix2 path) with
+        | Some (sfx, arg_spec, desc) -> (
+            match callback_arg_of arg_spec args with
+            | None -> walk_args sub args
+            | Some cb ->
+                let rg =
+                  {
+                    rg_desc = Printf.sprintf "%s (callback of %s)" desc sfx;
+                    rg_module = st.s_module;
+                    rg_file = st.s_rel;
+                    rg_line = line;
+                    rg_refs = [];
+                  }
+                in
+                st.s_regions <- rg :: st.s_regions;
+                List.iter
+                  (fun ((_, a) : Asttypes.arg_label * Parsetree.expression) ->
+                    if a.pexp_loc = cb.Parsetree.pexp_loc then begin
+                      st.s_active <- rg :: st.s_active;
+                      sub.expr sub a;
+                      st.s_active <- List.tl st.s_active
+                    end
+                    else sub.expr sub a)
+                  args)
+        | None -> walk_args sub args)
+  in
+  let expr sub (e : Parsetree.expression) =
+    match e.pexp_desc with
+    | Pexp_ident { txt; loc } ->
+        record_ref st (Longident.flatten txt) loc.loc_start.Lexing.pos_lnum
+    | Pexp_apply ({ pexp_desc = Pexp_ident { txt; loc }; _ }, args) ->
+        handle_apply sub (Longident.flatten txt) loc args
+    | Pexp_record (fields, base) ->
+        Option.iter (sub.expr sub) base;
+        List.iter
+          (fun ((lid : Longident.t Location.loc), fe) ->
+            let saved = st.s_hint in
+            (match List.rev (Longident.flatten lid.txt) with
+            | [] -> ()
+            | x :: _ -> st.s_hint <- x);
+            sub.expr sub fe;
+            st.s_hint <- saved)
+          fields
+    | _ -> default_iterator.expr sub e
+  in
+  let value_binding sub (vb : Parsetree.value_binding) =
+    let saved = st.s_hint in
+    (match vb.pvb_pat.ppat_desc with
+    | Ppat_var { txt; _ } -> st.s_hint <- txt
+    | _ -> ());
+    default_iterator.value_binding sub vb;
+    st.s_hint <- saved
+  in
+  let structure_item sub (item : Parsetree.structure_item) =
+    match item.pstr_desc with
+    | Pstr_value (_, bindings) ->
+        let toplevel = st.s_cur in
+        List.iter
+          (fun (vb : Parsetree.value_binding) ->
+            let name =
+              match vb.pvb_pat.ppat_desc with
+              | Ppat_var { txt; _ } -> txt
+              | _ -> "<toplevel>"
+            in
+            st.s_cur <-
+              new_fn st name vb.pvb_loc.Location.loc_start.Lexing.pos_lnum;
+            st.s_holding <- [];
+            sub.value_binding sub vb;
+            st.s_cur <- toplevel;
+            st.s_holding <- [])
+          bindings
+    | _ -> default_iterator.structure_item sub item
+  in
+  { default_iterator with expr; value_binding; structure_item }
+
+(* {1 Directives: allow / lock / atomic} *)
+
+let scan_directives fs comments =
+  let locks = ref [] in
+  let atomics = ref [] in
+  List.iter
+    (fun (text, (loc : Location.t)) ->
+      let line = loc.loc_start.Lexing.pos_lnum in
+      let col = loc.loc_start.Lexing.pos_cnum - loc.loc_start.Lexing.pos_bol in
+      let first = line and last = loc.loc_end.Lexing.pos_lnum + 1 in
+      match Check.parse_directive ~marker text with
+      | None -> ()
+      | Some ("allow", payload) when payload <> "" -> (
+          let rule_id, reason = Check.split_allow_payload payload in
+          match Rules.of_name rule_id with
+          | Some r when List.mem r Rules.deadlock ->
+              if String.length reason = 0 then
+                fs.fs_meta <-
+                  mk_meta fs.fs_rel line col Rules.bad_allow
+                    (Printf.sprintf
+                       "allow %s needs a reason: seussdead: allow %s — <why>"
+                       rule_id rule_id)
+                  :: fs.fs_meta
+              else
+                fs.fs_allows <-
+                  { al_rule = r; al_first = first; al_last = last;
+                    al_line = line; al_used = false }
+                  :: fs.fs_allows
+          | Some _ ->
+              fs.fs_meta <-
+                mk_meta fs.fs_rel line col Rules.bad_allow
+                  (Printf.sprintf
+                     "rule %s belongs to the base pass; suppress it with a \
+                      seusslint: allow comment"
+                     rule_id)
+                :: fs.fs_meta
+          | None ->
+              fs.fs_meta <-
+                mk_meta fs.fs_rel line col Rules.bad_allow
+                  (Printf.sprintf "unknown rule %S in allow comment" rule_id)
+                :: fs.fs_meta)
+      | Some ("lock", cls) when cls <> "" && not (String.contains cls ' ') ->
+          locks :=
+            { d_payload = cls; d_first = first; d_last = last; d_line = line;
+              d_used = false }
+            :: !locks
+      | Some ("atomic", reason) when reason <> "" ->
+          atomics :=
+            { d_payload = reason; d_first = first; d_last = last;
+              d_line = line; d_used = false }
+            :: !atomics
+      | Some _ ->
+          fs.fs_meta <-
+            mk_meta fs.fs_rel line col Rules.bad_allow
+              "malformed seussdead comment; expected: allow <rule> — \
+               <reason>, lock <class>, or atomic <reason>"
+            :: fs.fs_meta)
+    comments;
+  (List.rev !locks, List.rev !atomics)
+
+let binding_of_key key =
+  match String.index_opt key '.' with
+  | Some i -> String.sub key (i + 1) (String.length key - i - 1)
+  | None -> key
+
+(* Scan one file: walk its AST into scan products, pair creations with
+   lock directives and definitions with atomic directives, and report
+   creations that carry no lock class. *)
+let scan_file ~rel path =
+  let fs =
+    {
+      fs_rel = rel;
+      fs_fns = [];
+      fs_regions = [];
+      fs_helds = [];
+      fs_creations = [];
+      fs_allows = [];
+      fs_meta = [];
+    }
+  in
+  let src = Check.read_file path in
+  let comments = Check.gather_comments src path in
+  let locks, atomics = scan_directives fs comments in
+  let modname = module_of rel in
+  let st =
+    {
+      s_rel = rel;
+      s_module = modname;
+      s_next_id = 0;
+      s_fns = [];
+      s_cur =
+        {
+          fn_id = -1;
+          fn_key = modname ^ ".<toplevel>";
+          fn_module = modname;
+          fn_file = rel;
+          fn_line = 1;
+          fn_refs = [];
+          fn_acquires = [];
+          fn_bare = [];
+          fn_releases = [];
+          fn_atomic = false;
+        };
+      s_hint = "";
+      s_holding = [];
+      s_active = [];
+      s_regions = [];
+      s_helds = [];
+      s_creations = [];
+    }
+  in
+  st.s_cur <- new_fn st "<toplevel>" 1;
+  (match
+     Lexer.init ();
+     let lexbuf = Lexing.from_string src in
+     Location.init lexbuf path;
+     Parse.implementation lexbuf
+   with
+  | ast ->
+      let it = iterator st in
+      it.structure it ast
+  | exception exn ->
+      fs.fs_meta <-
+        mk_meta rel 1 0 Rules.parse_error (Printexc.to_string exn)
+        :: fs.fs_meta);
+  fs.fs_fns <- List.rev st.s_fns;
+  fs.fs_regions <- List.rev st.s_regions;
+  fs.fs_helds <- List.rev st.s_helds;
+  fs.fs_creations <- List.rev st.s_creations;
+  let hits = ref [] in
+  List.iter
+    (fun c ->
+      match
+        List.find_opt
+          (fun d -> c.c_line >= d.d_first && c.c_line <= d.d_last)
+          locks
+      with
+      | Some d ->
+          d.d_used <- true;
+          c.c_class <- Some d.d_payload
+      | None ->
+          hits :=
+            mk rel c.c_line 0 Rules.Lock_order
+              "Semaphore.create without a lock class; annotate the create \
+               line with (* seussdead: lock <class> *)"
+            :: !hits)
+    fs.fs_creations;
+  List.iter
+    (fun fn ->
+      if Contexts.is_atomic ~file:rel ~binding:(binding_of_key fn.fn_key) then
+        fn.fn_atomic <- true;
+      if
+        List.exists
+          (fun d ->
+            let covers = fn.fn_line >= d.d_first && fn.fn_line <= d.d_last in
+            if covers then d.d_used <- true;
+            covers)
+          atomics
+      then fn.fn_atomic <- true)
+    fs.fs_fns;
+  List.iter
+    (fun d ->
+      if not d.d_used then
+        fs.fs_meta <-
+          mk_meta rel d.d_line 0 Rules.unused_allow
+            "lock annotation names no Semaphore.create; delete it"
+          :: fs.fs_meta)
+    locks;
+  List.iter
+    (fun d ->
+      if not d.d_used then
+        fs.fs_meta <-
+          mk_meta rel d.d_line 0 Rules.unused_allow
+            "atomic annotation covers no top-level binding; delete it"
+          :: fs.fs_meta)
+    atomics;
+  (fs, !hits)
+
+(* {1 Linking and summaries} *)
+
+type linked = {
+  fns : fn array;
+  defs : (string, fn list) Hashtbl.t;  (* "Module.binding" -> definitions *)
+  may_block : bool array;
+  may_acquire : SSet.t array;
+  perfile_class : (string * string, string) Hashtbl.t;
+  global_class : (string, SSet.t) Hashtbl.t;
+}
+
+let resolve lk ~modname path =
+  let key =
+    match List.rev path with
+    | [] -> None
+    | [ x ] -> Some (modname ^ "." ^ x)
+    | x :: m :: _ -> Some (m ^ "." ^ x)
+  in
+  match key with
+  | None -> []
+  | Some k -> ( match Hashtbl.find_opt lk.defs k with Some l -> l | None -> [])
+
+let classes_of lk ~file hint =
+  if String.equal hint "" then []
+  else
+    match Hashtbl.find_opt lk.perfile_class (file, hint) with
+    | Some c -> [ c ]
+    | None -> (
+        match Hashtbl.find_opt lk.global_class hint with
+        | Some s -> SSet.elements s
+        | None -> [])
+
+let link scans =
+  let all_fns = List.concat_map (fun fs -> fs.fs_fns) scans in
+  (* Re-id globally; the scans' own records keep their per-file ids but
+     only [fn_atomic] (already set) is read off them afterwards. *)
+  let fns =
+    Array.of_list (List.mapi (fun i f -> { f with fn_id = i }) all_fns)
+  in
+  let n = Array.length fns in
+  let defs = Hashtbl.create 256 in
+  Array.iter
+    (fun f ->
+      if not (String.equal (binding_of_key f.fn_key) "<toplevel>") then begin
+        let prev =
+          match Hashtbl.find_opt defs f.fn_key with Some l -> l | None -> []
+        in
+        Hashtbl.replace defs f.fn_key (prev @ [ f ])
+      end)
+    fns;
+  let perfile_class = Hashtbl.create 32 in
+  let global_class = Hashtbl.create 32 in
+  List.iter
+    (fun fs ->
+      List.iter
+        (fun c ->
+          match c.c_class with
+          | None -> ()
+          | Some cls ->
+              if c.c_hint <> "" then begin
+                (match Hashtbl.find_opt perfile_class (c.c_file, c.c_hint) with
+                | Some existing when not (String.equal existing cls) ->
+                    (* Two same-named semaphores with different classes in
+                       one file: fall back to the tree-wide set. *)
+                    Hashtbl.remove perfile_class (c.c_file, c.c_hint)
+                | Some _ -> ()
+                | None ->
+                    Hashtbl.replace perfile_class (c.c_file, c.c_hint) cls);
+                let prev =
+                  match Hashtbl.find_opt global_class c.c_hint with
+                  | Some s -> s
+                  | None -> SSet.empty
+                in
+                Hashtbl.replace global_class c.c_hint (SSet.add cls prev)
+              end)
+        fs.fs_creations)
+    scans;
+  let lk =
+    {
+      fns;
+      defs;
+      may_block = Array.make (max n 1) false;
+      may_acquire = Array.make (max n 1) SSet.empty;
+      perfile_class;
+      global_class;
+    }
+  in
+  (* Definitions whose key *is* a blocking primitive are seeds even when
+     their bodies bottom out in effects the walk cannot see. *)
+  Array.iter
+    (fun f ->
+      if List.mem f.fn_key blocking_primitives then
+        lk.may_block.(f.fn_id) <- true)
+    fns;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun f ->
+        if not lk.may_block.(f.fn_id) then
+          let blocks =
+            List.exists
+              (fun (path, _) ->
+                is_seed path
+                || List.exists
+                     (fun g -> lk.may_block.(g.fn_id))
+                     (resolve lk ~modname:f.fn_module path))
+              f.fn_refs
+          in
+          if blocks then begin
+            lk.may_block.(f.fn_id) <- true;
+            changed := true
+          end)
+      fns
+  done;
+  Array.iter
+    (fun f ->
+      let direct =
+        List.fold_left
+          (fun acc (hint, _) ->
+            List.fold_left
+              (fun acc c -> SSet.add c acc)
+              acc
+              (classes_of lk ~file:f.fn_file hint))
+          SSet.empty f.fn_acquires
+      in
+      lk.may_acquire.(f.fn_id) <- direct)
+    fns;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun f ->
+        let acc =
+          List.fold_left
+            (fun acc (path, _) ->
+              List.fold_left
+                (fun acc g -> SSet.union acc lk.may_acquire.(g.fn_id))
+                acc
+                (resolve lk ~modname:f.fn_module path))
+            lk.may_acquire.(f.fn_id) f.fn_refs
+        in
+        if not (SSet.equal acc lk.may_acquire.(f.fn_id)) then begin
+          lk.may_acquire.(f.fn_id) <- acc;
+          changed := true
+        end)
+      fns
+  done;
+  lk
+
+(* {1 block-in-handler: chains from atomic contexts to seeds} *)
+
+(* Shortest reference chain from [refs] to a blocking primitive,
+   rendered ["f -> g -> Semaphore.acquire"]. *)
+let find_chain lk ~modname refs =
+  let refs = List.rev refs in
+  let direct =
+    List.find_map
+      (fun (path, _) -> if is_seed path then Some path else None)
+      refs
+  in
+  match direct with
+  | Some path -> Some [ suffix2 path ]
+  | None ->
+      let visited = Hashtbl.create 16 in
+      let queue = Queue.create () in
+      List.iter
+        (fun (path, _) ->
+          List.iter
+            (fun g ->
+              if lk.may_block.(g.fn_id) && not (Hashtbl.mem visited g.fn_id)
+              then begin
+                Hashtbl.replace visited g.fn_id ();
+                Queue.add (g, [ g.fn_key ]) queue
+              end)
+            (resolve lk ~modname path))
+        refs;
+      let rec bfs () =
+        match Queue.take_opt queue with
+        | None -> None
+        | Some (f, chain) -> (
+            match
+              List.find_map
+                (fun (path, _) -> if is_seed path then Some path else None)
+                (List.rev f.fn_refs)
+            with
+            | Some path -> Some (List.rev (suffix2 path :: chain))
+            | None ->
+                List.iter
+                  (fun (path, _) ->
+                    List.iter
+                      (fun g ->
+                        if
+                          lk.may_block.(g.fn_id)
+                          && not (Hashtbl.mem visited g.fn_id)
+                        then begin
+                          Hashtbl.replace visited g.fn_id ();
+                          Queue.add (g, g.fn_key :: chain) queue
+                        end)
+                      (resolve lk ~modname:f.fn_module path))
+                  (List.rev f.fn_refs);
+                bfs ())
+      in
+      bfs ()
+
+(* {1 lock-order: the acquired-while-holding graph} *)
+
+type edge = { e_from : string; e_to : string; e_file : string; e_line : int }
+
+let build_edges lk scans =
+  let edges = ref [] in
+  List.iter
+    (fun fs ->
+      List.iter
+        (fun h ->
+          let froms = classes_of lk ~file:h.h_file h.h_hint in
+          let tos =
+            match h.h_target with
+            | `Acquire hint -> classes_of lk ~file:h.h_file hint
+            | `Call path ->
+                List.concat_map
+                  (fun g -> SSet.elements lk.may_acquire.(g.fn_id))
+                  (resolve lk ~modname:h.h_module path)
+          in
+          List.iter
+            (fun f ->
+              List.iter
+                (fun t ->
+                  if not (String.equal f t) then
+                    edges :=
+                      { e_from = f; e_to = t; e_file = h.h_file;
+                        e_line = h.h_line }
+                      :: !edges)
+                tos)
+            froms)
+        fs.fs_helds)
+    scans;
+  (* One witness per (from, to): the first in (file, line) order. *)
+  let sorted =
+    List.sort
+      (fun a b ->
+        compare
+          (a.e_from, a.e_to, a.e_file, a.e_line)
+          (b.e_from, b.e_to, b.e_file, b.e_line))
+      !edges
+  in
+  List.rev
+    (List.fold_left
+       (fun acc e ->
+         match acc with
+         | prev :: _
+           when String.equal prev.e_from e.e_from
+                && String.equal prev.e_to e.e_to ->
+             acc
+         | _ -> e :: acc)
+       [] sorted)
+
+let successors edges c =
+  List.filter_map
+    (fun e -> if String.equal e.e_from c then Some e.e_to else None)
+    edges
+
+(* Shortest class path from [src] to [dst] over [edges]. *)
+let class_path edges src dst =
+  let visited = ref (SSet.singleton src) in
+  let queue = Queue.create () in
+  Queue.add (src, [ src ]) queue;
+  let rec bfs () =
+    match Queue.take_opt queue with
+    | None -> None
+    | Some (c, path) ->
+        if String.equal c dst then Some (List.rev path)
+        else begin
+          List.iter
+            (fun nxt ->
+              if not (SSet.mem nxt !visited) then begin
+                visited := SSet.add nxt !visited;
+                Queue.add (nxt, nxt :: path) queue
+              end)
+            (successors edges c);
+          bfs ()
+        end
+  in
+  bfs ()
+
+(* {1 The tree driver} *)
+
+let check_tree ?strip_prefix roots =
+  let rel_of path =
+    let rel = Check.rel_of_path path in
+    match strip_prefix with
+    | None -> rel
+    | Some prefix -> Check.strip_rel_prefix ~prefix rel
+  in
+  let scans_and_hits =
+    List.concat_map
+      (fun root ->
+        List.map
+          (fun f -> scan_file ~rel:(rel_of f) f)
+          (Check.source_files root))
+      roots
+  in
+  let scans = List.map fst scans_and_hits in
+  let hits = ref (List.concat_map snd scans_and_hits) in
+  let lk = link scans in
+  (* block-in-handler: registrar callbacks... *)
+  List.iter
+    (fun fs ->
+      List.iter
+        (fun rg ->
+          match find_chain lk ~modname:rg.rg_module rg.rg_refs with
+          | None -> ()
+          | Some chain ->
+              hits :=
+                mk rg.rg_file rg.rg_line 0 Rules.Block_in_handler
+                  (Printf.sprintf
+                     "%s may block: %s — atomic contexts run outside the \
+                      effect handler and must not suspend"
+                     rg.rg_desc
+                     (String.concat " -> " chain))
+                :: !hits)
+        fs.fs_regions)
+    scans;
+  (* ...and audited/annotated atomic functions. *)
+  Array.iter
+    (fun f ->
+      if f.fn_atomic && lk.may_block.(f.fn_id) then
+        let chain =
+          match find_chain lk ~modname:f.fn_module f.fn_refs with
+          | Some c -> String.concat " -> " (f.fn_key :: c)
+          | None -> f.fn_key
+        in
+        hits :=
+          mk f.fn_file f.fn_line 0 Rules.Block_in_handler
+            (Printf.sprintf
+               "atomic function may block: %s — atomic contexts run outside \
+                the effect handler and must not suspend"
+               chain)
+          :: !hits)
+    lk.fns;
+  (* lock-order cycles *)
+  let edges = build_edges lk scans in
+  List.iter
+    (fun e ->
+      match class_path edges e.e_to e.e_from with
+      | None -> ()
+      | Some back ->
+          hits :=
+            mk e.e_file e.e_line 0 Rules.Lock_order
+              (Printf.sprintf
+                 "acquiring lock class %s while holding %s closes the cycle \
+                  %s; acquire classes in one global order"
+                 e.e_to e.e_from
+                 (String.concat " -> " (e.e_from :: back)))
+            :: !hits)
+    edges;
+  (* unreleased-acquire *)
+  Array.iter
+    (fun f ->
+      let released =
+        List.concat_map
+          (fun hint -> classes_of lk ~file:f.fn_file hint)
+          f.fn_releases
+      in
+      List.iter
+        (fun (hint, line) ->
+          List.iter
+            (fun c ->
+              if not (List.exists (String.equal c) released) then
+                hits :=
+                  mk f.fn_file line 0 Rules.Unreleased_acquire
+                    (Printf.sprintf
+                       "acquire of lock class %s has no matching release in \
+                        %s; release on every path or justify the ownership \
+                        transfer with an allow"
+                       c f.fn_key)
+                  :: !hits)
+            (classes_of lk ~file:f.fn_file hint))
+        f.fn_bare)
+    lk.fns;
+  (* Reconcile against seussdead allows, then surface dead allows. *)
+  let allows_of_file = Hashtbl.create 32 in
+  List.iter
+    (fun fs -> Hashtbl.replace allows_of_file fs.fs_rel fs.fs_allows)
+    scans;
+  let surviving =
+    List.filter
+      (fun (v : Check.violation) ->
+        let allows =
+          match Hashtbl.find_opt allows_of_file v.file with
+          | Some l -> l
+          | None -> []
+        in
+        not
+          (List.exists
+             (fun a ->
+               if
+                 String.equal (Rules.name a.al_rule) v.rule
+                 && v.line >= a.al_first && v.line <= a.al_last
+               then begin
+                 a.al_used <- true;
+                 true
+               end
+               else false)
+             allows))
+      !hits
+  in
+  let dead =
+    List.concat_map
+      (fun fs ->
+        List.filter_map
+          (fun a ->
+            if a.al_used then None
+            else
+              Some
+                (mk_meta fs.fs_rel a.al_line 0 Rules.unused_allow
+                   (Printf.sprintf
+                      "allowance for %s suppresses nothing; delete it"
+                      (Rules.name a.al_rule))))
+          fs.fs_allows)
+      scans
+  in
+  let meta = List.concat_map (fun fs -> fs.fs_meta) scans in
+  List.sort Check.compare_violation (surviving @ dead @ meta)

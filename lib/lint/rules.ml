@@ -1,7 +1,9 @@
 (* The seusslint rule catalogue. Every rule guards one way simulation
-   determinism or resource safety has actually broken (or nearly broken)
-   in this codebase; the checker in {!Check} enforces them over the
-   Parsetree of each source under lib/ and bin/. *)
+   determinism, resource safety or liveness has actually broken (or
+   nearly broken) in this codebase. The syntactic rules are enforced
+   per-file by {!Check}; the deadlock rules need the interprocedural
+   call graph built by {!Deadlock} and run as a separate pass
+   ([seusslint --pass deadlock]). *)
 
 type id =
   | Bare_random  (** [Random.*] outside the seeded PRNG plumbing *)
@@ -10,8 +12,22 @@ type id =
   | Physical_eq  (** [==] / [!=] inside lib/ *)
   | Stdout_print  (** [print_*] / [Printf.printf] inside lib/ *)
   | Frame_site  (** frame acquire/release outside the audited site list *)
+  | Block_in_handler
+      (** a may-block call reachable from an atomic context (fault hook,
+          reporter callback, heap comparator, crash handler) *)
+  | Lock_order
+      (** semaphore lock classes acquired in a cyclic order, or a
+          [Semaphore.create] missing its [seussdead: lock] annotation *)
+  | Unreleased_acquire
+      (** a bare [Semaphore.acquire] whose function never releases the
+          same lock class *)
 
-let all = [ Bare_random; Wallclock; Hashtbl_order; Physical_eq; Stdout_print; Frame_site ]
+let syntactic =
+  [ Bare_random; Wallclock; Hashtbl_order; Physical_eq; Stdout_print; Frame_site ]
+
+let deadlock = [ Block_in_handler; Lock_order; Unreleased_acquire ]
+
+let all = syntactic @ deadlock
 
 let name = function
   | Bare_random -> "bare-random"
@@ -20,15 +36,11 @@ let name = function
   | Physical_eq -> "physical-eq"
   | Stdout_print -> "stdout-print"
   | Frame_site -> "frame-site"
+  | Block_in_handler -> "block-in-handler"
+  | Lock_order -> "lock-order"
+  | Unreleased_acquire -> "unreleased-acquire"
 
-let of_name = function
-  | "bare-random" -> Some Bare_random
-  | "wallclock" -> Some Wallclock
-  | "hashtbl-order" -> Some Hashtbl_order
-  | "physical-eq" -> Some Physical_eq
-  | "stdout-print" -> Some Stdout_print
-  | "frame-site" -> Some Frame_site
-  | _ -> None
+let of_name n = List.find_opt (fun r -> String.equal (name r) n) all
 
 let describe = function
   | Bare_random ->
@@ -54,6 +66,21 @@ let describe = function
       "physical frame acquire/release (Frame.alloc / incref / decref) at \
        a call site missing from the audited site list in Lint.Sites; add \
        the site there after checking its pairing"
+  | Block_in_handler ->
+      "a call that may suspend the current process (Semaphore.acquire, \
+       Channel.recv/send, Ivar.read, Engine.sleep, transitively) is \
+       reachable from an atomic context — a fault hook, reporter \
+       callback, heap comparator or crash handler that runs outside the \
+       effect handler and cannot suspend"
+  | Lock_order ->
+      "semaphore lock classes (named with (* seussdead: lock <class> *) \
+       at each Semaphore.create) form a cycle in the static \
+       acquired-while-holding graph, or a create site is missing its \
+       class annotation"
+  | Unreleased_acquire ->
+      "a bare Semaphore.acquire of a named lock class whose enclosing \
+       function contains no matching release: a path to return leaks the \
+       permit unless ownership is transferred (justify with an allow)"
 
 (* Meta-diagnostics the checker itself can emit. They are not
    suppressible — an allow comment that is wrong or dead is itself the

@@ -1,0 +1,56 @@
+(** The seusslint rule catalogue.
+
+    Every rule guards one way simulation determinism, resource safety or
+    liveness has actually broken (or nearly broken) in this codebase.
+    The {!syntactic} rules are decidable per-file on names alone and are
+    enforced by {!Check}; the {!deadlock} rules need the interprocedural
+    call graph built by {!Deadlock} over the whole tree. *)
+
+type id =
+  | Bare_random  (** [Random.*] outside the seeded PRNG plumbing *)
+  | Wallclock  (** [Unix.gettimeofday] / [Sys.time] inside lib/ *)
+  | Hashtbl_order  (** raw [Hashtbl.iter]/[Hashtbl.fold] inside lib/ *)
+  | Physical_eq  (** [==] / [!=] inside lib/ *)
+  | Stdout_print  (** [print_*] / [Printf.printf] inside lib/ *)
+  | Frame_site  (** frame acquire/release outside the audited site list *)
+  | Block_in_handler
+      (** a may-block call reachable from an atomic context (fault hook,
+          reporter callback, heap comparator, crash handler) *)
+  | Lock_order
+      (** semaphore lock classes acquired in a cyclic order, or a
+          [Semaphore.create] missing its [seussdead: lock] annotation *)
+  | Unreleased_acquire
+      (** a bare [Semaphore.acquire] whose function never releases the
+          same lock class *)
+
+val syntactic : id list
+(** Rules enforced per-file by the base pass ({!Check.check_file}). *)
+
+val deadlock : id list
+(** Rules enforced by the interprocedural pass ({!Deadlock.check_tree}). *)
+
+val all : id list
+(** [syntactic @ deadlock]. *)
+
+val name : id -> string
+(** Stable kebab-case identifier, as printed and as written in allow
+    comments. *)
+
+val of_name : string -> id option
+
+val describe : id -> string
+(** One-paragraph rationale for [--list-rules]. *)
+
+(** {1 Meta-diagnostics}
+
+    Emitted by the checkers themselves and never suppressible — an
+    annotation that is wrong or dead is itself the defect reported. *)
+
+val bad_allow : string
+(** ["bad-allow"]: malformed/unknown allow, lock or atomic comment. *)
+
+val unused_allow : string
+(** ["unused-allow"]: an annotation that suppresses or names nothing. *)
+
+val parse_error : string
+(** ["parse-error"]: the file failed to parse at all. *)

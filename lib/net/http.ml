@@ -54,7 +54,9 @@ let request ~conn ?timeout ?body_size ~path body =
 
 let serve ~listener handler =
   let engine = Sim.Engine.self () in
-  Sim.Engine.spawn engine ~name:"http-accept" (fun () ->
+  (* The accept loop parks forever once traffic stops — a daemon by
+     design, not a stranded waiter. *)
+  Sim.Engine.spawn engine ~name:"http-accept" ~daemon:true (fun () ->
       let rec accept_loop () =
         let conn = Tcp.accept listener in
         Sim.Engine.spawn engine ~name:"http-conn" (fun () ->

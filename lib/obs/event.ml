@@ -47,6 +47,14 @@ type t =
       first_pid : int;
       second_pid : int;
     }
+  | San_deadlock of {
+      resource : string;
+      proc : string;
+      pid : int;
+      spawned_at : float;
+      waiting_since : float;
+      in_cycle : bool;
+    }
 
 let type_name = function
   | Invoke_start _ -> "invoke_start"
@@ -67,6 +75,7 @@ let type_name = function
   | Ws_record _ -> "ws_record"
   | Ws_prefault _ -> "ws_prefault"
   | San_race _ -> "san_race"
+  | San_deadlock _ -> "san_deadlock"
 
 let to_json ~time ev =
   let fields =
@@ -140,6 +149,16 @@ let to_json ~time ev =
           ("kind", Json.String kind);
           ("first_pid", Json.Int first_pid);
           ("second_pid", Json.Int second_pid);
+        ]
+    | San_deadlock { resource; proc; pid; spawned_at; waiting_since; in_cycle }
+      ->
+        [
+          ("resource", Json.String resource);
+          ("proc", Json.String proc);
+          ("pid", Json.Int pid);
+          ("spawned_at", Json.Float spawned_at);
+          ("waiting_since", Json.Float waiting_since);
+          ("in_cycle", Json.Bool in_cycle);
         ]
   in
   Json.Obj
@@ -238,6 +257,16 @@ let of_json json =
         let* first_pid = field "first_pid" Json.to_int in
         let* second_pid = field "second_pid" Json.to_int in
         Ok (San_race { cell; kind; first_pid; second_pid })
+    | "san_deadlock" ->
+        let* resource = field "resource" Json.to_str in
+        let* proc = field "proc" Json.to_str in
+        let* pid = field "pid" Json.to_int in
+        let* spawned_at = field "spawned_at" Json.to_float in
+        let* waiting_since = field "waiting_since" Json.to_float in
+        let* in_cycle = field "in_cycle" Json.to_bool in
+        Ok
+          (San_deadlock
+             { resource; proc; pid; spawned_at; waiting_since; in_cycle })
     | other -> Error (Printf.sprintf "event: unknown type %S" other)
   in
   Ok (time, ev)

@@ -85,6 +85,20 @@ type t =
       (** The schedule sanitizer observed two same-timestamp accesses to
           a registered shared cell with no happens-before edge between
           the owning processes. Only emitted when {!Sim.Hb} is armed. *)
+  | San_deadlock of {
+      resource : string;  (** e.g. ["semaphore#3"], ["ivar#12"] *)
+      proc : string;  (** process name at spawn — the waiter's provenance *)
+      pid : int;
+      spawned_at : float;  (** simulated time the waiter was spawned *)
+      waiting_since : float;  (** simulated time it parked *)
+      in_cycle : bool;  (** on a wait-for cycle (true deadlock), vs merely
+                            stranded (lost wakeup) *)
+    }
+      (** The deadlock sanitizer found this process still parked when
+          the simulation quiesced: nobody can ever wake it. Only
+          emitted when the engine's detector is armed
+          ([SEUSS_DEADLOCK=1] or [~deadlock:true] at
+          [Sim.Engine.create]). *)
 
 val type_name : t -> string
 (** The discriminator stored in the ["type"] JSON field. *)

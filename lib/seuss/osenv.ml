@@ -33,11 +33,28 @@ let create ?budget_bytes ?(cores = 16) ?log_capacity engine =
                first_pid = r.first_pid;
                second_pid = r.second_pid;
              }));
+  (* Same surfacing for the deadlock sanitizer: each stranded waiter the
+     engine finds at quiescence becomes a San_deadlock event on this
+     node's log. The reporter runs outside any process (the seussdead
+     static pass keeps it block-free). *)
+  if Sim.Engine.deadlock_armed engine then
+    Sim.Engine.add_deadlock_reporter engine
+      (fun (s : Sim.Engine.stranded) ->
+        Obs.Log.emit log
+          (Obs.Event.San_deadlock
+             {
+               resource = s.resource;
+               proc = s.proc;
+               pid = s.pid;
+               spawned_at = s.spawned_at;
+               waiting_since = s.waiting_since;
+               in_cycle = s.in_cycle;
+             }));
   {
     engine;
     frames = Mem.Frame.create ?budget_bytes ();
     proxy = Net.Proxy.create ();
-    cpu = Sim.Semaphore.create cores;
+    cpu = Sim.Semaphore.create cores; (* seussdead: lock osenv.cpu *)
     rng = Sim.Prng.split (Sim.Engine.rng engine);
     next_port = 10_000;
     next_id = 0;

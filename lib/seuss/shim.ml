@@ -7,6 +7,7 @@ type t = {
 }
 
 let create env target =
+  (* seussdead: lock shim.conn *)
   { env; target; conn_lock = Sim.Semaphore.create 1; relayed = 0 }
 
 let node t = t.target

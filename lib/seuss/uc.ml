@@ -94,8 +94,12 @@ let make env ~image ~space ~source =
    node memory mid-write simply halts: the invocation waiting on it
    observes a timeout, the node destroys the UC, memory is reclaimed. *)
 let spawn_guest t body =
+  (* The guest's serve loop parks awaiting requests for the UC's whole
+     lifetime (and stays parked after the UC is reclaimed) — a daemon by
+     design, not a stranded waiter. *)
   Sim.Engine.spawn t.env.Osenv.engine
     ~name:(Printf.sprintf "uc-%d-guest" t.uc_id)
+    ~daemon:true
     (fun () ->
       try body () with
       | Mem.Frame.Out_of_memory -> t.st <- Dead

@@ -7,10 +7,21 @@ type 'a t = {
   (* Happens-before edge carrier: send publishes, a successful receive
      observes (no-op unless the schedule sanitizer is armed). *)
   hb : Hb.sync;
+  (* Deadlock-sanitizer display name, assigned on first armed wait. *)
+  mutable rname : string;
 }
 
 let create () =
-  { items = Queue.create (); readers = Queue.create (); hb = Hb.make_sync () }
+  {
+    items = Queue.create ();
+    readers = Queue.create ();
+    hb = Hb.make_sync ();
+    rname = "";
+  }
+
+let resource t e =
+  if String.equal t.rname "" then t.rname <- Engine.fresh_resource e "channel";
+  t.rname
 
 let send t x =
   Hb.signal t.hb;
@@ -30,7 +41,20 @@ let rec recv t =
   match try_recv t with
   | Some x -> x
   | None ->
-      Engine.suspend (fun resume -> Queue.add resume t.readers);
+      let e = Engine.self () in
+      let tok =
+        Engine.wait_begin e
+          ~resource:(fun () -> resource t e)
+          ~holders:(fun () -> [])
+      in
+      Engine.suspend (fun resume ->
+          Queue.add
+            (fun () ->
+              Engine.wait_end e tok;
+              resume ())
+            t.readers);
+      (* An item can be stolen at the same timestamp; re-parking takes a
+         fresh wait token. *)
       recv t
 
 let recv_timeout t ~timeout =

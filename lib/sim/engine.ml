@@ -2,6 +2,35 @@ type event = { time : float; seq : int; pri : int; thunk : unit -> unit }
 
 type local = exn
 
+(* Identity of the currently-dispatching process, carried across
+   suspensions like the local slots. Daemons are processes expected to
+   park forever (accept loops, refill loops): they are excluded from
+   [stuck_waiters] and only reported by the deadlock detector when they
+   sit on a wait cycle. *)
+type pinfo = { p_id : int; p_name : string; p_born : float; p_daemon : bool }
+
+(* One parked waiter, keyed by its wait token. [w_holders] is a thunk so
+   the current holder set is read at quiescence, not at park time. *)
+type waiter = {
+  w_resource : string;
+  w_holders : unit -> int list;
+  w_pid : int;
+  w_name : string;
+  w_born : float;
+  w_daemon : bool;
+  w_since : float;
+}
+
+type stranded = {
+  resource : string;
+  proc : string;
+  pid : int;
+  spawned_at : float;
+  waiting_since : float;
+  holders : int list;
+  in_cycle : bool;
+}
+
 type t = {
   mutable clock : float;
   mutable seq : int;
@@ -37,6 +66,20 @@ type t = {
   mutable fault_plan : local option;
   (* Supervised processes that died, newest first. *)
   mutable crashed : (string * exn) list;
+  (* Deadlock sanitizer. The wait counters are always on (integer
+     bumps only — no draws, no allocation, no schedule effect), so
+     [stuck_waiters] is meaningful even with the detector off; the
+     [waits] table and resource naming are populated only when
+     [deadlock] is armed. *)
+  deadlock : bool;
+  mutable proc : pinfo option;
+  mutable next_pid : int;
+  mutable parked : int;  (* non-daemon processes currently suspended *)
+  mutable parked_daemon : int;
+  waits : (int, waiter) Hashtbl.t;  (* wait token -> waiter, armed only *)
+  mutable next_token : int;
+  mutable next_resource : int;
+  mutable deadlock_reporters : (stranded -> unit) list;
 }
 
 exception Process_failure of string * exn
@@ -65,9 +108,26 @@ let shuffle_seed_of_env () =
             shuffle_env_var s;
           None)
 
-let create ?(seed = 1L) ?tie_seed () =
+let deadlock_env_var = "SEUSS_DEADLOCK"
+
+let deadlock_of_env () =
+  match Sys.getenv_opt deadlock_env_var with
+  | None | Some "" -> false  (* "" = unset: callers can't delete env vars *)
+  | Some s -> (
+      match String.lowercase_ascii (String.trim s) with
+      | "1" | "true" | "yes" | "on" -> true
+      | "0" | "false" | "no" | "off" -> false
+      | _ ->
+          Printf.eprintf "warning: ignoring malformed %s=%S\n%!"
+            deadlock_env_var s;
+          false)
+
+let create ?(seed = 1L) ?tie_seed ?deadlock () =
   let tie_seed =
     match tie_seed with Some _ -> tie_seed | None -> shuffle_seed_of_env ()
+  in
+  let deadlock =
+    match deadlock with Some b -> b | None -> deadlock_of_env ()
   in
   {
     clock = 0.0;
@@ -83,6 +143,15 @@ let create ?(seed = 1L) ?tie_seed () =
     san_state = None;
     fault_plan = None;
     crashed = [];
+    deadlock;
+    proc = None;
+    next_pid = 0;
+    parked = 0;
+    parked_daemon = 0;
+    waits = Hashtbl.create 16;
+    next_token = 0;
+    next_resource = 0;
+    deadlock_reporters = [];
   }
 
 let now t = t.clock
@@ -125,6 +194,98 @@ let set_fault_plan t v = t.fault_plan <- v
 
 let failures t = List.rev t.crashed
 
+(* {1 Deadlock sanitizer} *)
+
+let deadlock_armed t = t.deadlock
+let stuck_waiters t = t.parked
+let current_pid t = match t.proc with Some p -> p.p_id | None -> 0
+
+let add_deadlock_reporter t f =
+  t.deadlock_reporters <- f :: t.deadlock_reporters
+
+let fresh_resource t kind =
+  t.next_resource <- t.next_resource + 1;
+  Printf.sprintf "%s#%d" kind t.next_resource
+
+(* The wait token encodes the waiter's daemon bit in its low bit so
+   [wait_end] — which runs in the *resumer's* context, where [t.proc]
+   is the resumer, not the waiter — can decrement the right counter. *)
+let wait_begin t ~resource ~holders =
+  let daemon = match t.proc with Some p -> p.p_daemon | None -> false in
+  let token = (t.next_token lsl 1) lor Bool.to_int daemon in
+  t.next_token <- t.next_token + 1;
+  if daemon then t.parked_daemon <- t.parked_daemon + 1
+  else t.parked <- t.parked + 1;
+  if t.deadlock then begin
+    let pid, name, born =
+      match t.proc with
+      | Some p -> (p.p_id, p.p_name, p.p_born)
+      | None -> (0, "callback", t.clock)
+    in
+    Hashtbl.replace t.waits token
+      {
+        w_resource = resource ();
+        w_holders = holders;
+        w_pid = pid;
+        w_name = name;
+        w_born = born;
+        w_daemon = daemon;
+        w_since = t.clock;
+      }
+  end;
+  token
+
+let wait_end t token =
+  if token land 1 = 1 then t.parked_daemon <- t.parked_daemon - 1
+  else t.parked <- t.parked - 1;
+  if t.deadlock then Hashtbl.remove t.waits token
+
+(* Walk the wait-for graph over parked processes: an edge goes from a
+   waiter to each holder of the resource it waits on that is itself
+   parked. Non-daemon waiters are stranded outright at quiescence;
+   daemons are reported only when they sit on a cycle. *)
+let stranded_waiters t =
+  if not t.deadlock then []
+  else begin
+    let entries = Det.bindings t.waits in
+    let waiting = List.map (fun (_, w) -> w.w_pid) entries in
+    let adj =
+      List.map
+        (fun (_, w) ->
+          (w.w_pid, List.filter (fun h -> List.mem h waiting) (w.w_holders ())))
+        entries
+    in
+    let succs p =
+      match List.assoc_opt p adj with Some l -> l | None -> []
+    in
+    let reaches_self p0 =
+      let rec go visited = function
+        | [] -> false
+        | x :: rest ->
+            if List.mem x visited then go visited rest
+            else if List.mem p0 (succs x) then true
+            else go (x :: visited) (succs x @ rest)
+      in
+      go [] (succs p0)
+    in
+    List.filter_map
+      (fun (_, w) ->
+        let in_cycle = reaches_self w.w_pid in
+        if w.w_daemon && not in_cycle then None
+        else
+          Some
+            {
+              resource = w.w_resource;
+              proc = w.w_name;
+              pid = w.w_pid;
+              spawned_at = w.w_born;
+              waiting_since = w.w_since;
+              holders = w.w_holders ();
+              in_cycle;
+            })
+      entries
+  end
+
 let sleep delay = Effect.perform (Sleep delay)
 let yield () = sleep 0.0
 let suspend register = Effect.perform (Suspend register)
@@ -133,7 +294,10 @@ let suspend register = Effect.perform (Suspend register)
    the continuation in the event queue or with the caller's registrar. The
    handler stays attached when the continuation is resumed later, so a
    supervised process that crashes after a suspension is still caught. *)
-let exec ?supervise t name f =
+let exec ?supervise ?(daemon = false) t name f =
+  t.next_pid <- t.next_pid + 1;
+  t.proc <-
+    Some { p_id = t.next_pid; p_name = name; p_born = t.clock; p_daemon = daemon };
   let open Effect.Deep in
   match_with f ()
     {
@@ -153,15 +317,18 @@ let exec ?supervise t name f =
                 (fun (k : (a, unit) continuation) ->
                   let saved = t.local in
                   let saved_san = t.san_local in
+                  let saved_proc = t.proc in
                   schedule t ~delay (fun () ->
                       t.local <- saved;
                       t.san_local <- saved_san;
+                      t.proc <- saved_proc;
                       continue k ()))
           | Suspend register ->
               Some
                 (fun (k : (a, unit) continuation) ->
                   let saved = t.local in
                   let saved_san = t.san_local in
+                  let saved_proc = t.proc in
                   let resumed = ref false in
                   let resume () =
                     if !resumed then
@@ -171,6 +338,7 @@ let exec ?supervise t name f =
                       schedule t ~delay:0.0 (fun () ->
                           t.local <- saved;
                           t.san_local <- saved_san;
+                          t.proc <- saved_proc;
                           continue k ())
                     end
                   in
@@ -187,7 +355,7 @@ let exec ?supervise t name f =
 let child_san t =
   match t.san_fork with None -> t.san_local | Some fork -> fork t.san_local
 
-let spawn t ?(name = "process") f =
+let spawn t ?(name = "process") ?(daemon = false) f =
   (* Children inherit the spawner's local slot (e.g. its trace
      context), so work fanned out by an invocation records into the
      invocation's own trace. *)
@@ -196,31 +364,36 @@ let spawn t ?(name = "process") f =
   schedule t ~delay:0.0 (fun () ->
       t.local <- inherited;
       t.san_local <- inherited_san;
-      exec t name f)
+      exec ~daemon t name f)
 
-let spawn_supervised t ?(name = "process") ?(on_crash = fun _ _ -> ()) f =
+let spawn_supervised t ?(name = "process") ?(daemon = false)
+    ?(on_crash = fun _ _ -> ()) f =
   let inherited = t.local in
   let inherited_san = child_san t in
   schedule t ~delay:0.0 (fun () ->
       t.local <- inherited;
       t.san_local <- inherited_san;
-      exec ~supervise:on_crash t name f)
+      exec ~supervise:on_crash ~daemon t name f)
 
 let run ?until t =
   if t.running then invalid_arg "Engine.run: already running";
   t.running <- true;
   let finished = ref false in
+  let drained = ref false in
   let restore () =
     t.running <- false;
     t.local <- None;
     t.san_local <- None;
+    t.proc <- None;
     current := None
   in
   (try
      current := Some t;
      while not !finished do
        match Heap.peek t.events with
-       | None -> finished := true
+       | None ->
+           finished := true;
+           drained := true
        | Some ev -> (
            match until with
            | Some limit when ev.time > limit ->
@@ -234,8 +407,17 @@ let run ?until t =
                   continuations restore their own saved values. *)
                t.local <- None;
                t.san_local <- None;
+               t.proc <- None;
                ev.thunk ())
-     done
+     done;
+     (* Natural quiescence (the queue drained, not an [until] cut):
+        anything still parked can never be woken — walk the wait-for
+        graph and hand each stranded waiter to the reporters. *)
+     if !drained && t.deadlock then
+       List.iter
+         (fun s ->
+           List.iter (fun f -> f s) (List.rev t.deadlock_reporters))
+         (stranded_waiters t)
    with exn ->
      restore ();
      raise exn);

@@ -15,10 +15,20 @@
 
 type t
 
-val create : ?seed:int64 -> ?tie_seed:int64 -> unit -> t
+val create : ?seed:int64 -> ?tie_seed:int64 -> ?deadlock:bool -> unit -> t
 (** [create ?seed ()] is a fresh engine at time [0.0]. [seed] (default
     [1L]) initialises the engine's PRNG, from which experiments derive all
     randomness.
+
+    [deadlock] arms the deadlock sanitizer: blocking primitives register
+    their parked waiters with the engine, and at natural quiescence the
+    wait-for graph is walked — every stranded waiter (and every daemon
+    on a wait cycle) is handed to the {!add_deadlock_reporter}
+    callbacks. When [deadlock] is absent, the [SEUSS_DEADLOCK]
+    environment variable supplies it ([1]/[true]/[yes]/[on]). An armed
+    engine whose run strands nobody makes no extra PRNG draws, schedules
+    nothing extra, and prints nothing, so its outputs stay
+    byte-identical to an unarmed run.
 
     [tie_seed] arms the schedule sanitizer's tie shuffler: events at
     equal timestamps fire in a seeded-random order instead of FIFO
@@ -46,13 +56,23 @@ val schedule : t -> delay:float -> (unit -> unit) -> unit
 (** [schedule t ~delay f] runs callback [f] at [now t +. delay].
     @raise Invalid_argument if [delay] is negative or not finite. *)
 
-val spawn : t -> ?name:string -> (unit -> unit) -> unit
+val spawn : t -> ?name:string -> ?daemon:bool -> (unit -> unit) -> unit
 (** [spawn t f] starts process [f] at the current time. [f] may use
     {!sleep} and the blocking primitives. An exception escaping [f] aborts
-    the whole simulation run ([name] is reported for diagnosis). *)
+    the whole simulation run ([name] is reported for diagnosis).
+
+    [daemon] (default [false]) marks a process that is *expected* to
+    park forever — an accept loop, a refill loop. Daemons are excluded
+    from {!stuck_waiters} and from the deadlock report unless they sit
+    on an actual wait cycle. *)
 
 val spawn_supervised :
-  t -> ?name:string -> ?on_crash:(string -> exn -> unit) -> (unit -> unit) -> unit
+  t ->
+  ?name:string ->
+  ?daemon:bool ->
+  ?on_crash:(string -> exn -> unit) ->
+  (unit -> unit) ->
+  unit
 (** Like {!spawn}, but an exception escaping [f] — including an injected
     crash from the fault plane — kills only this process: the failure is
     recorded in {!failures}, [on_crash] (default: nothing) is notified,
@@ -160,3 +180,67 @@ val suspend : ((unit -> unit) -> unit) -> unit
     called immediately with a one-shot [resume] function; calling
     [resume ()] re-schedules the process at the then-current time. This is
     the primitive from which all blocking structures are built. *)
+
+(** {1 Deadlock sanitizer}
+
+    The dynamic cross-check of the static [seussdead] pass. Blocking
+    primitives bracket every park with {!wait_begin} / {!wait_end};
+    the engine counts parked processes always (so {!stuck_waiters} is
+    meaningful even with the detector off) and, when armed
+    ([?deadlock] at {!create} or [SEUSS_DEADLOCK=1]), keeps a wait
+    table it walks at natural quiescence: a run that ends with parked
+    non-daemon processes — or daemons on a wait cycle — leaked them,
+    whether by lost wakeup (a forgotten [Ivar.fill]) or by genuine
+    deadlock (a lock cycle). *)
+
+val deadlock_env_var : string
+(** ["SEUSS_DEADLOCK"]. *)
+
+val deadlock_armed : t -> bool
+
+val stuck_waiters : t -> int
+(** Non-daemon processes currently parked in a blocking primitive.
+    After {!run} returns having drained its queue, a nonzero count
+    means the simulation quiesced with live processes stranded — a
+    silent-quiescence bug even when the detector is off. *)
+
+type stranded = {
+  resource : string;  (** e.g. ["semaphore#3"], ["ivar#12"] *)
+  proc : string;  (** process name at {!spawn} *)
+  pid : int;
+  spawned_at : float;  (** simulated time the process started *)
+  waiting_since : float;  (** simulated time it parked *)
+  holders : int list;  (** pids holding the resource, when known *)
+  in_cycle : bool;  (** sits on a wait-for cycle (true deadlock) *)
+}
+
+val stranded_waiters : t -> stranded list
+(** The stranded-waiter report, sorted by park order: every parked
+    non-daemon waiter plus every daemon on a wait-for cycle. [[]] when
+    the detector is unarmed (use {!stuck_waiters} for the raw count). *)
+
+val add_deadlock_reporter : t -> (stranded -> unit) -> unit
+(** Register a callback invoked once per stranded waiter when {!run}
+    reaches natural quiescence with the detector armed. Reporters run
+    outside any process — they must not block (the [seussdead] static
+    pass enforces this). *)
+
+val current_pid : t -> int
+(** Pid of the currently-dispatching process, [0] outside one. *)
+
+val fresh_resource : t -> string -> string
+(** [fresh_resource t kind] is a unique display name ["kind#N"] for a
+    blocking resource, assigned on first wait so unarmed runs never
+    pay for naming. *)
+
+val wait_begin : t -> resource:(unit -> string) -> holders:(unit -> int list) -> int
+(** Called by a blocking primitive as the current process parks.
+    Returns the wait token to hand back to {!wait_end}. The [resource]
+    and [holders] thunks are consulted only when the detector is
+    armed; [holders] is re-read at quiescence so it should report the
+    resource's *current* holder pids. *)
+
+val wait_end : t -> int -> unit
+(** Close a wait begun with {!wait_begin}. Runs in the resumer's
+    context, so primitives must call it from the wakeup path they
+    enqueue, not rely on the parked process itself. *)

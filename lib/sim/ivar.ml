@@ -5,9 +5,16 @@ type 'a t = {
   (* Happens-before edge carrier: the fill publishes, readers observe
      (no-op unless the schedule sanitizer is armed). *)
   hb : Hb.sync;
+  (* Deadlock-sanitizer display name, assigned on first armed wait. *)
+  mutable rname : string;
 }
 
-let create () = { state = Empty (Queue.create ()); hb = Hb.make_sync () }
+let create () =
+  { state = Empty (Queue.create ()); hb = Hb.make_sync (); rname = "" }
+
+let resource t e =
+  if String.equal t.rname "" then t.rname <- Engine.fresh_resource e "ivar";
+  t.rname
 
 let try_fill t v =
   match t.state with
@@ -36,7 +43,18 @@ let read t =
       Hb.observe t.hb;
       v
   | Empty waiters -> (
-      Engine.suspend (fun resume -> Queue.add resume waiters);
+      let e = Engine.self () in
+      let tok =
+        Engine.wait_begin e
+          ~resource:(fun () -> resource t e)
+          ~holders:(fun () -> [])
+      in
+      Engine.suspend (fun resume ->
+          Queue.add
+            (fun () ->
+              Engine.wait_end e tok;
+              resume ())
+            waiters);
       match t.state with
       | Full v ->
           Hb.observe t.hb;

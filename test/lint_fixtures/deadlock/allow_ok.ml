@@ -1,0 +1,6 @@
+(* Fixture: a justified seussdead suppression — must lint clean. *)
+
+let gate = Sim.Semaphore.create 1 (* seussdead: lock fixture.allowok *)
+
+(* seussdead: allow unreleased-acquire — ownership transfers to the consumer *)
+let hand_off () = Sim.Semaphore.acquire gate

@@ -1,0 +1,8 @@
+(* Fixture: an acquire with no release on any path out of the
+   binding — must trip unreleased-acquire. *)
+
+let gate = Sim.Semaphore.create 1 (* seussdead: lock fixture.gate *)
+
+let enter () =
+  Sim.Semaphore.acquire gate;
+  42

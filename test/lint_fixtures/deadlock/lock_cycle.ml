@@ -1,0 +1,14 @@
+(* Fixture: ABBA acquisition order — the acquire-while-holding graph
+   has the cycle fixture.a -> fixture.b -> fixture.a. *)
+
+let a = Sim.Semaphore.create 1 (* seussdead: lock fixture.a *)
+
+let b = Sim.Semaphore.create 1 (* seussdead: lock fixture.b *)
+
+let forward f =
+  Sim.Semaphore.with_permit a (fun () ->
+      Sim.Semaphore.with_permit b (fun () -> f ()))
+
+let backward f =
+  Sim.Semaphore.with_permit b (fun () ->
+      Sim.Semaphore.with_permit a (fun () -> f ()))

@@ -90,6 +90,41 @@ let check_strip_prefix_tree () =
        (fun v -> String.equal v.Lint.Check.file "lib/allow_ok.ml")
        vs)
 
+let check_deadlock_fixture_tree () =
+  (* Mirror CI's "Deadlock fixtures still fail" step: each fixture file
+     trips exactly its rule family, with the planted counts, and the
+     seussdead allow fixture stays clean. *)
+  let vs =
+    Lint.Deadlock.check_tree ~strip_prefix:"lint_fixtures"
+      [ "lint_fixtures/deadlock" ]
+  in
+  let in_file f =
+    List.filter (fun v -> String.equal v.Lint.Check.file f) vs
+  in
+  List.iter
+    (fun (file, rule, expected) ->
+      let hits = in_file ("deadlock/" ^ file) in
+      Alcotest.(check (list string)) (file ^ " rule") [ rule ] (rules_hit hits);
+      Alcotest.(check int) (file ^ " count") expected (List.length hits))
+    [
+      ("handler_blocks.ml", "block-in-handler", 3);
+      ("lock_cycle.ml", "lock-order", 2);
+      ("leaked_acquire.ml", "unreleased-acquire", 1);
+    ];
+  Alcotest.(check (list string)) "allow_ok clean under seussdead" []
+    (rules_hit (in_file "deadlock/allow_ok.ml"));
+  (* The base-pass fixtures must not confuse the deadlock pass, and the
+     seussdead: allows must be invisible to the base marker. *)
+  Alcotest.(check int) "whole fixture tree: only the planted hits" 6
+    (List.length
+       (Lint.Deadlock.check_tree ~strip_prefix:"lint_fixtures"
+          [ "lint_fixtures" ]));
+  Alcotest.(check bool) "base pass ignores deadlock fixtures" false
+    (List.exists
+       (fun v -> String.starts_with ~prefix:"deadlock/" v.Lint.Check.file)
+       (Lint.Check.check_tree ~strip_prefix:"lint_fixtures"
+          [ "lint_fixtures" ]))
+
 let check_clean_tree () =
   (* The shipped sources (copied into the build sandbox as our library
      deps) must lint clean — the same gate CI applies via seusslint. *)
@@ -103,6 +138,22 @@ let check_clean_tree () =
           v.Lint.Check.line v.Lint.Check.rule v.Lint.Check.message)
       vs;
     Alcotest.(check int) "violations in shipped tree" 0 (List.length vs)
+
+let check_clean_tree_deadlock () =
+  (* The deadlock pass must also come back clean on the shipped tree:
+     every Semaphore.create carries a lock class, the class graph is
+     acyclic, and nothing reachable from an atomic context may block. *)
+  let roots = List.filter Sys.file_exists [ "../lib"; "../bin" ] in
+  if roots = [] then ()
+  else
+    let vs = Lint.Deadlock.check_tree roots in
+    List.iter
+      (fun v ->
+        Printf.eprintf "unexpected: %s:%d [%s] %s\n" v.Lint.Check.file
+          v.Lint.Check.line v.Lint.Check.rule v.Lint.Check.message)
+      vs;
+    Alcotest.(check int) "deadlock violations in shipped tree" 0
+      (List.length vs)
 
 let () =
   Alcotest.run "lint"
@@ -123,6 +174,10 @@ let () =
         [
           Alcotest.test_case "fixture tree under --strip-prefix" `Quick
             check_strip_prefix_tree;
+          Alcotest.test_case "deadlock fixture tree" `Quick
+            check_deadlock_fixture_tree;
           Alcotest.test_case "shipped tree is clean" `Quick check_clean_tree;
+          Alcotest.test_case "shipped tree is deadlock-clean" `Quick
+            check_clean_tree_deadlock;
         ] );
     ]
