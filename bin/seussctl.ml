@@ -292,6 +292,20 @@ let all_cmd =
     (Cmd.info "all" ~doc:"Run every table and figure")
     Term.(const run $ full $ seed_arg)
 
+let chrome_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "chrome" ] ~docv:"PATH"
+        ~doc:
+          "Also export the traces as Chrome trace-event JSON (load in \
+           Perfetto or chrome://tracing).")
+
+let write_file path body =
+  let oc = open_out path in
+  output_string oc body;
+  close_out oc
+
 let trace_cmd =
   let source =
     Arg.(
@@ -299,9 +313,10 @@ let trace_cmd =
       & opt string "function main(args) { return {}; }"
       & info [ "source" ] ~docv:"MINIJS" ~doc:"Function source to trace.")
   in
-  let run source seed =
+  let run source chrome seed =
     let engine = Sim.Engine.create ~seed () in
     if Experiments.Harness.hb_of_env () then ignore (Sim.Hb.enable engine);
+    let collected = ref [] in
     Sim.Engine.spawn engine ~name:"trace" (fun () ->
         let env = Seuss.Osenv.create engine in
         let node = Seuss.Node.create env in
@@ -318,6 +333,7 @@ let trace_cmd =
           | Error _, _ -> prerr_endline "invocation failed");
           let total = Sim.Engine.now engine -. t0 in
           let spans = Sim.Trace.stop tr in
+          collected := (label, spans) :: !collected;
           Printf.printf "%s invocation (%.2f ms total)
 %s
 " label
@@ -326,12 +342,19 @@ let trace_cmd =
         traced "cold" (fun () -> ());
         traced "hot" (fun () -> ());
         traced "warm" (fun () -> Seuss.Node.drop_idle node ~fn_id:"traced"));
-    run_watched engine
+    run_watched engine;
+    Option.iter
+      (fun path ->
+        write_file path (Seuss.Traceout.chrome_string (List.rev !collected));
+        Printf.eprintf "seussctl: wrote Chrome trace to %s\n" path)
+      chrome
   in
   Cmd.v
     (Cmd.info "trace"
-       ~doc:"Trace one cold, hot and warm invocation (span waterfalls)")
-    Term.(const run $ source $ seed_arg)
+       ~doc:
+         "Trace one cold, hot and warm invocation (span waterfalls; \
+          $(b,--chrome) exports the same spans as Chrome trace-event JSON)")
+    Term.(const run $ source $ chrome_arg $ seed_arg)
 
 (* A small self-contained workload for the observability subcommands:
    [functions] distinct MiniJS functions invoked round-robin, so the
@@ -367,7 +390,7 @@ let events_cmd =
       value & opt int 12
       & info [ "calls" ] ~docv:"N" ~doc:"Invocations to run before dumping.")
   in
-  let run functions calls seed =
+  let run functions calls chrome seed =
     require_positive "--functions" (float_of_int functions);
     if calls < 0 then begin
       Printf.eprintf "seussctl: --calls must be non-negative\n";
@@ -375,20 +398,56 @@ let events_cmd =
     end;
     let engine = Sim.Engine.create ~seed () in
     if Experiments.Harness.hb_of_env () then ignore (Sim.Hb.enable engine);
+    let captures = ref [] in
     Sim.Engine.spawn engine ~name:"events" (fun () ->
         let env = Seuss.Osenv.create engine in
         let node = Seuss.Node.create env in
         Seuss.Node.start node;
         obs_workload ~functions ~calls node;
-        print_string (Obs.Log.to_jsonl env.Seuss.Osenv.log));
-    run_watched engine
+        print_string (Obs.Log.to_jsonl env.Seuss.Osenv.log);
+        let dropped = Obs.Log.dropped env.Seuss.Osenv.log in
+        if dropped > 0 then
+          Printf.eprintf
+            "seussctl: %d event%s evicted from the ring before this dump \
+             (raise log_capacity to keep them)\n"
+            dropped
+            (if dropped = 1 then "" else "s");
+        captures :=
+          List.map
+            (fun (c : Seuss.Node.capture) ->
+              let path =
+                match c.Seuss.Node.c_path with
+                | Seuss.Node.Cold -> "cold"
+                | Seuss.Node.Warm -> "warm"
+                | Seuss.Node.Hot -> "hot"
+              in
+              ( Printf.sprintf "%s %s @%.3fs" c.Seuss.Node.c_fn path
+                  c.Seuss.Node.c_t0,
+                c.Seuss.Node.c_spans ))
+            (Seuss.Node.captured_traces node));
+    run_watched engine;
+    Option.iter
+      (fun path ->
+        if !captures = [] then
+          Printf.eprintf
+            "seussctl: no sampled traces to export (arm capture with %s=1/N)\n"
+            Seuss.Node.trace_sample_env_var
+        else begin
+          write_file path (Seuss.Traceout.chrome_string !captures);
+          Printf.eprintf "seussctl: wrote %d sampled trace%s to %s\n"
+            (List.length !captures)
+            (if List.length !captures = 1 then "" else "s")
+            path
+        end)
+      chrome
   in
   Cmd.v
     (Cmd.info "events"
        ~doc:
          "Run a small workload and dump the structured event log as JSONL \
-          (one engine-timestamped event per line)")
-    Term.(const run $ functions_arg $ calls $ seed_arg)
+          (one engine-timestamped event per line). With SEUSS_TRACE_SAMPLE \
+          armed, $(b,--chrome) exports the sampled invocation traces.")
+    Term.(const run $ functions_arg $ calls $ chrome_arg $ seed_arg)
 
 let top_cmd =
   let duration =
@@ -531,6 +590,75 @@ let top_cmd =
           time; $(b,--ansi) redraws in place)")
     Term.(const run $ duration $ interval $ clients $ functions_arg $ ansi $ seed_arg)
 
+let timeline_cmd =
+  let duration =
+    Arg.(
+      value & opt float 30.0
+      & info [ "duration" ] ~docv:"SECONDS" ~doc:"Simulated run length.")
+  in
+  let period =
+    Arg.(
+      value
+      & opt float Seuss.Timeline.default_period
+      & info [ "period" ] ~docv:"SECONDS" ~doc:"Sampling period (simulated).")
+  in
+  let clients =
+    Arg.(value & opt int 8 & info [ "clients" ] ~docv:"C" ~doc:"Client processes.")
+  in
+  let run duration period clients functions seed =
+    require_positive "--duration" duration;
+    require_positive "--period" period;
+    require_positive "--clients" (float_of_int clients);
+    require_positive "--functions" (float_of_int functions);
+    let engine = Sim.Engine.create ~seed () in
+    if Experiments.Harness.hb_of_env () then ignore (Sim.Hb.enable engine);
+    Sim.Engine.spawn engine ~name:"timeline" (fun () ->
+        let env = Seuss.Osenv.create engine in
+        let node = Seuss.Node.create env in
+        Seuss.Node.start node;
+        (* Explicitly armed: this subcommand *is* the sampler demo, no
+           SEUSS_TIMELINE needed. *)
+        Seuss.Timeline.start ~period node;
+        let stop_at = Sim.Engine.now engine +. duration in
+        for c = 1 to clients do
+          let rng = Sim.Prng.split env.Seuss.Osenv.rng in
+          Sim.Engine.spawn engine ~name:(Printf.sprintf "client-%d" c)
+            (fun () ->
+              while Sim.Engine.now engine < stop_at do
+                let k = Sim.Prng.int rng functions in
+                ignore
+                  (Seuss.Node.invoke node
+                     {
+                       Seuss.Node.fn_id = Printf.sprintf "fn-%d" k;
+                       runtime = Unikernel.Image.Node;
+                       source =
+                         Printf.sprintf
+                           "function main(args) { return {fn: %d}; }" k;
+                     }
+                     ~args:"{}");
+                Sim.Engine.sleep (0.05 +. (0.25 *. Sim.Prng.float rng))
+              done)
+        done;
+        (* Render at quiescence: park until the clients are done, then one
+           more period so the sampler has observed the drained node. *)
+        while Sim.Engine.now engine < stop_at +. period do
+          Sim.Engine.sleep period
+        done;
+        let samples =
+          Seuss.Timeline.samples_of_records
+            (Obs.Log.records env.Seuss.Osenv.log)
+        in
+        print_string (Seuss.Timeline.render samples));
+    run_watched engine
+  in
+  Cmd.v
+    (Cmd.info "timeline"
+       ~doc:
+         "Run a synthetic workload with the resource timeline sampler \
+          armed and render the sampled gauges (run queue, in-flight, \
+          idle UCs, snapshots, free memory) as ASCII charts")
+    Term.(const run $ duration $ period $ clients $ functions_arg $ seed_arg)
+
 let autoao_cmd =
   let invocations =
     Arg.(value & opt int 20 & info [ "n" ] ~docv:"N" ~doc:"Invocations per cell.")
@@ -649,6 +777,6 @@ let () =
   let main = Cmd.group (Cmd.info "seussctl" ~doc)
       [ table1_cmd; table2_cmd; table3_cmd; fig4_cmd; fig5_cmd; burst_cmd;
         ablations_cmd; drseuss_cmd; chaos_cmd; reap_cmd; ksm_cmd; autoao_cmd; trace_cmd;
-        snapshots_cmd; top_cmd; events_cmd; all_cmd; info_cmd ]
+        snapshots_cmd; top_cmd; timeline_cmd; events_cmd; all_cmd; info_cmd ]
   in
   exit (Cmd.eval main)

@@ -6,6 +6,8 @@ type point = {
   breakdown : Obs.Breakdown.phase_means option;
       (** per-phase means from the node's event log; [None] for the
           Linux baseline, which emits no node events *)
+  tails : Obs.Breakdown.tails option;
+      (** node-side total-latency tail percentiles, same provenance *)
 }
 
 type result = { seuss : point list; linux : point list }
@@ -48,6 +50,7 @@ let run_trial ~seed ~client_threads ~make_controller m =
              Stats.Summary.mean r.Platform.Loadgen.latencies
            else 0.0);
         breakdown = Obs.Breakdown.overall bd;
+        tails = Obs.Breakdown.overall_tails bd;
       })
 
 let run ?(set_sizes = default_set_sizes) ?(client_threads = 32) ?(seed = 21L)
@@ -67,6 +70,10 @@ let phase_ms sel = function
   | None -> "-"
   | Some (p : Obs.Breakdown.phase_means) -> Printf.sprintf "%.2f" (sel p *. 1e3)
 
+let tail_ms sel = function
+  | None -> "-"
+  | Some (t : Obs.Breakdown.tails) -> Printf.sprintf "%.2f" (sel t *. 1e3)
+
 let render r =
   let table =
     Stats.Tablefmt.create
@@ -80,6 +87,8 @@ let render r =
           ("import ms", Stats.Tablefmt.Right);
           ("run ms", Stats.Tablefmt.Right);
           ("queue ms", Stats.Tablefmt.Right);
+          ("p99 ms", Stats.Tablefmt.Right);
+          ("p999 ms", Stats.Tablefmt.Right);
           ("SEUSS err", Stats.Tablefmt.Right);
           ("Linux err", Stats.Tablefmt.Right);
         ]
@@ -96,6 +105,8 @@ let render r =
           phase_ms (fun p -> p.Obs.Breakdown.import) s.breakdown;
           phase_ms (fun p -> p.Obs.Breakdown.run) s.breakdown;
           phase_ms (fun p -> p.Obs.Breakdown.queue) s.breakdown;
+          tail_ms (fun t -> t.Obs.Breakdown.p99) s.tails;
+          tail_ms (fun t -> t.Obs.Breakdown.p999) s.tails;
           string_of_int s.errors;
           string_of_int l.errors;
         ])
@@ -123,7 +134,9 @@ let render r =
      SEUSS up to 52x faster on the mostly-unique workload.\n\
      Phase columns: SEUSS node-side per-invocation means derived from\n\
      the structured event log (deploy+import+run = service; queue is the\n\
-     residual). Measured speedup at the largest set: %.1fx\n"
+     residual); p99/p999 are total-latency tails from the same log\n\
+     (log-binned, ~8%% quantisation). Measured speedup at the largest\n\
+     set: %.1fx\n"
     (Report.heading "Figure 4: platform throughput")
     (Stats.Tablefmt.render table)
     (Stats.Asciiplot.render plot)
@@ -135,6 +148,7 @@ let write_csv ~path r =
       [
         "set_size"; "seuss_rps"; "linux_rps"; "seuss_errors"; "linux_errors";
         "seuss_deploy_ms"; "seuss_import_ms"; "seuss_run_ms"; "seuss_queue_ms";
+        "seuss_p50_ms"; "seuss_p90_ms"; "seuss_p99_ms"; "seuss_p999_ms";
       ]
     (List.map2
        (fun s l ->
@@ -148,5 +162,9 @@ let write_csv ~path r =
            phase_ms (fun p -> p.Obs.Breakdown.import) s.breakdown;
            phase_ms (fun p -> p.Obs.Breakdown.run) s.breakdown;
            phase_ms (fun p -> p.Obs.Breakdown.queue) s.breakdown;
+           tail_ms (fun t -> t.Obs.Breakdown.p50) s.tails;
+           tail_ms (fun t -> t.Obs.Breakdown.p90) s.tails;
+           tail_ms (fun t -> t.Obs.Breakdown.p99) s.tails;
+           tail_ms (fun t -> t.Obs.Breakdown.p999) s.tails;
          ])
        r.seuss r.linux)

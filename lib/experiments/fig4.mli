@@ -17,6 +17,8 @@ type point = {
   breakdown : Obs.Breakdown.phase_means option;
       (** node-side deploy/import/run/queue means derived from the
           structured event log; [None] for the Linux baseline *)
+  tails : Obs.Breakdown.tails option;
+      (** node-side total-latency p50/p90/p99/p999, same provenance *)
 }
 
 type result = { seuss : point list; linux : point list }
@@ -37,4 +39,5 @@ val render : result -> string
 
 val write_csv : path:string -> result -> unit
 (** Columns: set_size, seuss_rps, linux_rps, seuss_errors, linux_errors,
-    plus the SEUSS deploy/import/run/queue means (ms). *)
+    plus the SEUSS deploy/import/run/queue means and p50/p90/p99/p999
+    tails (ms). *)

@@ -17,6 +17,7 @@ type point = {
   availability : float;
   p50_ms : float;
   p99_ms : float;
+  p999_ms : float;
   remote_fetches : int;
   cluster_colds : int;
   fetch_retries : int;
@@ -106,6 +107,7 @@ let run_point ~nodes ~functions ~calls ~seed rate =
              else float_of_int !served /. float_of_int calls);
           p50_ms = Stats.Summary.percentile lat 50.0 *. 1e3;
           p99_ms = Stats.Summary.percentile lat 99.0 *. 1e3;
+          p999_ms = Stats.Summary.percentile lat 99.9 *. 1e3;
           remote_fetches = st.Cluster.Drseuss.remote_fetches;
           cluster_colds = st.Cluster.Drseuss.cluster_colds;
           fetch_retries = st.Cluster.Drseuss.fetch_retries;
@@ -149,6 +151,7 @@ let point_to_json p =
       ("availability", Obs.Json.Float p.availability);
       ("p50_ms", Obs.Json.Float p.p50_ms);
       ("p99_ms", Obs.Json.Float p.p99_ms);
+      ("p999_ms", Obs.Json.Float p.p999_ms);
       ("remote_fetches", Obs.Json.Int p.remote_fetches);
       ("cluster_colds", Obs.Json.Int p.cluster_colds);
       ("fetch_retries", Obs.Json.Int p.fetch_retries);
@@ -179,6 +182,7 @@ let render r =
           ("avail", Stats.Tablefmt.Right);
           ("p50 ms", Stats.Tablefmt.Right);
           ("p99 ms", Stats.Tablefmt.Right);
+          ("p999 ms", Stats.Tablefmt.Right);
           ("fetches", Stats.Tablefmt.Right);
           ("retries", Stats.Tablefmt.Right);
           ("failover", Stats.Tablefmt.Right);
@@ -196,6 +200,7 @@ let render r =
           Printf.sprintf "%.2f%%" (100.0 *. p.availability);
           Printf.sprintf "%.2f" p.p50_ms;
           Printf.sprintf "%.2f" p.p99_ms;
+          Printf.sprintf "%.2f" p.p999_ms;
           string_of_int p.remote_fetches;
           string_of_int p.fetch_retries;
           string_of_int p.failovers;
@@ -218,7 +223,7 @@ let write_csv ~path r =
     ~header:
       [
         "rate"; "invocations"; "served"; "errors"; "availability"; "p50_ms";
-        "p99_ms"; "remote_fetches"; "cluster_colds"; "fetch_retries";
+        "p99_ms"; "p999_ms"; "remote_fetches"; "cluster_colds"; "fetch_retries";
         "failovers"; "degraded_colds"; "node_crashes"; "registry_evictions";
         "faults_fired";
       ]
@@ -232,6 +237,7 @@ let write_csv ~path r =
            Printf.sprintf "%.6f" p.availability;
            Printf.sprintf "%.6f" p.p50_ms;
            Printf.sprintf "%.6f" p.p99_ms;
+           Printf.sprintf "%.6f" p.p999_ms;
            string_of_int p.remote_fetches;
            string_of_int p.cluster_colds;
            string_of_int p.fetch_retries;

@@ -17,6 +17,7 @@ type arm = {
   warm_invocations : int;
   mean_ms : float;
   p99_ms : float;
+  p999_ms : float;
   cow_faults : int;
   zero_fills : int;
   prefault_batches : int;
@@ -118,6 +119,7 @@ let run_arm ~functions ~rounds ~seed ~prefault =
         warm_invocations = warm;
         mean_ms = Stats.Summary.mean lat *. 1e3;
         p99_ms = Stats.Summary.percentile lat 99.0 *. 1e3;
+        p999_ms = Stats.Summary.percentile lat 99.9 *. 1e3;
         cow_faults = cow;
         zero_fills = zero;
         prefault_batches = !batches;
@@ -147,6 +149,7 @@ let arm_to_json a =
       ("warm_invocations", Obs.Json.Int a.warm_invocations);
       ("mean_ms", Obs.Json.Float a.mean_ms);
       ("p99_ms", Obs.Json.Float a.p99_ms);
+      ("p999_ms", Obs.Json.Float a.p999_ms);
       ("cow_faults", Obs.Json.Int a.cow_faults);
       ("zero_fills", Obs.Json.Int a.zero_fills);
       ("prefault_batches", Obs.Json.Int a.prefault_batches);
@@ -177,6 +180,7 @@ let render r =
           ("warm", Stats.Tablefmt.Right);
           ("mean ms", Stats.Tablefmt.Right);
           ("p99 ms", Stats.Tablefmt.Right);
+          ("p999 ms", Stats.Tablefmt.Right);
           ("cow", Stats.Tablefmt.Right);
           ("zero", Stats.Tablefmt.Right);
           ("batched pages", Stats.Tablefmt.Right);
@@ -191,6 +195,7 @@ let render r =
           string_of_int a.warm_invocations;
           Printf.sprintf "%.3f" a.mean_ms;
           Printf.sprintf "%.3f" a.p99_ms;
+          Printf.sprintf "%.3f" a.p999_ms;
           string_of_int a.cow_faults;
           string_of_int a.zero_fills;
           string_of_int a.prefault_pages;
@@ -209,7 +214,7 @@ let write_csv ~path r =
   Report.write_csv ~path
     ~header:
       [
-        "prefault"; "warm_invocations"; "mean_ms"; "p99_ms"; "cow_faults";
+        "prefault"; "warm_invocations"; "mean_ms"; "p99_ms"; "p999_ms"; "cow_faults";
         "zero_fills"; "prefault_batches"; "prefault_pages"; "prefault_cow";
         "prefault_zero"; "fault_us";
       ]
@@ -220,6 +225,7 @@ let write_csv ~path r =
            string_of_int a.warm_invocations;
            Printf.sprintf "%.6f" a.mean_ms;
            Printf.sprintf "%.6f" a.p99_ms;
+           Printf.sprintf "%.6f" a.p999_ms;
            string_of_int a.cow_faults;
            string_of_int a.zero_fills;
            string_of_int a.prefault_batches;

@@ -98,8 +98,16 @@ let apply_env_prefault config =
   | None -> config
   | Some v -> { config with Seuss.Config.prefault_working_set = v }
 
+(* Timeline hook: SEUSS_TIMELINE=1 attaches the resource sampler to
+   every harness-built SEUSS node. The sampler daemon draws nothing and
+   self-terminates at quiescence, so an unarmed (or =0) run is
+   bit-identical to an unhooked one — the CI transparency check depends
+   on this. *)
+let timeline_env_var = Seuss.Timeline.env_var
+
 let seuss_node ?(config = Seuss.Config.default) env =
   let node = Seuss.Node.create ~config:(apply_env_prefault config) env in
+  Seuss.Timeline.maybe_start_from_env node;
   Seuss.Node.start node;
   node
 

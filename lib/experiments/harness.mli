@@ -62,12 +62,18 @@ val apply_env_prefault : Seuss.Config.t -> Seuss.Config.t
     {!seuss_node} to every harness-built node). [SEUSS_PREFAULT=0] is
     indistinguishable from unset because the flag defaults to off. *)
 
+val timeline_env_var : string
+(** ["SEUSS_TIMELINE"] — re-export of [Seuss.Timeline.env_var]. When
+    on, {!seuss_node} attaches the resource timeline sampler to the
+    node; unset/off runs are bit-identical to unhooked ones. *)
+
 val seuss_node :
   ?config:Seuss.Config.t -> Seuss.Osenv.t -> Seuss.Node.t
 (** Create and start a SEUSS node (blocking: boots the runtime). The
-    config's prefault flag is subject to the [SEUSS_PREFAULT] override;
-    experiments needing fixed arms (e.g. [Fig_reap]) build their nodes
-    directly. *)
+    config's prefault flag is subject to the [SEUSS_PREFAULT] override
+    and the node to the [SEUSS_TIMELINE] sampler hook (the node itself
+    reads [SEUSS_TRACE_SAMPLE]); experiments needing fixed arms
+    (e.g. [Fig_reap]) build their nodes directly. *)
 
 val seuss_controller :
   ?config:Seuss.Config.t -> Seuss.Osenv.t -> Platform.Controller.t * Seuss.Node.t

@@ -14,6 +14,10 @@ type result = {
   cold_phases : Obs.Breakdown.phase_means option;
   warm_phases : Obs.Breakdown.phase_means option;
   hot_phases : Obs.Breakdown.phase_means option;
+  (* Total-latency tail percentiles per path, from the same log. *)
+  cold_tails : Obs.Breakdown.tails option;
+  warm_tails : Obs.Breakdown.tails option;
+  hot_tails : Obs.Breakdown.tails option;
 }
 
 let nop_source = Platform.Workloads.source_of_action Platform.Workloads.nop
@@ -104,6 +108,9 @@ let run ?(invocations = 475) ?(seed = 7L) () =
         cold_phases = Obs.Breakdown.per_path bd Obs.Event.Cold;
         warm_phases = Obs.Breakdown.per_path bd Obs.Event.Warm;
         hot_phases = Obs.Breakdown.per_path bd Obs.Event.Hot;
+        cold_tails = Obs.Breakdown.tails bd Obs.Event.Cold;
+        warm_tails = Obs.Breakdown.tails bd Obs.Event.Warm;
+        hot_tails = Obs.Breakdown.tails bd Obs.Event.Hot;
       })
 
 let phase_split = function
@@ -114,6 +121,14 @@ let phase_split = function
         (p.Obs.Breakdown.import *. 1e3)
         (p.Obs.Breakdown.run *. 1e3)
         (p.Obs.Breakdown.queue *. 1e3)
+
+let tail_split = function
+  | None -> "n/a"
+  | Some (t : Obs.Breakdown.tails) ->
+      Printf.sprintf "%.2f / %.2f / %.2f ms"
+        (t.Obs.Breakdown.p50 *. 1e3)
+        (t.Obs.Breakdown.p99 *. 1e3)
+        (t.Obs.Breakdown.p999 *. 1e3)
 
 let render r =
   let mb_f pages = Report.mb_of_pages (int_of_float pages) in
@@ -173,6 +188,21 @@ let render r =
         Report.label = "Hot phase split (deploy/import/run/queue)";
         paper = "(event log)";
         measured = phase_split r.hot_phases;
+      };
+      {
+        Report.label = "Cold latency tails (p50/p99/p999)";
+        paper = "(event log)";
+        measured = tail_split r.cold_tails;
+      };
+      {
+        Report.label = "Warm latency tails (p50/p99/p999)";
+        paper = "(event log)";
+        measured = tail_split r.warm_tails;
+      };
+      {
+        Report.label = "Hot latency tails (p50/p99/p999)";
+        paper = "(event log)";
+        measured = tail_split r.hot_tails;
       };
       {
         Report.label = "Cold start footprint (pages copied)";

@@ -22,6 +22,10 @@ type result = {
       (** deploy/import/run/queue means from the event log *)
   warm_phases : Obs.Breakdown.phase_means option;
   hot_phases : Obs.Breakdown.phase_means option;
+  cold_tails : Obs.Breakdown.tails option;
+      (** per-path total-latency p50/p90/p99/p999, same provenance *)
+  warm_tails : Obs.Breakdown.tails option;
+  hot_tails : Obs.Breakdown.tails option;
 }
 
 val run : ?invocations:int -> ?seed:int64 -> unit -> result

@@ -7,6 +7,8 @@ type phase_means = {
   total : float;
 }
 
+type tails = { p50 : float; p90 : float; p99 : float; p999 : float }
+
 type acc = {
   mutable n : int;
   mutable queue : float;
@@ -14,6 +16,12 @@ type acc = {
   mutable import : float;
   mutable run : float;
   mutable total : float;
+  (* Total-latency distribution, for the tail columns: same 30
+     bins/decade layout as the metrics registry (~8% quantile error),
+     with extrema kept for clamping. *)
+  hist : Stats.Histogram.t;
+  mutable mn : float;
+  mutable mx : float;
 }
 
 type t = {
@@ -23,7 +31,18 @@ type t = {
   mutable errs : int;
 }
 
-let fresh () = { n = 0; queue = 0.0; deploy = 0.0; import = 0.0; run = 0.0; total = 0.0 }
+let fresh () =
+  {
+    n = 0;
+    queue = 0.0;
+    deploy = 0.0;
+    import = 0.0;
+    run = 0.0;
+    total = 0.0;
+    hist = Stats.Histogram.create ~bins_per_decade:30 ();
+    mn = infinity;
+    mx = neg_infinity;
+  }
 
 let acc_of t = function
   | Event.Cold -> t.cold
@@ -42,6 +61,9 @@ let attach log =
           a.import <- a.import +. import;
           a.run <- a.run +. run;
           a.total <- a.total +. total;
+          Stats.Histogram.add a.hist total;
+          if total < a.mn then a.mn <- total;
+          if total > a.mx then a.mx <- total;
           if not ok then t.errs <- t.errs + 1
       | _ -> ());
   t
@@ -61,9 +83,19 @@ let means (a : acc) : phase_means option =
       }
   end
 
-let per_path t path = means (acc_of t path)
+let tails_of (a : acc) =
+  if a.n = 0 then None
+  else begin
+    let q p =
+      Float.max a.mn (Float.min (Stats.Histogram.quantile a.hist p) a.mx)
+    in
+    Some { p50 = q 0.5; p90 = q 0.9; p99 = q 0.99; p999 = q 0.999 }
+  end
 
-let overall t =
+let per_path t path = means (acc_of t path)
+let tails t path = tails_of (acc_of t path)
+
+let merged_accs t =
   let merged = fresh () in
   List.iter
     (fun (a : acc) ->
@@ -72,8 +104,14 @@ let overall t =
       merged.deploy <- merged.deploy +. a.deploy;
       merged.import <- merged.import +. a.import;
       merged.run <- merged.run +. a.run;
-      merged.total <- merged.total +. a.total)
+      merged.total <- merged.total +. a.total;
+      Stats.Histogram.merge merged.hist ~from:a.hist;
+      if a.mn < merged.mn then merged.mn <- a.mn;
+      if a.mx > merged.mx then merged.mx <- a.mx)
     [ t.cold; t.warm; t.hot ];
-  means merged
+  merged
+
+let overall t = means (merged_accs t)
+let overall_tails t = tails_of (merged_accs t)
 
 let errors t = t.errs

@@ -17,6 +17,11 @@ type phase_means = {
 }
 (** All times are means in seconds. *)
 
+type tails = { p50 : float; p90 : float; p99 : float; p999 : float }
+(** Total-latency percentiles in seconds, from a log-binned histogram
+    (30 bins/decade, so quantiles carry ~8% quantisation, clamped into
+    the observed extrema). *)
+
 type t
 
 val attach : Log.t -> t
@@ -25,8 +30,16 @@ val attach : Log.t -> t
 val per_path : t -> Event.path -> phase_means option
 (** [None] until the first invocation completes on that path. *)
 
+val tails : t -> Event.path -> tails option
+(** Total-latency tail percentiles for one path; [None] like
+    {!per_path}. *)
+
 val overall : t -> phase_means option
 (** Means across all paths. *)
+
+val overall_tails : t -> tails option
+(** Tail percentiles across all paths (histograms merged, not
+    resampled). *)
 
 val errors : t -> int
 (** Invocations folded in with [ok = false]. *)

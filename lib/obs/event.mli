@@ -99,6 +99,17 @@ type t =
           emitted when the engine's detector is armed
           ([SEUSS_DEADLOCK=1] or [~deadlock:true] at
           [Sim.Engine.create]). *)
+  | Timeline_sample of {
+      run_queue : int;  (** events pending in the engine heap *)
+      in_flight : int;  (** invocations currently inside the node *)
+      free_bytes : int64;
+      idle_ucs : int;
+      cached_snapshots : int;  (** function snapshots cached *)
+      stuck_waiters : int;  (** non-daemon processes parked right now *)
+    }
+      (** One periodic gauge sample from the resource timeline sampler
+          ([Seuss.Timeline], armed by [SEUSS_TIMELINE=1]); the raw
+          material for queue-depth and memory-pressure timelines. *)
 
 val type_name : t -> string
 (** The discriminator stored in the ["type"] JSON field. *)

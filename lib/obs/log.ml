@@ -5,17 +5,28 @@ type t = {
   ring : record Ring.t;
   mutable subscribers : (record -> unit) list;  (* subscription order *)
   mutable emitted : int;
+  mutable on_drop : unit -> unit;
 }
 
 let default_capacity = 16384
 
 let create ?(capacity = default_capacity) ~clock () =
-  { clock; ring = Ring.create ~capacity; subscribers = []; emitted = 0 }
+  {
+    clock;
+    ring = Ring.create ~capacity;
+    subscribers = [];
+    emitted = 0;
+    on_drop = ignore;
+  }
+
+let set_on_drop t f = t.on_drop <- f
 
 let emit t ev =
   let r = { time = t.clock (); ev } in
   t.emitted <- t.emitted + 1;
+  let dropped_before = Ring.dropped t.ring in
   Ring.push t.ring r;
+  if Ring.dropped t.ring > dropped_before then t.on_drop ();
   List.iter (fun f -> f r) t.subscribers
 
 let subscribe t f =

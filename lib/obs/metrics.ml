@@ -54,10 +54,22 @@ let gauge t ?(labels = []) name =
 let set_gauge gauge v = gauge.g <- v
 let gauge_value gauge = gauge.g
 
+(* 30 bins per decade bounds the quantile quantisation at
+   10^(1/30) - 1 ~ 8% — tight enough for p999 columns — while a
+   histogram stays 210 ints. *)
+let hist_bins_per_decade = 30
+
+let fresh_hist () =
+  {
+    h = Stats.Histogram.create ~bins_per_decade:hist_bins_per_decade ();
+    sum = 0.0;
+    mn = infinity;
+    mx = neg_infinity;
+  }
+
 let histogram t ?(labels = []) name =
   register t ~labels name
-    (fun () ->
-      H { h = Stats.Histogram.create (); sum = 0.0; mn = infinity; mx = neg_infinity })
+    (fun () -> H (fresh_hist ()))
     "histogram"
     (function H h -> Some h | _ -> None)
 
@@ -75,25 +87,88 @@ let hist_mean hist =
 
 let hist_quantile hist q =
   if q < 0.0 || q > 1.0 then invalid_arg "Metrics.hist_quantile: q in [0,1]";
-  let n = hist_count hist in
-  if n = 0 then 0.0
-  else begin
-    let rank = int_of_float (Float.round (q *. float_of_int (n - 1))) + 1 in
-    let result = ref hist.mx in
-    (try
-       ignore
-         (Stats.Histogram.fold hist.h ~init:0 ~f:(fun seen ~lo:_ ~hi ~count ->
-              let seen = seen + count in
-              if seen >= rank then begin
-                (* Clamp the bin bound by the observed extrema so tail
-                   quantiles stay inside [min, max]. *)
-                result := Float.min hi hist.mx;
-                raise Exit
-              end;
-              seen))
-     with Exit -> ());
-    Float.max !result hist.mn
-  end
+  if hist_count hist = 0 then 0.0
+  else
+    (* Clamp the bin bound by the observed extrema so tail quantiles
+       stay inside [min, max]. *)
+    Float.max hist.mn (Float.min (Stats.Histogram.quantile hist.h q) hist.mx)
+
+let merge_hist hist ~from =
+  Stats.Histogram.merge hist.h ~from:from.h;
+  hist.sum <- hist.sum +. from.sum;
+  if from.mn < hist.mn then hist.mn <- from.mn;
+  if from.mx > hist.mx then hist.mx <- from.mx
+
+let hist_to_json hist =
+  let counts =
+    List.rev
+      (Stats.Histogram.fold hist.h
+         ~init:(0, [])
+         ~f:(fun (i, acc) ~lo:_ ~hi:_ ~count ->
+           (i + 1, if count = 0 then acc else Json.List [ Json.Int i; Json.Int count ] :: acc))
+       |> snd)
+  in
+  let base =
+    [
+      ("kind", Json.String "histogram");
+      ("lo", Json.Float (Stats.Histogram.lo hist.h));
+      ("bins_per_decade", Json.Int (Stats.Histogram.bins_per_decade hist.h));
+      ("bin_count", Json.Int (Stats.Histogram.bin_count hist.h));
+      ("n", Json.Int (hist_count hist));
+      ("sum", Json.Float hist.sum);
+      ("counts", Json.List counts);
+    ]
+  in
+  (* min/max are infinities when empty — unrepresentable in JSON, so
+     they appear only once a sample exists. *)
+  Json.Obj
+    (if hist_count hist = 0 then base
+     else base @ [ ("min", Json.Float hist.mn); ("max", Json.Float hist.mx) ])
+
+let hist_of_json json =
+  let ( let* ) r f = Result.bind r f in
+  let field name conv =
+    match Option.bind (Json.member name json) conv with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "histogram: missing or bad field %S" name)
+  in
+  let* lo = field "lo" Json.to_float in
+  let* bins_per_decade = field "bins_per_decade" Json.to_int in
+  let* bin_count = field "bin_count" Json.to_int in
+  let* n = field "n" Json.to_int in
+  let* sum = field "sum" Json.to_float in
+  let* entries =
+    match Json.member "counts" json with
+    | Some (Json.List l) ->
+        List.fold_left
+          (fun acc item ->
+            let* acc = acc in
+            match item with
+            | Json.List [ i; c ] -> (
+                match (Json.to_int i, Json.to_int c) with
+                | Some i, Some c -> Ok ((i, c) :: acc)
+                | _ -> Error "histogram: bad counts entry")
+            | _ -> Error "histogram: bad counts entry")
+          (Ok []) l
+        |> Result.map List.rev
+    | _ -> Error "histogram: missing or bad field \"counts\""
+  in
+  let* h =
+    match Stats.Histogram.restore ~lo ~bins_per_decade ~bin_count entries with
+    | h -> Ok h
+    | exception Invalid_argument msg -> Error msg
+  in
+  if Stats.Histogram.count h <> n then Error "histogram: n disagrees with counts"
+  else
+    let mn = Option.bind (Json.member "min" json) Json.to_float in
+    let mx = Option.bind (Json.member "max" json) Json.to_float in
+    Ok
+      {
+        h;
+        sum;
+        mn = Option.value mn ~default:infinity;
+        mx = Option.value mx ~default:neg_infinity;
+      }
 
 let sum_counters t ?(where = []) name =
   Det.fold
@@ -109,7 +184,14 @@ let sum_counters t ?(where = []) name =
 type reading =
   | Counter_v of int
   | Gauge_v of float
-  | Histogram_v of { n : int; mean : float; p50 : float; p99 : float }
+  | Histogram_v of {
+      n : int;
+      mean : float;
+      p50 : float;
+      p90 : float;
+      p99 : float;
+      p999 : float;
+    }
 
 let dump t =
   (* Det.bindings sorts by the (name, labels) key, which is exactly the
@@ -126,7 +208,9 @@ let dump t =
                 n = hist_count h;
                 mean = hist_mean h;
                 p50 = hist_quantile h 0.5;
+                p90 = hist_quantile h 0.9;
                 p99 = hist_quantile h 0.99;
+                p999 = hist_quantile h 0.999;
               }
       in
       (name, labels, reading))
@@ -152,8 +236,9 @@ let render t =
         match reading with
         | Counter_v c -> string_of_int c
         | Gauge_v g -> Printf.sprintf "%.3g" g
-        | Histogram_v { n; mean; p50; p99 } ->
-            Printf.sprintf "n=%d mean=%.3g p50=%.3g p99=%.3g" n mean p50 p99
+        | Histogram_v { n; mean; p50; p90; p99; p999 } ->
+            Printf.sprintf "n=%d mean=%.3g p50=%.3g p90=%.3g p99=%.3g p999=%.3g"
+              n mean p50 p90 p99 p999
       in
       Stats.Tablefmt.add_row table [ name; labels_text; value_text ])
     (dump t);

@@ -8,10 +8,13 @@
     [Seuss.Node.stats] derive their numbers from the registry instead of
     maintaining parallel ints.
 
-    Histograms are log-binned ({!Stats.Histogram}, 10 bins per decade)
+    Histograms are log-binned ({!Stats.Histogram}, 30 bins per decade)
     with running sum/min/max, so memory stays bounded over
     million-invocation runs at the price of quantiles quantised to bin
-    upper bounds (~26% bin width). *)
+    upper bounds (~8% bin width). They merge ({!merge_hist}) and
+    round-trip through {!Json} ({!hist_to_json} / {!hist_of_json}), so
+    per-node distributions can be exported as JSONL and folded into
+    fleet-wide tails offline. *)
 
 type t
 
@@ -45,7 +48,21 @@ val hist_mean : histogram -> float
 
 val hist_quantile : histogram -> float -> float
 (** [hist_quantile h q] for [q] in [0,1]: the upper bound of the bin
-    holding the q-th sample (0. when empty). *)
+    holding the q-th sample, clamped into the observed [min, max]
+    (0. when empty). Relative error is bounded by one bin width
+    (~8% at 30 bins/decade). *)
+
+val merge_hist : histogram -> from:histogram -> unit
+(** Fold [from]'s samples (counts, sum, extrema) into the first
+    histogram. @raise Invalid_argument when bucket layouts differ. *)
+
+val hist_to_json : histogram -> Json.t
+(** Self-describing codec (layout + sparse non-empty bins + sum and
+    extrema); one histogram per line makes a JSONL stream. *)
+
+val hist_of_json : Json.t -> (histogram, string) result
+(** Inverse of {!hist_to_json}. The result is detached from any
+    registry — use it with the [hist_*] reads and {!merge_hist}. *)
 
 val sum_counters : t -> ?where:labels -> string -> int
 (** Sum of every counter named [name] whose labels include all [where]
@@ -55,7 +72,14 @@ val sum_counters : t -> ?where:labels -> string -> int
 type reading =
   | Counter_v of int
   | Gauge_v of float
-  | Histogram_v of { n : int; mean : float; p50 : float; p99 : float }
+  | Histogram_v of {
+      n : int;
+      mean : float;
+      p50 : float;
+      p90 : float;
+      p99 : float;
+      p999 : float;
+    }
 
 val dump : t -> (string * labels * reading) list
 (** All instruments, sorted by (name, labels) for deterministic output. *)

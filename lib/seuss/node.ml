@@ -32,9 +32,24 @@ type phases = {
   mutable p_run : float;
 }
 
+(* One sampled invocation's captured trace (SEUSS_TRACE_SAMPLE). *)
+type capture = {
+  c_fn : string;
+  c_path : path;
+  c_t0 : float;
+  c_spans : Sim.Trace.span list;
+}
+
 type t = {
   node_env : Osenv.t;
   cfg : Config.t;
+  (* Trace sampling: capture every [n]-th invocation's span tree when
+     [trace_every = Some n]. Pure counter arithmetic — no PRNG draws —
+     so an unarmed node is byte-identical to one predating the hook. *)
+  trace_every : int option;
+  mutable invoke_seen : int;
+  captured : capture Queue.t;  (* bounded to [capture_limit], oldest out *)
+  mutable in_flight : int;
   mutable bases : (Unikernel.Image.runtime * Snapshot.t) list;
   fn_snapshots : (string, Snapshot.t) Hashtbl.t;
   (* Insertion order of function snapshots, for bounded-cache eviction. *)
@@ -66,12 +81,46 @@ let obs_path = function
   | Warm -> Obs.Event.Warm
   | Hot -> Obs.Event.Hot
 
-let create ?(config = Config.default) node_env =
+let capture_limit = 32
+
+let trace_sample_env_var = "SEUSS_TRACE_SAMPLE"
+
+(* Accepts both spellings of a sampling rate: "1/N" (as documented) and
+   bare "N". Malformed values warn and disarm, like the other hooks. *)
+let trace_sample_of_env () =
+  match Sys.getenv_opt trace_sample_env_var with
+  | None | Some "" -> None  (* "" = unset: callers can't delete env vars *)
+  | Some raw -> (
+      let s = String.trim raw in
+      let num =
+        match String.index_opt s '/' with
+        | Some i when String.sub s 0 i = "1" ->
+            Some (String.sub s (i + 1) (String.length s - i - 1))
+        | Some _ -> None
+        | None -> Some s
+      in
+      match Option.bind num int_of_string_opt with
+      | Some n when n >= 1 -> Some n
+      | _ ->
+          Printf.eprintf "warning: ignoring malformed %s=%S\n%!"
+            trace_sample_env_var raw;
+          None)
+
+let create ?(config = Config.default) ?trace_sample node_env =
   let m = node_env.Osenv.metrics in
   let errors p = Obs.Metrics.counter m ~labels:[ ("path", p) ] "node_errors_total" in
+  let trace_every =
+    match trace_sample with
+    | Some _ -> trace_sample
+    | None -> trace_sample_of_env ()
+  in
   {
     node_env;
     cfg = config;
+    trace_every;
+    invoke_seen = 0;
+    captured = Queue.create ();
+    in_flight = 0;
     bases = [];
     fn_snapshots = Hashtbl.create 1024;
     snap_order = Queue.create ();
@@ -563,22 +612,43 @@ let hot_invoke t ph uc fn ~args =
 
 let invoke t fn ~args =
   let t0 = now t in
+  (* Sampled trace capture: every n-th invocation records its own
+     span tree (the context is process-local, so concurrent unsampled
+     invocations are untouched). *)
+  t.invoke_seen <- t.invoke_seen + 1;
+  let tracing =
+    match t.trace_every with
+    | Some n when t.invoke_seen mod n = 0 ->
+        Some (Sim.Trace.start_ctx t.node_env.Osenv.engine)
+    | _ -> None
+  in
+  t.in_flight <- t.in_flight + 1;
   Osenv.emit t.node_env (Obs.Event.Invoke_start { fn_id = fn.fn_id });
   let ph = { p_deploy = 0.0; p_import = 0.0; p_run = 0.0 } in
   let result, path =
-    match pop_idle t fn.fn_id with
-    | Some uc ->
-        count_invocation t Hot fn.runtime;
-        (hot_invoke t ph uc fn ~args, Hot)
-    | None -> (
-        match function_snapshot t fn.fn_id with
-        | Some snap ->
-            count_invocation t Warm fn.runtime;
-            (warm_invoke t ph fn snap ~args, Warm)
-        | None ->
-            count_invocation t Cold fn.runtime;
-            (cold_invoke t ph fn ~args, Cold))
+    Sim.Trace.span ("node.invoke " ^ fn.fn_id) (fun () ->
+        match pop_idle t fn.fn_id with
+        | Some uc ->
+            count_invocation t Hot fn.runtime;
+            (hot_invoke t ph uc fn ~args, Hot)
+        | None -> (
+            match function_snapshot t fn.fn_id with
+            | Some snap ->
+                count_invocation t Warm fn.runtime;
+                (warm_invoke t ph fn snap ~args, Warm)
+            | None ->
+                count_invocation t Cold fn.runtime;
+                (cold_invoke t ph fn ~args, Cold)))
   in
+  t.in_flight <- t.in_flight - 1;
+  (match tracing with
+  | None -> ()
+  | Some tr ->
+      let spans = Sim.Trace.stop_ctx tr in
+      if Queue.length t.captured >= capture_limit then
+        ignore (Queue.pop t.captured);
+      Queue.push { c_fn = fn.fn_id; c_path = path; c_t0 = t0; c_spans = spans }
+        t.captured);
   let total = now t -. t0 in
   let service = ph.p_deploy +. ph.p_import +. ph.p_run in
   Osenv.emit t.node_env
@@ -602,6 +672,11 @@ let invoke t fn ~args =
   (result, path)
 
 let last_served_uc t = t.last_uc
+let in_flight t = t.in_flight
+let trace_sampling t = t.trace_every
+
+let captured_traces t =
+  List.rev (Queue.fold (fun acc c -> c :: acc) [] t.captured)
 
 (* Orderly teardown, for leak audits: destroy every idle UC, then delete
    function snapshots (their dependents are now zero), then bases. After

@@ -54,7 +54,15 @@ type stats = {
   snapshots_captured : int;
 }
 
-val create : ?config:Config.t -> Osenv.t -> t
+val create : ?config:Config.t -> ?trace_sample:int -> Osenv.t -> t
+(** [trace_sample] arms per-invocation trace capture: every [n]-th
+    invocation runs under its own [Sim.Trace] context and the resulting
+    span tree is retained (bounded, newest kept) for
+    {!captured_traces}. When absent, {!trace_sample_env_var}
+    ([SEUSS_TRACE_SAMPLE], spelled ["1/N"] or ["N"]) supplies it.
+    Sampling draws nothing from the PRNG (a modulo counter), so an
+    unarmed node's outputs are byte-identical to a build without the
+    hook. *)
 
 val config : t -> Config.t
 
@@ -101,10 +109,39 @@ val free_bytes : t -> int64
 
 val stats : t -> stats
 
+val in_flight : t -> int
+(** Invocations currently inside {!invoke} — the sampler's in-flight
+    gauge. *)
+
 val last_served_uc : t -> Uc.t option
 (** The UC that served the most recent invocation — instrumentation for
     the Table 1 memory-footprint microbenchmark (pages copied per
     invocation type). *)
+
+(** {1 Sampled trace capture} *)
+
+val trace_sample_env_var : string
+(** ["SEUSS_TRACE_SAMPLE"]. *)
+
+val trace_sample_of_env : unit -> int option
+(** Parse {!trace_sample_env_var}: ["1/N"] or ["N"] gives [Some n]
+    (capture every n-th invocation); unset, empty or malformed (with a
+    warning) gives [None]. *)
+
+val trace_sampling : t -> int option
+(** The sampling interval this node was created with, if armed. *)
+
+type capture = {
+  c_fn : string;  (** fn_id of the sampled invocation *)
+  c_path : path;
+  c_t0 : float;  (** simulated start time *)
+  c_spans : Sim.Trace.span list;
+}
+
+val captured_traces : t -> capture list
+(** Span trees of the sampled invocations, oldest first (at most the
+    newest 32 are retained). Render with [Sim.Trace.render] or export
+    with {!Traceout.chrome}. *)
 
 val drop_idle : t -> fn_id:string -> unit
 (** Evict the idle UCs of one function (used by experiments to force

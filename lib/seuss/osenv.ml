@@ -50,6 +50,12 @@ let create ?budget_bytes ?(cores = 16) ?log_capacity engine =
                waiting_since = s.waiting_since;
                in_cycle = s.in_cycle;
              }));
+  let metrics = Obs.Metrics.create () in
+  (* Ring eviction is a visible metric, not silent truncation: every
+     record the bounded ring drops bumps this counter, which tools like
+     [seussctl events] check before presenting the ring as history. *)
+  let dropped_events = Obs.Metrics.counter metrics "obs_events_dropped_total" in
+  Obs.Log.set_on_drop log (fun () -> Obs.Metrics.inc dropped_events);
   {
     engine;
     frames = Mem.Frame.create ?budget_bytes ();
@@ -61,7 +67,7 @@ let create ?budget_bytes ?(cores = 16) ?log_capacity engine =
     hosts = Hashtbl.create 8;
     hosts_cell = Sim.Hb.cell ~name:"osenv.hosts";
     log;
-    metrics = Obs.Metrics.create ();
+    metrics;
   }
 
 let emit t ev = Obs.Log.emit t.log ev

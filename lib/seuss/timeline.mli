@@ -1,0 +1,51 @@
+(** The resource timeline sampler: a periodic engine-driven daemon that
+    snapshots node gauges into the event log as
+    [Obs.Event.Timeline_sample] records.
+
+    Off by default; armed per run with [SEUSS_TIMELINE=1]
+    ({!maybe_start_from_env}, applied to every harness-built node) or
+    explicitly with {!start}. The sampler is a [daemon] process that
+    emits one sample per period and {e terminates itself} when the
+    engine's pending-event count reaches zero — so it never prevents
+    natural quiescence, schedules nothing beyond its own wakeups, and
+    draws nothing from the PRNG. Sampling an armed run therefore leaves
+    every experiment output byte-identical to a plain run except for
+    the extra [timeline_sample] records in the event log. *)
+
+val env_var : string
+(** ["SEUSS_TIMELINE"]. *)
+
+val of_env : unit -> bool
+(** Whether {!env_var} is set to a recognised "on" value (malformed
+    values warn and read as off). *)
+
+val default_period : float
+(** 0.1 simulated seconds. *)
+
+val start : ?period:float -> Node.t -> unit
+(** Spawn the sampler daemon on the node's engine. Call before (or
+    during) the run; the first sample lands one period in.
+    @raise Invalid_argument if [period] is not finite and positive. *)
+
+val maybe_start_from_env : ?period:float -> Node.t -> unit
+(** {!start} if {!of_env}, else nothing. *)
+
+(** {1 Reading timelines back} *)
+
+type sample = {
+  time : float;
+  run_queue : int;
+  in_flight : int;
+  free_bytes : int64;
+  idle_ucs : int;
+  cached_snapshots : int;
+  stuck_waiters : int;
+}
+
+val samples_of_records : Obs.Log.record list -> sample list
+(** The [Timeline_sample] records of a log, in emission order. *)
+
+val render : sample list -> string
+(** ASCII rendering via [Stats.Asciiplot]: a load canvas (run queue,
+    in-flight, idle UCs, snapshots) and a free-memory canvas, plus a
+    stuck-waiter summary line. *)

@@ -46,10 +46,20 @@ type t = {
   tie : Prng.t option;
   mutable running : bool;
   mutable executed : int;
+  (* Self-profiling: high-water mark of the event heap. Together with
+     [seq] (every schedule is a heap push) and [executed] (every
+     dispatch is a pop) this is the engine's always-on perf counter set
+     — integer compares only, no allocation, no schedule effect. *)
+  mutable max_heap : int;
   (* The process-local slot of the currently-dispatching event: children
      inherit it at [spawn], and it is saved/restored across Sleep and
      Suspend so a process keeps its value over its whole lifetime. *)
   mutable local : local option;
+  (* Optional fork hook for [local], mirroring [san_fork]: when
+     installed, a spawned child's initial slot is [fork parent_slot]
+     instead of the shared value — this is how trace contexts give each
+     process its own span stack while recording the spawn parent link. *)
+  mutable local_fork : (local option -> local option) option;
   (* Second process-local slot, reserved for the happens-before
      sanitizer ([Hb]): kept separate from [local] so arming the
      sanitizer never competes with trace contexts for the one slot.
@@ -137,7 +147,9 @@ let create ?(seed = 1L) ?tie_seed ?deadlock () =
     tie = Option.map Prng.create tie_seed;
     running = false;
     executed = 0;
+    max_heap = 0;
     local = None;
+    local_fork = None;
     san_local = None;
     san_fork = None;
     san_state = None;
@@ -159,6 +171,13 @@ let rng t = t.prng
 let events_executed t = t.executed
 let tie_shuffling t = Option.is_some t.tie
 
+let pending t = Heap.length t.events
+
+type perf = { dispatched : int; scheduled : int; max_heap : int }
+
+let perf t =
+  { dispatched = t.executed; scheduled = t.seq; max_heap = t.max_heap }
+
 let schedule t ~delay thunk =
   if not (Float.is_finite delay) || delay < 0.0 then
     invalid_arg "Engine.schedule: delay must be finite and non-negative";
@@ -166,7 +185,9 @@ let schedule t ~delay thunk =
   let pri =
     match t.tie with None -> 0 | Some p -> Prng.int p 0x4000_0000
   in
-  Heap.push t.events { time = t.clock +. delay; seq = t.seq; pri; thunk }
+  Heap.push t.events { time = t.clock +. delay; seq = t.seq; pri; thunk };
+  let depth = Heap.length t.events in
+  if depth > t.max_heap then t.max_heap <- depth
 
 (* The engine currently dispatching an event; the simulator is
    single-threaded so a global is unambiguous. *)
@@ -181,6 +202,7 @@ let self_opt () = !current
 
 let get_local t = t.local
 let set_local t v = t.local <- v
+let set_local_fork t f = t.local_fork <- f
 
 let get_san_local t = t.san_local
 let set_san_local t v = t.san_local <- v
@@ -355,11 +377,16 @@ let exec ?supervise ?(daemon = false) t name f =
 let child_san t =
   match t.san_fork with None -> t.san_local | Some fork -> fork t.san_local
 
+(* Same shape for the primary slot: forked when a hook is installed
+   (trace contexts), shared verbatim otherwise. *)
+let child_local t =
+  match t.local_fork with None -> t.local | Some fork -> fork t.local
+
 let spawn t ?(name = "process") ?(daemon = false) f =
   (* Children inherit the spawner's local slot (e.g. its trace
      context), so work fanned out by an invocation records into the
      invocation's own trace. *)
-  let inherited = t.local in
+  let inherited = child_local t in
   let inherited_san = child_san t in
   schedule t ~delay:0.0 (fun () ->
       t.local <- inherited;
@@ -368,7 +395,7 @@ let spawn t ?(name = "process") ?(daemon = false) f =
 
 let spawn_supervised t ?(name = "process") ?(daemon = false)
     ?(on_crash = fun _ _ -> ()) f =
-  let inherited = t.local in
+  let inherited = child_local t in
   let inherited_san = child_san t in
   schedule t ~delay:0.0 (fun () ->
       t.local <- inherited;

@@ -91,6 +91,26 @@ val run : ?until:float -> t -> unit
 val events_executed : t -> int
 (** Total events fired so far, for tests and sanity checks. *)
 
+val pending : t -> int
+(** Events currently queued in the heap. Inside a running process this
+    counts everyone else's scheduled work — a periodic daemon can use
+    [pending t = 0] as its termination signal: nothing else will ever
+    run, so sleeping again would only stretch the simulation. *)
+
+(** {1 Engine self-profiling}
+
+    Always-on counters, maintained with integer compares only: no
+    allocation, no PRNG draws, no schedule effect. They feed the
+    committed [BENCH_engine.json] baseline. *)
+
+type perf = {
+  dispatched : int;  (** events fired (heap pops) — {!events_executed} *)
+  scheduled : int;  (** events ever queued (heap pushes) *)
+  max_heap : int;  (** event-heap high-water mark *)
+}
+
+val perf : t -> perf
+
 exception Process_failure of string * exn
 (** Raised by {!run} when a spawned process raises: carries the process
     name and the original exception. *)
@@ -125,6 +145,14 @@ val get_local : t -> local option
 val set_local : t -> local option -> unit
 (** Overwrite the current process's slot (takes effect for the rest of
     this process's lifetime, including after suspensions). *)
+
+val set_local_fork : t -> (local option -> local option) option -> unit
+(** Install a fork hook for the primary slot, mirroring
+    {!set_san_fork}: when present, a spawned child's initial slot is
+    [fork parent_slot], computed at [spawn] time. {!Trace} uses this to
+    give every process its own span stack while capturing the parent
+    span open at the spawn — the cross-process causal link. [None]
+    (default) shares the parent's value verbatim. *)
 
 (** {1 Sanitizer process slot}
 

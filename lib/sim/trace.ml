@@ -1,18 +1,38 @@
-type span = { name : string; depth : int; t_start : float; t_end : float }
+type span = {
+  id : int;
+  parent : int option;
+  pid : int;
+  name : string;
+  depth : int;
+  t_start : float;
+  t_end : float;
+}
 
 type t = {
   engine : Engine.t;
   mutable rev_spans : span list;
-  mutable depth : int;
+  mutable next_id : int;
   mutable active : bool;
 }
 
+(* Per-process view of one trace: the shared span sink plus this
+   process's own open-span stack. The parent link and depth a process
+   starts from are captured at spawn time (see [fork]), which is what
+   makes cross-process spans causally connected. *)
+type ctx = {
+  tr : t;
+  mutable stack : int list;  (* open span ids, innermost first *)
+  inherit_parent : int option;
+  inherit_depth : int;
+}
+
 (* Embed the context in the engine's universal process-local slot. *)
-exception Ctx of t
+exception Ctx of ctx
 
 (* Legacy engine-global trace: records from every process that carries
-   no local context. *)
-let ambient : t option ref = ref None
+   no local context. Its single shared stack is only meaningful when one
+   logical operation runs at a time. *)
+let ambient : ctx option ref = ref None
 
 let current () =
   let local =
@@ -20,24 +40,53 @@ let current () =
     | None -> None
     | Some engine -> (
         match Engine.get_local engine with
-        | Some (Ctx t) when t.active -> Some t
+        | Some (Ctx c) when c.tr.active -> Some c
         | _ -> None)
   in
   match local with
   | Some _ -> local
-  | None -> ( match !ambient with Some t when t.active -> Some t | _ -> None)
+  | None -> ( match !ambient with Some c when c.tr.active -> Some c | _ -> None)
+
+let parent_of c =
+  match c.stack with s :: _ -> Some s | [] -> c.inherit_parent
+
+let depth_of c = c.inherit_depth + List.length c.stack
+
+(* The spawn hook: a child gets a fresh stack over the same sink, with
+   the spawner's innermost open span as its inherited parent. Installed
+   engine-wide by [start_ctx]; the identity on non-trace slot values. *)
+let fork slot =
+  match slot with
+  | Some (Ctx c) when c.tr.active ->
+      Some
+        (Ctx
+           {
+             tr = c.tr;
+             stack = [];
+             inherit_parent = parent_of c;
+             inherit_depth = depth_of c;
+           })
+  | other -> other
+
+let make_trace engine =
+  { engine; rev_spans = []; next_id = 0; active = true }
 
 let start_ctx engine =
-  let t = { engine; rev_spans = []; depth = 0; active = true } in
-  Engine.set_local engine (Some (Ctx t));
-  t
+  let tr = make_trace engine in
+  Engine.set_local_fork engine (Some fork);
+  Engine.set_local engine
+    (Some (Ctx { tr; stack = []; inherit_parent = None; inherit_depth = 0 }));
+  tr
 
 let sorted_spans t =
-  (* Spans are recorded at exit; present them in start order. *)
+  (* Spans are recorded at exit; present them in start order. Ids are
+     allocated at entry, so they break same-instant same-depth ties
+     deterministically. *)
   List.sort
     (fun a b ->
       match compare a.t_start b.t_start with
-      | 0 -> compare a.depth b.depth
+      | 0 -> (
+          match compare a.depth b.depth with 0 -> compare a.id b.id | c -> c)
       | c -> c)
     (List.rev t.rev_spans)
 
@@ -47,49 +96,76 @@ let stop_ctx t =
   | Some engine -> (
       match Engine.get_local engine with
       (* seusslint: allow physical-eq — only this exact context may uninstall itself *)
-      | Some (Ctx u) when u == t -> Engine.set_local engine None
+      | Some (Ctx c) when c.tr == t -> Engine.set_local engine None
       | _ -> ())
   | None -> ());
   sorted_spans t
 
 let start engine =
   if Option.is_some !ambient then invalid_arg "Trace.start: already tracing";
-  let t = { engine; rev_spans = []; depth = 0; active = true } in
-  ambient := Some t;
-  t
+  let tr = make_trace engine in
+  ambient := Some { tr; stack = []; inherit_parent = None; inherit_depth = 0 };
+  tr
 
 let stop t =
   t.active <- false;
   ambient := None;
   sorted_spans t
 
-let record t name depth t_start =
-  let t_end = Engine.now t.engine in
-  t.rev_spans <- { name; depth; t_start; t_end } :: t.rev_spans
+let fresh_id tr =
+  tr.next_id <- tr.next_id + 1;
+  tr.next_id
+
+let record tr ~id ~parent ~pid ~name ~depth ~t_start =
+  let t_end = Engine.now tr.engine in
+  tr.rev_spans <- { id; parent; pid; name; depth; t_start; t_end } :: tr.rev_spans
 
 let span name f =
   match current () with
   | None -> f ()
-  | Some t -> (
-      let t_start = Engine.now t.engine in
-      let depth = t.depth in
-      t.depth <- depth + 1;
+  | Some c -> (
+      let tr = c.tr in
+      let id = fresh_id tr in
+      let parent = parent_of c in
+      let depth = depth_of c in
+      let pid = Engine.current_pid tr.engine in
+      let t_start = Engine.now tr.engine in
+      c.stack <- id :: c.stack;
+      (* Remove wherever it sits, not just at the head: under the shared
+         ambient context another process may have opened a span above
+         ours, and a head-only pop would leak ours open forever. *)
+      let close () = c.stack <- List.filter (fun s -> s <> id) c.stack in
       match f () with
       | v ->
-          t.depth <- depth;
-          record t name depth t_start;
+          close ();
+          record tr ~id ~parent ~pid ~name ~depth ~t_start;
           v
       | exception exn ->
-          t.depth <- depth;
-          record t (name ^ " [failed]") depth t_start;
+          (* Exception safety: close the span (so siblings recorded
+             after the handler see the right parent/depth) and record it
+             flagged, then re-raise. *)
+          close ();
+          record tr ~id ~parent ~pid ~name:(name ^ " [failed]") ~depth ~t_start;
           raise exn)
 
 let mark name =
   match current () with
   | None -> ()
-  | Some t ->
-      let now = Engine.now t.engine in
-      t.rev_spans <- { name; depth = t.depth; t_start = now; t_end = now } :: t.rev_spans
+  | Some c ->
+      let tr = c.tr in
+      let id = fresh_id tr in
+      let now = Engine.now tr.engine in
+      tr.rev_spans <-
+        {
+          id;
+          parent = parent_of c;
+          pid = Engine.current_pid tr.engine;
+          name;
+          depth = depth_of c;
+          t_start = now;
+          t_end = now;
+        }
+        :: tr.rev_spans
 
 let render ?(unit_scale = 1e3) ?(unit_name = "ms") spans =
   match spans with

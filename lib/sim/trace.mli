@@ -1,26 +1,40 @@
-(** Lightweight span tracing over simulated time.
+(** Causal span tracing over simulated time.
 
     A diagnostic facility: instrumented code wraps operations in
     {!span}; when no trace is active the wrapper is a no-op.
+
+    Every recorded span carries a stable id, its parent's id and the
+    simulated pid that recorded it, so a trace is an exportable causal
+    tree (see [Obs.Chrome] for the Chrome trace-event encoding), not
+    just a waterfall. Parent links cross process boundaries: a context
+    installs an [Engine] fork hook, so a child spawned under an open
+    span starts with that span as its inherited parent.
 
     Traces come in two flavours:
 
     - {b process-local contexts} ({!start_ctx} / {!stop_ctx}): the
       context rides in the current process's {!Engine} local slot, is
-      preserved across suspensions and inherited by spawned children —
-      so two in-flight invocations each record their own disjoint span
-      tree, concurrently;
+      preserved across suspensions and forked for spawned children —
+      each process gets its own open-span stack over the shared span
+      sink, so two in-flight invocations record disjoint span trees,
+      concurrently;
     - the {b legacy engine-global trace} ({!start} / {!stop}), kept as a
       shim: it records spans from {e every} process that has no local
-      context of its own, which is only meaningful when a single logical
-      operation runs at a time (e.g. [seussctl trace]).
+      context of its own, over one shared stack, which is only
+      meaningful when a single logical operation runs at a time
+      (e.g. [seussctl trace]).
 
     Resolution order inside {!span} / {!mark}: the current process's
     context first, then the global shim, else no-op. *)
 
 type span = {
+  id : int;  (** unique within its trace, allocated at span entry *)
+  parent : int option;
+      (** innermost span open when this one started — in the same
+          process, or in the spawner at spawn time *)
+  pid : int;  (** {!Engine.current_pid} of the recording process *)
   name : string;
-  depth : int;  (** nesting level at entry *)
+  depth : int;  (** nesting level at entry (spawn depth included) *)
   t_start : float;
   t_end : float;
 }
@@ -32,7 +46,8 @@ type t
 val start_ctx : Engine.t -> t
 (** Create a context and install it as the current process's trace
     (replacing any inherited one). Call from inside a process; children
-    spawned afterwards inherit it. *)
+    spawned afterwards get forked contexts parented to the span open at
+    the spawn. *)
 
 val stop_ctx : t -> span list
 (** Deactivate and return the spans in start order. Uninstalls the
@@ -51,8 +66,10 @@ val stop : t -> span list
 (** {1 Recording (either flavour)} *)
 
 val span : string -> (unit -> 'a) -> 'a
-(** Record [f]'s simulated time window under [name] (including on
-    exception, suffixed [" [failed]"]). No-op without an active trace. *)
+(** Record [f]'s simulated time window under [name]. On exception the
+    span is still closed — recorded with a [" [failed]"] suffix and its
+    id popped, so later siblings keep correct parents — and the
+    exception re-raised. No-op without an active trace. *)
 
 val mark : string -> unit
 (** A zero-width span. *)

@@ -13,6 +13,9 @@ let create ?(lo = 1e-4) ?(hi = 1e3) ?(bins_per_decade = 10) () =
 
 let bin_count t = Array.length t.counts
 
+let lo t = t.lo
+let bins_per_decade t = t.bins_per_decade
+
 let index_of t x =
   if x <= t.lo then 0
   else
@@ -35,6 +38,50 @@ let bin_bounds t i =
 let bin_value t i =
   if i < 0 || i >= bin_count t then invalid_arg "Histogram.bin_value";
   t.counts.(i)
+
+let same_layout a b =
+  a.lo = b.lo && a.bins_per_decade = b.bins_per_decade
+  && bin_count a = bin_count b
+
+let merge t ~from =
+  if not (same_layout t from) then
+    invalid_arg "Histogram.merge: layout mismatch";
+  for i = 0 to bin_count t - 1 do
+    t.counts.(i) <- t.counts.(i) + from.counts.(i)
+  done;
+  t.total <- t.total + from.total
+
+let restore ~lo ~bins_per_decade ~bin_count:n counts =
+  if lo <= 0.0 || bins_per_decade <= 0 || n <= 0 then
+    invalid_arg "Histogram.restore: bad layout";
+  let t = { lo; bins_per_decade; counts = Array.make n 0; total = 0 } in
+  List.iter
+    (fun (i, c) ->
+      if i < 0 || i >= n || c < 0 then
+        invalid_arg "Histogram.restore: bad bin entry";
+      t.counts.(i) <- t.counts.(i) + c;
+      t.total <- t.total + c)
+    counts;
+  t
+
+let quantile t q =
+  if q < 0.0 || q > 1.0 then invalid_arg "Histogram.quantile: q in [0,1]";
+  if t.total = 0 then 0.0
+  else begin
+    let rank = int_of_float (Float.round (q *. float_of_int (t.total - 1))) + 1 in
+    let result = ref (snd (bin_bounds t (bin_count t - 1))) in
+    (try
+       let seen = ref 0 in
+       for i = 0 to bin_count t - 1 do
+         seen := !seen + t.counts.(i);
+         if !seen >= rank then begin
+           result := snd (bin_bounds t i);
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    !result
+  end
 
 let fold t ~init ~f =
   let acc = ref init in

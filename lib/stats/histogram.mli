@@ -2,7 +2,11 @@
 
     Latencies in the burst experiments span four orders of magnitude
     (sub-ms hot starts to 60 s container cold starts); a logarithmic
-    histogram summarises them compactly without retaining every sample. *)
+    histogram summarises them compactly without retaining every sample.
+
+    Two histograms with the same layout ([lo], [bins_per_decade],
+    [bin_count]) are mergeable, so per-node distributions can be folded
+    into cluster-wide ones without resampling. *)
 
 type t
 
@@ -16,11 +20,30 @@ val count : t -> int
 
 val bin_count : t -> int
 
+val lo : t -> float
+(** Lower bound of the first bin (the layout's [lo]). *)
+
+val bins_per_decade : t -> int
+
 val bin_bounds : t -> int -> float * float
 (** Lower/upper bound of a bin index. *)
 
 val bin_value : t -> int -> int
 (** Number of samples in a bin. *)
+
+val merge : t -> from:t -> unit
+(** Add every count of [from] into the first histogram.
+    @raise Invalid_argument when the layouts differ. *)
+
+val restore : lo:float -> bins_per_decade:int -> bin_count:int -> (int * int) list -> t
+(** Rebuild a histogram from a sparse [(bin index, count)] list — the
+    inverse of enumerating non-empty bins, used by the JSON codec.
+    @raise Invalid_argument on a bad layout or out-of-range entry. *)
+
+val quantile : t -> float -> float
+(** [quantile t q] for [q] in [0,1]: the upper bound of the bin holding
+    the q-th sample ([0.] when empty). The relative error is bounded by
+    one bin width, [10^(1/bins_per_decade) - 1]. *)
 
 val fold : t -> init:'a -> f:('a -> lo:float -> hi:float -> count:int -> 'a) -> 'a
 

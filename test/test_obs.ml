@@ -83,6 +83,15 @@ let test_event_roundtrip_all_variants () =
         };
       Obs.Event.San_race
         { cell = "registry.table"; kind = "write/write"; first_pid = 1; second_pid = 4 };
+      Obs.Event.Timeline_sample
+        {
+          run_queue = 12;
+          in_flight = 3;
+          free_bytes = 87912349696L;
+          idle_ucs = 5;
+          cached_snapshots = 17;
+          stuck_waiters = 0;
+        };
     ]
   in
   List.iter
@@ -224,6 +233,154 @@ let test_metrics_histogram () =
   let p99 = Obs.Metrics.hist_quantile h 0.99 in
   Alcotest.(check bool) "p99 near max" true (p99 > 0.08 && p99 <= 0.1)
 
+(* Property: bucketed quantiles track exact order statistics within the
+   log-bin quantisation bound. With 30 bins/decade a bin spans a factor
+   of 10^(1/30) ~ 1.0798, and [hist_quantile] answers the upper bound of
+   the bin holding the rank-th smallest sample (clamped into the
+   observed [min, max]), so for every q:
+   exact <= approx <= exact * 1.08. *)
+let hist_quantiles_track_exact =
+  QCheck.Test.make ~name:"bucketed p50/p99/p999 within 8% of exact"
+    ~count:200
+    (* Millis in [1, 100_000] mapped to seconds in [1e-3, 1e2]: safely
+       inside the histogram's default [1e-4, 1e3] range, so no
+       saturation bin distorts the bound. *)
+    QCheck.(list_of_size Gen.(int_range 1 400) (int_range 1 100_000))
+    (fun millis ->
+      let xs = List.map (fun m -> float_of_int m /. 1000.0) millis in
+      let m = Obs.Metrics.create () in
+      let h = Obs.Metrics.histogram m "q" in
+      List.iter (Obs.Metrics.observe h) xs;
+      let sorted = Array.of_list (List.sort compare xs) in
+      let n = Array.length sorted in
+      List.for_all
+        (fun q ->
+          let exact =
+            sorted.(int_of_float (Float.round (q *. float_of_int (n - 1))))
+          in
+          let approx = Obs.Metrics.hist_quantile h q in
+          approx >= exact -. 1e-12 && approx <= (exact *. 1.08) +. 1e-12)
+        [ 0.5; 0.9; 0.99; 0.999 ])
+
+let test_metrics_hist_json_roundtrip () =
+  let m = Obs.Metrics.create () in
+  let h = Obs.Metrics.histogram m "lat" in
+  List.iter (Obs.Metrics.observe h) [ 0.0012; 0.0012; 0.034; 0.5; 2.25; 0.08 ];
+  let s = Obs.Json.to_string (Obs.Metrics.hist_to_json h) in
+  let h' =
+    match Obs.Json.of_string s with
+    | Error e -> Alcotest.failf "reparse failed: %s" e
+    | Ok j -> (
+        match Obs.Metrics.hist_of_json j with
+        | Error e -> Alcotest.failf "decode failed: %s" e
+        | Ok h' -> h')
+  in
+  Alcotest.(check int) "count survives" (Obs.Metrics.hist_count h)
+    (Obs.Metrics.hist_count h');
+  Alcotest.(check (float 1e-12)) "mean survives" (Obs.Metrics.hist_mean h)
+    (Obs.Metrics.hist_mean h');
+  List.iter
+    (fun q ->
+      Alcotest.(check (float 1e-12))
+        (Printf.sprintf "q%.3f survives" q)
+        (Obs.Metrics.hist_quantile h q)
+        (Obs.Metrics.hist_quantile h' q))
+    [ 0.0; 0.5; 0.9; 0.99; 0.999; 1.0 ];
+  Alcotest.(check string) "re-encoding is stable" s
+    (Obs.Json.to_string (Obs.Metrics.hist_to_json h'))
+
+let test_metrics_hist_merge () =
+  let m = Obs.Metrics.create () in
+  let a = Obs.Metrics.histogram m "a" and b = Obs.Metrics.histogram m "b" in
+  let merged = Obs.Metrics.histogram m "merged" in
+  let xs = [ 0.001; 0.002; 0.04 ] and ys = [ 0.3; 0.9; 7.5; 0.0015 ] in
+  List.iter (Obs.Metrics.observe a) xs;
+  List.iter (Obs.Metrics.observe b) ys;
+  List.iter (Obs.Metrics.observe merged) (xs @ ys);
+  Obs.Metrics.merge_hist a ~from:b;
+  Alcotest.(check int) "merged count" (Obs.Metrics.hist_count merged)
+    (Obs.Metrics.hist_count a);
+  Alcotest.(check (float 1e-12)) "merged mean" (Obs.Metrics.hist_mean merged)
+    (Obs.Metrics.hist_mean a);
+  List.iter
+    (fun q ->
+      Alcotest.(check (float 1e-12))
+        (Printf.sprintf "merged q%.3f" q)
+        (Obs.Metrics.hist_quantile merged q)
+        (Obs.Metrics.hist_quantile a q))
+    [ 0.5; 0.99; 0.999 ]
+
+(* {1 Chrome trace-event encoding} *)
+
+let test_chrome_document_structure () =
+  let events =
+    [
+      Obs.Chrome.Process_name { pid = 0; name = "cold" };
+      Obs.Chrome.Thread_name { pid = 0; tid = 1; name = "sim pid 1" };
+      Obs.Chrome.Complete
+        {
+          name = "node.invoke";
+          cat = "sim";
+          ts_us = 1500.0;
+          dur_us = 7300.5;
+          pid = 0;
+          tid = 1;
+          args = [ ("span_id", Obs.Json.Int 1) ];
+        };
+      Obs.Chrome.Instant
+        {
+          name = "node.path cold";
+          cat = "sim";
+          ts_us = 1500.0;
+          pid = 0;
+          tid = 1;
+          args = [ ("span_id", Obs.Json.Int 2); ("parent_id", Obs.Json.Int 1) ];
+        };
+    ]
+  in
+  let doc =
+    match Obs.Json.of_string (Obs.Chrome.to_string events) with
+    | Error e -> Alcotest.failf "chrome output does not parse: %s" e
+    | Ok j -> j
+  in
+  let field name = function
+    | Obs.Json.Obj kvs -> List.assoc_opt name kvs
+    | _ -> None
+  in
+  let rows =
+    match field "traceEvents" doc with
+    | Some (Obs.Json.List rows) -> rows
+    | _ -> Alcotest.fail "no traceEvents array"
+  in
+  Alcotest.(check int) "one row per event" (List.length events)
+    (List.length rows);
+  (match field "displayTimeUnit" doc with
+  | Some (Obs.Json.String "ms") -> ()
+  | _ -> Alcotest.fail "displayTimeUnit missing");
+  let phases =
+    List.map
+      (fun row ->
+        (* Every event carries the required keys. *)
+        (match field "name" row with
+        | Some (Obs.Json.String _) -> ()
+        | _ -> Alcotest.fail "name missing");
+        (match field "ts" row with
+        | Some (Obs.Json.Float _) | Some (Obs.Json.Int _) -> ()
+        | _ -> Alcotest.fail "ts missing");
+        (match field "pid" row with
+        | Some (Obs.Json.Int 0) -> ()
+        | _ -> Alcotest.fail "pid missing");
+        match field "ph" row with
+        | Some (Obs.Json.String ph) -> ph
+        | _ -> Alcotest.fail "ph missing")
+      rows
+  in
+  Alcotest.(check (list string)) "phases" [ "M"; "M"; "X"; "i" ] phases;
+  (* The complete event keeps its duration. *)
+  match List.nth rows 2 |> field "dur" with
+  | Some (Obs.Json.Float d) -> Alcotest.(check (float 1e-9)) "dur" 7300.5 d
+  | _ -> Alcotest.fail "complete event lost dur"
+
 let test_metrics_dump_and_render () =
   let m = Obs.Metrics.create () in
   Obs.Metrics.inc (Obs.Metrics.counter m ~labels:[ ("k", "b") ] "c");
@@ -344,7 +501,11 @@ let () =
           case "kind mismatch" test_metrics_kind_mismatch;
           case "histogram" test_metrics_histogram;
           case "dump and render" test_metrics_dump_and_render;
+          case "hist JSON roundtrip" test_metrics_hist_json_roundtrip;
+          case "hist merge" test_metrics_hist_merge;
+          QCheck_alcotest.to_alcotest hist_quantiles_track_exact;
         ] );
+      ("chrome", [ case "document structure" test_chrome_document_structure ]);
       ("breakdown", [ case "aggregates beyond ring" test_breakdown_aggregates_beyond_ring ]);
       ("end_to_end", [ case "node JSONL roundtrip" test_node_event_stream_roundtrips ]);
     ]

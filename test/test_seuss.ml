@@ -754,6 +754,142 @@ let test_prefault_off_is_inert () =
                 | _ -> false)
               (Obs.Log.records env.Seuss.Osenv.log))))
 
+(* {1 seussprof: timeline sampler, sampled trace capture, ring drops} *)
+
+let invoke_k node k =
+  ignore
+    (N.invoke node
+       (fn
+          ~id:(Printf.sprintf "fn-%d" k)
+          (Printf.sprintf "function main(args) { return {fn: %d}; }" k))
+       ~args:"{}")
+
+(* The sampler records gauges while the workload runs, then terminates
+   itself once the engine drains — Sim.Engine.run returning at all is
+   the quiescence half of the assertion. *)
+let test_timeline_sampler_emits_and_quiesces () =
+  let engine = Sim.Engine.create ~seed:11L () in
+  let env = Seuss.Osenv.create ~budget_bytes:(gib 8) engine in
+  let samples = ref [] in
+  Sim.Engine.spawn engine ~name:"experiment" (fun () ->
+      let node = N.create env in
+      N.start node;
+      Seuss.Timeline.start ~period:0.05 node;
+      for k = 0 to 5 do
+        invoke_k node (k mod 2);
+        Sim.Engine.sleep 0.1
+      done;
+      samples :=
+        Seuss.Timeline.samples_of_records (Obs.Log.records env.Seuss.Osenv.log));
+  Sim.Engine.run engine;
+  Alcotest.(check bool) "samples recorded" true (List.length !samples > 2);
+  List.iter
+    (fun (s : Seuss.Timeline.sample) ->
+      Alcotest.(check bool) "free bytes positive" true (s.free_bytes > 0L);
+      Alcotest.(check bool) "gauges non-negative" true
+        (s.run_queue >= 0 && s.in_flight >= 0 && s.idle_ucs >= 0
+       && s.cached_snapshots >= 0 && s.stuck_waiters >= 0))
+    !samples;
+  let times = List.map (fun (s : Seuss.Timeline.sample) -> s.time) !samples in
+  Alcotest.(check bool) "sample times strictly increase" true
+    (List.for_all2 ( < ) times (List.tl times @ [ infinity ]));
+  let rendering = Seuss.Timeline.render !samples in
+  Alcotest.(check bool) "render draws both canvases" true
+    (String.length rendering > 0)
+
+let test_timeline_unarmed_emits_nothing () =
+  let records =
+    with_node (fun env node ->
+        for k = 0 to 5 do
+          invoke_k node k
+        done;
+        Obs.Log.records env.Seuss.Osenv.log)
+  in
+  Alcotest.(check int) "no timeline samples" 0
+    (List.length (Seuss.Timeline.samples_of_records records))
+
+let test_trace_capture_every_nth () =
+  let engine = Sim.Engine.create ~seed:11L () in
+  let env = Seuss.Osenv.create ~budget_bytes:(gib 8) engine in
+  let captured = ref [] and sampling = ref None in
+  Sim.Engine.spawn engine ~name:"experiment" (fun () ->
+      let node = N.create ~trace_sample:2 env in
+      N.start node;
+      sampling := N.trace_sampling node;
+      for k = 1 to 6 do
+        invoke_k node k
+      done;
+      captured := N.captured_traces node);
+  Sim.Engine.run engine;
+  Alcotest.(check (option int)) "armed at 1/2" (Some 2) !sampling;
+  Alcotest.(check int) "every 2nd of 6 invocations captured" 3
+    (List.length !captured);
+  List.iter
+    (fun (c : N.capture) ->
+      Alcotest.(check bool) "capture names its function" true
+        (String.length c.N.c_fn > 0);
+      Alcotest.(check bool) "span tree non-empty" true (c.N.c_spans <> []);
+      (* The root span is the invocation wrapper, parentless. *)
+      match c.N.c_spans with
+      | root :: _ ->
+          Alcotest.(check (option int)) "root has no parent" None
+            root.Sim.Trace.parent
+      | [] -> ())
+    !captured;
+  (* The export path the CLI uses: captures encode to a Chrome document
+     that parses and carries the required fields. *)
+  let labelled =
+    List.map (fun (c : N.capture) -> (c.N.c_fn, c.N.c_spans)) !captured
+  in
+  match Obs.Json.of_string (Seuss.Traceout.chrome_string labelled) with
+  | Error e -> Alcotest.failf "chrome export does not parse: %s" e
+  | Ok (Obs.Json.Obj kvs) -> (
+      match List.assoc_opt "traceEvents" kvs with
+      | Some (Obs.Json.List rows) ->
+          Alcotest.(check bool) "has rows" true (List.length rows > 0);
+          List.iter
+            (fun row ->
+              match row with
+              | Obs.Json.Obj fields ->
+                  List.iter
+                    (fun key ->
+                      if not (List.mem_assoc key fields) then
+                        Alcotest.failf "row lost required field %s" key)
+                    [ "name"; "ph"; "ts"; "pid" ]
+              | _ -> Alcotest.fail "row is not an object")
+            rows
+      | _ -> Alcotest.fail "no traceEvents")
+  | Ok _ -> Alcotest.fail "chrome document is not an object"
+
+let test_unsampled_node_captures_nothing () =
+  with_node (fun _env node ->
+      for k = 1 to 6 do
+        invoke_k node k
+      done;
+      Alcotest.(check (option int)) "not armed" None (N.trace_sampling node);
+      Alcotest.(check int) "nothing captured" 0
+        (List.length (N.captured_traces node)))
+
+(* Ring evictions are first-class: the registry counter tracks exactly
+   what the ring dropped, so dashboards can warn instead of silently
+   reading a truncated log. *)
+let test_ring_drops_surface_in_metrics () =
+  let engine = Sim.Engine.create ~seed:11L () in
+  let env = Seuss.Osenv.create ~budget_bytes:(gib 8) ~log_capacity:4 engine in
+  Sim.Engine.spawn engine ~name:"experiment" (fun () ->
+      let node = N.create env in
+      N.start node;
+      for k = 1 to 8 do
+        invoke_k node k
+      done);
+  Sim.Engine.run engine;
+  let log = env.Seuss.Osenv.log in
+  let dropped = Obs.Log.dropped log in
+  Alcotest.(check bool) "tiny ring overflowed" true (dropped > 0);
+  Alcotest.(check int) "counter mirrors the ring's drop count" dropped
+    (Obs.Metrics.value
+       (Obs.Metrics.counter env.Seuss.Osenv.metrics "obs_events_dropped_total"))
+
 let () =
   let case name f = Alcotest.test_case name `Quick f in
   Alcotest.run "seuss"
@@ -828,5 +964,14 @@ let () =
         [
           case "adds round trip" test_shim_adds_round_trip;
           case "serializes" test_shim_serializes;
+        ] );
+      ( "seussprof",
+        [
+          case "timeline sampler emits and quiesces"
+            test_timeline_sampler_emits_and_quiesces;
+          case "unarmed timeline emits nothing" test_timeline_unarmed_emits_nothing;
+          case "trace capture every nth" test_trace_capture_every_nth;
+          case "unsampled node captures nothing" test_unsampled_node_captures_nothing;
+          case "ring drops surface in metrics" test_ring_drops_surface_in_metrics;
         ] );
     ]

@@ -544,6 +544,86 @@ let test_trace_ctx_inherited_and_shadows_ambient () =
     "ambient untouched by ctx processes" [ "ambient.op" ]
     (names !ambient_spans)
 
+(* Causal identity: every span has a stable id, nested spans point at
+   their enclosing span, siblings share a parent, and roots have none. *)
+let test_trace_span_ids_and_parents () =
+  let engine = Sim.Engine.create () in
+  let spans = ref [] in
+  Sim.Engine.spawn engine (fun () ->
+      let tr = Sim.Trace.start_ctx engine in
+      Sim.Trace.span "root" (fun () ->
+          Sim.Trace.span "a" (fun () -> Sim.Engine.sleep 0.1);
+          Sim.Trace.span "b" (fun () -> Sim.Trace.mark "b.mark"));
+      Sim.Trace.span "root2" (fun () -> ());
+      spans := Sim.Trace.stop_ctx tr);
+  Sim.Engine.run engine;
+  let find name =
+    match List.find_opt (fun s -> s.Sim.Trace.name = name) !spans with
+    | Some s -> s
+    | None -> Alcotest.failf "span %S not recorded" name
+  in
+  let root = find "root" and a = find "a" and b = find "b" in
+  let mark = find "b.mark" and root2 = find "root2" in
+  Alcotest.(check (option int)) "root has no parent" None root.Sim.Trace.parent;
+  Alcotest.(check (option int)) "root2 has no parent" None root2.Sim.Trace.parent;
+  Alcotest.(check (option int)) "a under root" (Some root.Sim.Trace.id)
+    a.Sim.Trace.parent;
+  Alcotest.(check (option int)) "b under root" (Some root.Sim.Trace.id)
+    b.Sim.Trace.parent;
+  Alcotest.(check (option int)) "mark under b" (Some b.Sim.Trace.id)
+    mark.Sim.Trace.parent;
+  let ids = List.map (fun s -> s.Sim.Trace.id) !spans in
+  Alcotest.(check int) "ids unique" (List.length ids)
+    (List.length (List.sort_uniq compare ids))
+
+(* Cross-process causality: a child spawned under an open span starts
+   with that span as its inherited parent, and records its own pid. *)
+let test_trace_parent_links_cross_spawn () =
+  let engine = Sim.Engine.create () in
+  let spans = ref [] in
+  Sim.Engine.spawn engine (fun () ->
+      let tr = Sim.Trace.start_ctx engine in
+      Sim.Trace.span "parent.op" (fun () ->
+          Sim.Engine.spawn engine (fun () ->
+              Sim.Trace.span "child.op" (fun () -> Sim.Engine.sleep 0.2)));
+      Sim.Engine.sleep 1.0;
+      spans := Sim.Trace.stop_ctx tr);
+  Sim.Engine.run engine;
+  let find name =
+    match List.find_opt (fun s -> s.Sim.Trace.name = name) !spans with
+    | Some s -> s
+    | None -> Alcotest.failf "span %S not recorded" name
+  in
+  let parent = find "parent.op" and child = find "child.op" in
+  Alcotest.(check (option int)) "child parented to the spawn-time span"
+    (Some parent.Sim.Trace.id) child.Sim.Trace.parent;
+  Alcotest.(check int) "child nested one deeper"
+    (parent.Sim.Trace.depth + 1) child.Sim.Trace.depth;
+  Alcotest.(check bool) "pids differ across the spawn" true
+    (parent.Sim.Trace.pid <> child.Sim.Trace.pid)
+
+(* Engine self-profiling: the perf counters are always on and track the
+   scheduler's actual work; pending drains to zero at quiescence. *)
+let test_engine_perf_counters () =
+  let engine = Sim.Engine.create () in
+  let mid_pending = ref (-1) in
+  for _ = 1 to 4 do
+    Sim.Engine.spawn engine (fun () ->
+        for _ = 1 to 5 do
+          Sim.Engine.sleep 0.1
+        done;
+        mid_pending := Sim.Engine.pending engine)
+  done;
+  Sim.Engine.run engine;
+  let perf = Sim.Engine.perf engine in
+  (* 4 spawns + 4x5 sleeps = 24 scheduled wakeups, all dispatched. *)
+  Alcotest.(check int) "scheduled" 24 perf.Sim.Engine.scheduled;
+  Alcotest.(check int) "dispatched" 24 perf.Sim.Engine.dispatched;
+  Alcotest.(check bool) "heap high-water sane" true
+    (perf.Sim.Engine.max_heap >= 4 && perf.Sim.Engine.max_heap <= 24);
+  Alcotest.(check bool) "pending observed mid-run" true (!mid_pending >= 0);
+  Alcotest.(check int) "pending drained" 0 (Sim.Engine.pending engine)
+
 let () =
   let case name f = Alcotest.test_case name `Quick f in
   let qcase = QCheck_alcotest.to_alcotest in
@@ -584,7 +664,10 @@ let () =
           case "mark zero width" test_trace_mark_zero_width;
           case "concurrent contexts disjoint" test_trace_concurrent_contexts_disjoint;
           case "ctx inherited, shadows ambient" test_trace_ctx_inherited_and_shadows_ambient;
+          case "span ids and parents" test_trace_span_ids_and_parents;
+          case "parent links cross spawn" test_trace_parent_links_cross_spawn;
         ] );
+      ("perf", [ case "engine counters" test_engine_perf_counters ]);
       ( "ivar",
         [
           case "fill then read" test_ivar_fill_then_read;
