@@ -7,10 +7,11 @@
      sleeps) sized so the event count dwarfs everything else — reports
      events/sec, host allocations per event (Gc word deltas) and the
      engine's own perf counters (dispatched / scheduled / max heap);
-   - experiments: wall time of a trimmed fig4, chaos and reap run, the
-     three figures the observability plane instruments, so a costly
-     regression in the instrumentation shows up here even if the
-     per-event synthetic number stays flat.
+   - experiments: wall time of a trimmed fig4, chaos, reap and load
+     run — the figures the observability plane instruments — so a
+     costly regression in the instrumentation or the open-loop replay
+     path shows up here even if the per-event synthetic number stays
+     flat.
 
    Usage: dune exec bench/engine_bench.exe [-- --out PATH]
    (default PATH: BENCH_engine.json). *)
@@ -78,7 +79,12 @@ let run_experiments () =
   in
   let reap = timed (fun () -> Experiments.Fig_reap.run ~functions:4 ~rounds:5 ())
   in
-  (fig4, chaos, reap)
+  let load =
+    timed (fun () ->
+        Experiments.Fig_load.run ~functions:48 ~hours:0.05 ~rps:[ 2.0; 8.0 ]
+          ~arrival:"bursty" ())
+  in
+  (fig4, chaos, reap, load)
 
 let () =
   let out = ref "BENCH_engine.json" in
@@ -97,9 +103,11 @@ let () =
     "synthetic: %d events in %.3fs — %.0f events/s, %.1f words/event, max \
      heap %d\n"
     s.events s.wall_s s.events_per_sec s.allocs_per_event s.max_heap;
-  let fig4_wall_s, chaos_wall_s, reap_wall_s = run_experiments () in
-  Printf.printf "experiments: fig4 %.3fs, chaos %.3fs, reap %.3fs\n" fig4_wall_s
-    chaos_wall_s reap_wall_s;
+  let fig4_wall_s, chaos_wall_s, reap_wall_s, fig_load_wall_s =
+    run_experiments ()
+  in
+  Printf.printf "experiments: fig4 %.3fs, chaos %.3fs, reap %.3fs, load %.3fs\n"
+    fig4_wall_s chaos_wall_s reap_wall_s fig_load_wall_s;
   let doc =
     Obs.Json.Obj
       [
@@ -120,6 +128,7 @@ let () =
               ("fig4_wall_s", Obs.Json.Float fig4_wall_s);
               ("chaos_wall_s", Obs.Json.Float chaos_wall_s);
               ("reap_wall_s", Obs.Json.Float reap_wall_s);
+              ("fig_load_wall_s", Obs.Json.Float fig_load_wall_s);
             ] );
       ]
   in

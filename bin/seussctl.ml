@@ -8,6 +8,16 @@ let seed_arg =
   let doc = "PRNG seed (experiments are deterministic per seed)." in
   Arg.(value & opt int64 7L & info [ "seed" ] ~docv:"SEED" ~doc)
 
+(* Experiment subcommands take their one-line doc from the registry in
+   Experiments.All — one table drives the CLI help, `seussctl info` and
+   the startup coverage check in [main] below. *)
+let exp_info name =
+  match Experiments.All.doc name with
+  | Some doc -> Cmd.info name ~doc
+  | None ->
+      Printf.ksprintf failwith
+        "seussctl: subcommand %s missing from Experiments.All.registry" name
+
 let print s = print_string s
 
 (* Drive an engine the subcommand built itself and surface stuck
@@ -46,7 +56,7 @@ let table1_cmd =
     print (Experiments.Table1.render (Experiments.Table1.run ~invocations ~seed ()))
   in
   Cmd.v
-    (Cmd.info "table1" ~doc:"Table 1: SEUSS microbenchmarks")
+    (exp_info "table1")
     Term.(const run $ invocations $ seed_arg)
 
 let table2_cmd =
@@ -57,7 +67,7 @@ let table2_cmd =
     print (Experiments.Table2.render (Experiments.Table2.run ~invocations ~seed ()))
   in
   Cmd.v
-    (Cmd.info "table2" ~doc:"Table 2: latency across AO levels")
+    (exp_info "table2")
     Term.(const run $ invocations $ seed_arg)
 
 let table3_cmd =
@@ -74,7 +84,7 @@ let table3_cmd =
     print (Experiments.Table3.render (Experiments.Table3.run ~budget_bytes ~seed ()))
   in
   Cmd.v
-    (Cmd.info "table3" ~doc:"Table 3: cache density and creation rates")
+    (exp_info "table3")
     Term.(const run $ mem_gib $ seed_arg)
 
 let sizes_arg =
@@ -100,7 +110,7 @@ let fig4_cmd =
     Option.iter (fun path -> Experiments.Fig4.write_csv ~path r) csv
   in
   Cmd.v
-    (Cmd.info "fig4" ~doc:"Figure 4: platform throughput vs set size")
+    (exp_info "fig4")
     Term.(const run $ sizes_arg $ threads $ csv_arg $ seed_arg)
 
 let fig5_cmd =
@@ -118,7 +128,7 @@ let fig5_cmd =
     Option.iter (fun path -> Experiments.Fig5.write_csv ~path panels) csv
   in
   Cmd.v
-    (Cmd.info "fig5" ~doc:"Figure 5: end-to-end latency percentiles")
+    (exp_info "fig5")
     Term.(const run $ sizes $ requests $ csv_arg $ seed_arg)
 
 let burst_cmd =
@@ -139,7 +149,7 @@ let burst_cmd =
     Option.iter (fun path -> Experiments.Fig_burst.write_csv ~path r) csv
   in
   Cmd.v
-    (Cmd.info "burst" ~doc:"Figures 6-8: burst resiliency")
+    (exp_info "burst")
     Term.(const run $ period $ duration $ size $ csv_arg $ seed_arg)
 
 let ablations_cmd =
@@ -150,7 +160,7 @@ let ablations_cmd =
     print (Experiments.Ablations.render (Experiments.Ablations.run ~invocations ~seed ()))
   in
   Cmd.v
-    (Cmd.info "ablations" ~doc:"Design-choice ablations (DESIGN.md)")
+    (exp_info "ablations")
     Term.(const run $ invocations $ seed_arg)
 
 let drseuss_cmd =
@@ -166,7 +176,7 @@ let drseuss_cmd =
          (Experiments.Drseuss_exp.run ~nodes ~functions ~seed ()))
   in
   Cmd.v
-    (Cmd.info "drseuss" ~doc:"Extension: distributed snapshot cache (paper S9)")
+    (exp_info "drseuss")
     Term.(const run $ nodes $ functions $ seed_arg)
 
 let chaos_cmd =
@@ -220,10 +230,7 @@ let chaos_cmd =
     Option.iter (fun path -> Experiments.Fig_chaos.write_csv ~path r) csv
   in
   Cmd.v
-    (Cmd.info "chaos"
-       ~doc:
-         "Extension: DR-SEUSS availability and tail latency under \
-          deterministic fault injection")
+    (exp_info "chaos")
     Term.(const run $ nodes $ functions $ calls $ rates $ json $ events $ csv_arg $ seed_arg)
 
 let reap_cmd =
@@ -260,10 +267,7 @@ let reap_cmd =
     Option.iter (fun path -> Experiments.Fig_reap.write_csv ~path r) csv
   in
   Cmd.v
-    (Cmd.info "reap"
-       ~doc:
-         "Extension: REAP-style working-set record & prefault on warm \
-          snapshot deploys, on vs off")
+    (exp_info "reap")
     Term.(const run $ functions $ rounds $ json $ csv_arg $ seed_arg)
 
 let ksm_cmd =
@@ -274,7 +278,7 @@ let ksm_cmd =
     print (Experiments.Ksm_exp.render (Experiments.Ksm_exp.run ~budget_mib:mem ~seed ()))
   in
   Cmd.v
-    (Cmd.info "ksm" ~doc:"Ablation: retroactive dedup (KSM) vs snapshot stacks")
+    (exp_info "ksm")
     Term.(const run $ mem $ seed_arg)
 
 let all_cmd =
@@ -667,8 +671,7 @@ let autoao_cmd =
     print (Experiments.Auto_ao.render (Experiments.Auto_ao.run ~invocations ~seed ()))
   in
   Cmd.v
-    (Cmd.info "autoao"
-       ~doc:"Extension: black-box discovery of AO opportunities (paper S9)")
+    (exp_info "autoao")
     Term.(const run $ invocations $ seed_arg)
 
 let snapshots_cmd =
@@ -755,6 +758,123 @@ let snapshots_cmd =
        ~doc:"Deploy some functions and inspect the snapshot stack")
     Term.(const run $ functions $ seed_arg)
 
+let load_cmd =
+  let hours =
+    Arg.(
+      value & opt (some float) None
+      & info [ "hours" ] ~docv:"H"
+          ~doc:
+            "Simulated hours of arrivals per arm (default 8, or \
+             $(b,SEUSS_LOAD_HOURS)).")
+  in
+  let functions =
+    Arg.(
+      value & opt (some int) None
+      & info [ "functions" ] ~docv:"M"
+          ~doc:
+            "Synthetic functions under the Zipf popularity model (default \
+             1024, or $(b,SEUSS_LOAD_FUNCTIONS)).")
+  in
+  let alpha =
+    Arg.(
+      value & opt (some float) None
+      & info [ "alpha" ] ~docv:"A"
+          ~doc:
+            "Zipf popularity exponent (default 1.1, or \
+             $(b,SEUSS_LOAD_ALPHA)).")
+  in
+  let arrival =
+    Arg.(
+      value & opt (some string) None
+      & info [ "arrival" ] ~docv:"PROCESS"
+          ~doc:
+            "Inter-arrival process: poisson, bursty or diurnal (default \
+             diurnal, or $(b,SEUSS_LOAD_ARRIVAL)).")
+  in
+  let rps =
+    Arg.(
+      value & opt (some (list float)) None
+      & info [ "rps" ] ~docv:"R,R,..."
+          ~doc:
+            "Offered mean arrival rates to sweep (default 0.5,2,8, or \
+             $(b,SEUSS_LOAD_RPS)).")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit the sweep as one canonical JSON object (bit-identical \
+                across runs of the same seed) instead of a table.")
+  in
+  let save_traces =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save-traces" ] ~docv:"PREFIX"
+          ~doc:
+            "Also write each sweep point's synthesized trace to \
+             $(docv)-<rps>.jsonl (replayable with $(b,--trace)).")
+  in
+  let trace_in =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"PATH"
+          ~doc:
+            "Replay a saved trace (JSONL) as a single sweep point instead \
+             of synthesizing; shape flags are ignored.")
+  in
+  let run hours functions alpha arrival rps json save_traces trace_in csv seed
+      =
+    let r =
+      match trace_in with
+      | Some path -> (
+          match Workload.Trace.load ~path with
+          | Ok trace -> Experiments.Fig_load.run_trace ~seed trace
+          | Error msg ->
+              Printf.eprintf "seussctl: cannot load trace %s: %s\n" path msg;
+              exit 2)
+      | None ->
+          Experiments.Fig_load.run ?hours ?functions ?alpha ?arrival ?rps
+            ~seed ()
+    in
+    if json then
+      print (Obs.Json.to_string (Experiments.Fig_load.to_json r) ^ "\n")
+    else print (Experiments.Fig_load.render r);
+    Option.iter (fun path -> Experiments.Fig_load.write_csv ~path r) csv;
+    Option.iter
+      (fun prefix ->
+        List.iter
+          (fun (p : Experiments.Fig_load.point) ->
+            (* Synthesis is pure, so the sweep's traces can be
+               rematerialized from the report parameters. *)
+            let trace =
+              Workload.Trace.synthesize
+                ~functions:r.Experiments.Fig_load.functions
+                ~alpha:r.Experiments.Fig_load.alpha
+                ~arrival:
+                  (Experiments.Fig_load.arrival_of_name
+                     r.Experiments.Fig_load.arrival
+                     ~rate:p.Experiments.Fig_load.offered_rps)
+                ~horizon:r.Experiments.Fig_load.horizon
+                ~seed:r.Experiments.Fig_load.seed
+            in
+            let path =
+              Printf.sprintf "%s-%g.jsonl" prefix
+                p.Experiments.Fig_load.offered_rps
+            in
+            Workload.Trace.save ~path trace;
+            Printf.eprintf "seussctl: wrote %s (%d events)\n" path
+              (Array.length trace.Workload.Trace.events))
+          r.Experiments.Fig_load.points)
+      save_traces
+  in
+  Cmd.v
+    (exp_info "load")
+    Term.(
+      const run $ hours $ functions $ alpha $ arrival $ rps $ json
+      $ save_traces $ trace_in $ csv_arg $ seed_arg)
+
 let info_cmd =
   let run () =
     Printf.printf
@@ -763,20 +883,38 @@ let info_cmd =
        Modeled compute node: %d-core VM, %Ld bytes of memory, 4 KiB pages.\n\
        Unikernel image (Node.js): %d pages (%.1f MB).\n\
        Guest hypercall surface: %d calls.\n\
-       Experiments: table1 table2 table3 fig4 fig5 burst ablations all\n"
+       Experiments:\n"
       Seuss.Config.default.Seuss.Config.cores Mem.Mconfig.default_budget_bytes
       (Unikernel.Image.total_pages Unikernel.Image.node)
       (float_of_int (Unikernel.Image.total_pages Unikernel.Image.node)
        *. 4096.0 /. 1048576.0)
-      Unikernel.Hypercall.interface_size
+      Unikernel.Hypercall.interface_size;
+    List.iter
+      (fun (name, doc) -> Printf.printf "  %-10s %s\n" name doc)
+      Experiments.All.registry;
+    Printf.printf "  %-10s %s\n" "all" "Run every table and figure"
   in
   Cmd.v (Cmd.info "info" ~doc:"Show modeled-system parameters") Term.(const run $ const ())
 
 let () =
   let doc = "SEUSS (EuroSys '20) reproduction experiments" in
-  let main = Cmd.group (Cmd.info "seussctl" ~doc)
-      [ table1_cmd; table2_cmd; table3_cmd; fig4_cmd; fig5_cmd; burst_cmd;
-        ablations_cmd; drseuss_cmd; chaos_cmd; reap_cmd; ksm_cmd; autoao_cmd; trace_cmd;
-        snapshots_cmd; top_cmd; timeline_cmd; events_cmd; all_cmd; info_cmd ]
+  let cmds =
+    [ table1_cmd; table2_cmd; table3_cmd; fig4_cmd; fig5_cmd; burst_cmd;
+      load_cmd; ablations_cmd; drseuss_cmd; chaos_cmd; reap_cmd; ksm_cmd;
+      autoao_cmd; trace_cmd; snapshots_cmd; top_cmd; timeline_cmd; events_cmd;
+      all_cmd; info_cmd ]
   in
+  (* Coverage check: every registry row must have a subcommand (the
+     inverse — a subcommand missing from the registry — fails in
+     [exp_info] when the command is built above). *)
+  let names = List.map Cmd.name cmds in
+  List.iter
+    (fun (name, _) ->
+      if not (List.mem name names) then begin
+        Printf.eprintf
+          "seussctl: experiment %s is registered but has no subcommand\n" name;
+        exit 1
+      end)
+    Experiments.All.registry;
+  let main = Cmd.group (Cmd.info "seussctl" ~doc) cmds in
   exit (Cmd.eval main)

@@ -13,6 +13,11 @@ val create : Seuss.Osenv.t -> t
 
 val backend : t -> Backend_intf.t
 
+val destroy_instance : t -> unit
+(** Tear down the most recently created microVM and release its frames
+    (instant in the model: VMM teardown is off the serving path). No-op
+    when none exist. *)
+
 val vm_pages : int
 (** Private pages per microVM (guest kernel + userspace + runtime). *)
 

@@ -45,6 +45,14 @@ let create_instance t () =
   | None -> false
   | exception Mem.Frame.Out_of_memory -> false
 
+let destroy_instance t =
+  match t.spaces with
+  | [] -> ()
+  | space :: rest ->
+      t.spaces <- rest;
+      Mem.Addr_space.release space;
+      t.count <- t.count - 1
+
 let marginal_bytes t () =
   if t.count = 0 then 0L
   else

@@ -15,6 +15,10 @@ val create : Seuss.Osenv.t -> t
 
 val backend : t -> Backend_intf.t
 
+val destroy_instance : t -> unit
+(** Kill the most recently created process and release its private
+    frames (the shared image stays mapped). No-op when none exist. *)
+
 val shared_image_pages : int
 
 val private_pages_per_process : int

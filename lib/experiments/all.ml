@@ -1,5 +1,33 @@
 type scale = Quick | Full
 
+(* One row per experiment-producing seussctl subcommand: the single
+   source of the CLI docs (seussctl derives each Cmd.info from here and
+   refuses to start if a row has no subcommand) and of the experiment
+   list printed by `seussctl info`. *)
+let registry =
+  [
+    ("table1", "Table 1: SEUSS microbenchmarks");
+    ("table2", "Table 2: latency across AO levels");
+    ("table3", "Table 3: cache density and creation rates");
+    ("fig4", "Figure 4: platform throughput vs set size");
+    ("fig5", "Figure 5: end-to-end latency percentiles");
+    ("burst", "Figures 6-8: burst resiliency");
+    ("load", "Extension: open-loop tail latency vs offered load (Zipf/MMPP \
+              trace replay against SEUSS and the container baselines)");
+    ("ablations", "Design-choice ablations (DESIGN.md)");
+    ("drseuss", "Extension: distributed snapshot cache (paper S9)");
+    ( "chaos",
+      "Extension: DR-SEUSS availability and tail latency under \
+       deterministic fault injection" );
+    ( "reap",
+      "Extension: REAP-style working-set record & prefault on warm \
+       snapshot deploys, on vs off" );
+    ("ksm", "Ablation: retroactive dedup (KSM) vs snapshot stacks");
+    ("autoao", "Extension: black-box discovery of AO opportunities (paper S9)");
+  ]
+
+let doc name = List.assoc_opt name registry
+
 let progress fmt =
   Printf.ksprintf
     (fun s ->
@@ -70,4 +98,13 @@ let run ?(scale = Quick) ?(seed = 7L) () =
   add
     (Fig_reap.render
        (Fig_reap.run ~functions:reap_functions ~rounds:reap_rounds ~seed ()));
+  progress "Open-loop load sweep (fig_load)...";
+  let fig_load =
+    match scale with
+    | Quick ->
+        Fig_load.run ~functions:64 ~hours:0.05 ~rps:[ 2.0; 8.0 ]
+          ~arrival:"bursty" ~seed ()
+    | Full -> Fig_load.run ~seed ()
+  in
+  add (Fig_load.render fig_load);
   Buffer.contents buf

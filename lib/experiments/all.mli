@@ -10,3 +10,11 @@ type scale = Quick | Full
 val run : ?scale:scale -> ?seed:int64 -> unit -> string
 (** Returns the full report text (each section printed as it is
     produced on stderr progress). *)
+
+val registry : (string * string) list
+(** Every experiment-producing [seussctl] subcommand, as
+    [(name, one-line doc)] — the single source of the CLI's experiment
+    docs and of the list printed by [seussctl info]. *)
+
+val doc : string -> string option
+(** Look a subcommand's doc up in {!registry}. *)

@@ -124,3 +124,9 @@ let linux_controller ?config env =
   (Platform.Controller.create env.Seuss.Osenv.engine
      (Platform.Controller.Linux_backend node),
    node)
+
+let pool_controller ?config ~kind env =
+  let node = Baselines.Pool_node.create ?config ~kind env in
+  (Platform.Controller.create env.Seuss.Osenv.engine
+     (Platform.Controller.Pool_backend node),
+   node)

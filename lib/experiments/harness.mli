@@ -84,5 +84,14 @@ val linux_controller :
   Seuss.Osenv.t ->
   Platform.Controller.t * Baselines.Linux_node.t
 
+val pool_controller :
+  ?config:Baselines.Pool_node.config ->
+  kind:Baselines.Pool_node.kind ->
+  Seuss.Osenv.t ->
+  Platform.Controller.t * Baselines.Pool_node.t
+(** Warm-instance-cache node over the Firecracker or Process backend
+    behind the same OpenWhisk control plane — the microVM and process
+    arms of the load experiments. *)
+
 val default_budget : int64
 (** 88 GiB — the paper's compute node VM. *)

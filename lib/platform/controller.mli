@@ -12,6 +12,7 @@
 type backend =
   | Seuss_backend of Seuss.Shim.t
   | Linux_backend of Baselines.Linux_node.t
+  | Pool_backend of Baselines.Pool_node.t
 
 type fn_spec = { fn_id : string; action : Baselines.Backend_intf.action }
 
@@ -24,6 +25,17 @@ val backend : t -> backend
 val invoke : t -> fn_spec -> (unit, string) result
 (** Blocking end-to-end invocation; [Error] carries a reason label
     (["timeout"], ["overloaded"], ...). *)
+
+val invoke_custom :
+  t ->
+  fn_id:string ->
+  action:Baselines.Backend_intf.action ->
+  source:string ->
+  (unit, string) result
+(** Like {!invoke} but with an explicit MiniJS [source] for the SEUSS
+    backend (container backends run [action] directly; SEUSS compiles
+    and runs [source]). The workload plane uses this to give each
+    synthetic function a distinct import profile. *)
 
 val requests : t -> int
 

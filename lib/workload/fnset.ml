@@ -1,0 +1,45 @@
+type profile = Small | Medium | Large
+
+(* 70/25/5 by low-order index digits: popularity rank and import size
+   stay independent, so hot functions come in all three sizes. *)
+let profile_of_index i =
+  match abs i mod 20 with
+  | 19 -> Large
+  | 14 | 15 | 16 | 17 | 18 -> Medium
+  | _ -> Small
+
+let profile_name = function
+  | Small -> "small"
+  | Medium -> "medium"
+  | Large -> "large"
+
+let fn_id i = Printf.sprintf "zf-%d" i
+
+let work_ms i =
+  match profile_of_index i with Small -> 0.0 | Medium -> 0.2 | Large -> 1.0
+
+let helpers_of = function Small -> 0 | Medium -> 6 | Large -> 24
+
+let source i =
+  let p = profile_of_index i in
+  let helpers = helpers_of p in
+  let buf = Buffer.create (256 + (96 * helpers)) in
+  for h = 0 to helpers - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf
+         "function h%d_%d(x) { let y = (x * %d + %d) %% 9973; return y + %d; }\n"
+         h i (h + 2) ((i + h) mod 251) (h mod 7))
+  done;
+  Buffer.add_string buf "function main(args) {\n";
+  if helpers = 0 then
+    Buffer.add_string buf (Printf.sprintf "  return {fn: %d};\n" i)
+  else begin
+    Buffer.add_string buf (Printf.sprintf "  let v = %d;\n" (i mod 1009));
+    for h = 0 to helpers - 1 do
+      Buffer.add_string buf (Printf.sprintf "  v = h%d_%d(v);\n" h i)
+    done;
+    Buffer.add_string buf (Printf.sprintf "  work(%.3f);\n" (work_ms i));
+    Buffer.add_string buf (Printf.sprintf "  return {fn: %d, v: v};\n" i)
+  end;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

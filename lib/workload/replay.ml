@@ -1,0 +1,65 @@
+type result = {
+  invocations : int;
+  ok : int;
+  errors : int;
+  latencies : Stats.Summary.t;
+  makespan : float;
+  achieved_rps : float;
+  max_in_flight : int;
+}
+
+let run ~invoke (trace : Trace.t) =
+  let engine = Sim.Engine.self () in
+  let total = Array.length trace.Trace.events in
+  let latencies = Stats.Summary.create () in
+  if total = 0 then
+    {
+      invocations = 0;
+      ok = 0;
+      errors = 0;
+      latencies;
+      makespan = 0.0;
+      achieved_rps = 0.0;
+      max_in_flight = 0;
+    }
+  else begin
+    let t0 = Sim.Engine.now engine in
+    let ok = ref 0 and errors = ref 0 and completed = ref 0 in
+    let in_flight = ref 0 and max_in_flight = ref 0 in
+    let last_done = ref t0 in
+    let all_done = Sim.Ivar.create () in
+    let fire (e : Trace.event) =
+      incr in_flight;
+      if !in_flight > !max_in_flight then max_in_flight := !in_flight;
+      let sent = Sim.Engine.now engine in
+      (match invoke ~fn:e.Trace.fn with
+      | Ok () -> incr ok
+      | Error _ -> incr errors);
+      Stats.Summary.add latencies (Sim.Engine.now engine -. sent);
+      decr in_flight;
+      incr completed;
+      last_done := Sim.Engine.now engine;
+      if !completed = total then Sim.Ivar.fill all_done ()
+    in
+    Array.iteri
+      (fun i e ->
+        let due = t0 +. e.Trace.at in
+        let wait = due -. Sim.Engine.now engine in
+        if wait > 0.0 then Sim.Engine.sleep wait;
+        Sim.Engine.spawn engine
+          ~name:(Printf.sprintf "req-%d" i)
+          (fun () -> fire e))
+      trace.Trace.events;
+    Sim.Ivar.read all_done;
+    let makespan = !last_done -. (t0 +. trace.Trace.events.(0).Trace.at) in
+    {
+      invocations = total;
+      ok = !ok;
+      errors = !errors;
+      latencies;
+      makespan;
+      achieved_rps =
+        (if makespan > 0.0 then float_of_int !ok /. makespan else 0.0);
+      max_in_flight = !max_in_flight;
+    }
+  end

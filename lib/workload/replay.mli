@@ -1,0 +1,26 @@
+(** Open-loop trace replay through the simulation engine.
+
+    Closed-loop drivers ({!Platform.Loadgen}-style) hide queueing: a
+    slow server slows the clients down. Open-loop replay does not — a
+    dispatcher fires each trace event at its scheduled instant
+    regardless of how many earlier invocations are still in flight, so
+    saturation shows up as the backlog and tail growth it causes in
+    production rather than as reduced offered load. Must be called from
+    inside a running simulation process; returns once every invocation
+    has completed (the run extends past the trace horizon while the
+    backlog drains). *)
+
+type result = {
+  invocations : int;
+  ok : int;
+  errors : int;
+  latencies : Stats.Summary.t;  (** arrival-to-completion, per invocation *)
+  makespan : float;  (** first arrival to last completion *)
+  achieved_rps : float;  (** successful completions over the makespan *)
+  max_in_flight : int;
+      (** peak concurrent invocations — the open-loop backlog depth *)
+}
+
+val run : invoke:(fn:int -> (unit, string) Stdlib.result) -> Trace.t -> result
+(** [invoke] is called in a fresh simulation process per trace event
+    and may block; its error string is counted, not propagated. *)

@@ -1,0 +1,32 @@
+type t = { alpha : float; cdf : float array; total : float }
+
+let create ~alpha ~n =
+  if n < 1 then invalid_arg "Zipf.create: need at least one function";
+  if not (Float.is_finite alpha) || alpha < 0.0 then
+    invalid_arg "Zipf.create: alpha must be finite and non-negative";
+  let cdf = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  for r = 0 to n - 1 do
+    acc := !acc +. (1.0 /. Float.pow (float_of_int (r + 1)) alpha);
+    cdf.(r) <- !acc
+  done;
+  { alpha; cdf; total = !acc }
+
+let n t = Array.length t.cdf
+
+let alpha t = t.alpha
+
+let weight t r =
+  if r < 0 || r >= Array.length t.cdf then invalid_arg "Zipf.weight: rank out of range";
+  let below = if r = 0 then 0.0 else t.cdf.(r - 1) in
+  (t.cdf.(r) -. below) /. t.total
+
+let sample t rng =
+  let u = Sim.Prng.float rng *. t.total in
+  (* First rank whose cumulative weight exceeds the draw. *)
+  let lo = ref 0 and hi = ref (Array.length t.cdf - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.cdf.(mid) > u then hi := mid else lo := mid + 1
+  done;
+  !lo

@@ -178,6 +178,77 @@ let test_fig_reap_reduction () =
   Alcotest.(check bool) "warm mean latency improves" true
     (r.on_.mean_ms < r.off.mean_ms)
 
+let test_fig_load_shapes () =
+  (* Trimmed sweep: every backend produces an arm at every load point,
+     SEUSS stays fast and error-free, and the report artifacts render. *)
+  let r =
+    Experiments.Fig_load.run ~functions:32 ~hours:0.02 ~rps:[ 2.0; 8.0 ]
+      ~arrival:"poisson" ~seed:7L ()
+  in
+  let open Experiments.Fig_load in
+  Alcotest.(check int) "two load points" 2 (List.length r.points);
+  List.iter
+    (fun p ->
+      Alcotest.(check int) "four arms" 4 (List.length p.arms);
+      Alcotest.(check bool) "offered load positive" true (p.offered_rps > 0.0);
+      List.iter
+        (fun a ->
+          Alcotest.(check int)
+            (Printf.sprintf "%s replays the whole trace" a.backend)
+            p.trace_events a.invocations;
+          Alcotest.(check int) "ok + errors = invocations" a.invocations
+            (a.ok + a.errors);
+          Alcotest.(check bool) "tails ordered" true
+            (a.p50_ms <= a.p90_ms && a.p90_ms <= a.p99_ms
+           && a.p99_ms <= a.p999_ms))
+        p.arms;
+      let arm name = List.find (fun a -> String.equal a.backend name) p.arms in
+      let seuss = arm "seuss" in
+      Alcotest.(check int) "seuss error-free" 0 seuss.errors;
+      Alcotest.(check bool) "seuss p99 under 100 ms" true
+        (seuss.p99_ms < 100.0);
+      Alcotest.(check bool) "seuss beats linux at p99" true
+        (seuss.p99_ms < (arm "linux").p99_ms))
+    r.points;
+  Alcotest.(check bool) "timeline captured" true
+    (String.length r.timeline > 0);
+  let rendered = render r in
+  let mentions needle =
+    let nl = String.length needle and hl = String.length rendered in
+    let rec go i = i + nl <= hl && (String.sub rendered i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "render mentions every backend" true
+    (List.for_all mentions [ "seuss"; "linux"; "firecracker"; "process" ])
+
+let test_fig_load_same_seed_identical () =
+  let run () =
+    Experiments.Fig_load.run ~functions:24 ~hours:0.01 ~rps:[ 4.0 ]
+      ~arrival:"bursty" ~seed:9L ()
+  in
+  let r1 = run () and r2 = run () in
+  Alcotest.(check bool) "same-seed runs identical" true (r1 = r2);
+  Alcotest.(check string) "JSON identical"
+    (Obs.Json.to_string (Experiments.Fig_load.to_json r1))
+    (Obs.Json.to_string (Experiments.Fig_load.to_json r2))
+
+let test_registry_covers_experiments () =
+  (* Every shipped experiment must be discoverable: present in the
+     registry with a non-empty one-liner, and the load plane in
+     particular must be registered. *)
+  let names = List.map fst Experiments.All.registry in
+  List.iter
+    (fun n ->
+      Alcotest.(check bool) (n ^ " registered") true (List.mem n names);
+      match Experiments.All.doc n with
+      | Some d -> Alcotest.(check bool) (n ^ " documented") true
+          (String.length d > 0)
+      | None -> Alcotest.fail (n ^ " has no doc"))
+    [ "table1"; "fig4"; "burst"; "load"; "chaos"; "reap" ];
+  let sorted = List.sort_uniq compare names in
+  Alcotest.(check int) "registry names unique" (List.length names)
+    (List.length sorted)
+
 let test_report_rendering () =
   let text =
     Experiments.Report.comparison ~title:"T" ~note:"n"
@@ -206,7 +277,11 @@ let () =
           case "burst contrast" test_burst_contrast;
           case "fig4 deterministic" test_fig4_deterministic;
           case "fig_reap reduction" test_fig_reap_reduction;
+          case "fig_load shapes" test_fig_load_shapes;
+          case "fig_load same-seed identical" test_fig_load_same_seed_identical;
         ] );
+      ( "registry",
+        [ case "covers experiments" test_registry_covers_experiments ] );
       ( "misc",
         [
           case "ablations ordering" test_ablations_ordering;

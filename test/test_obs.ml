@@ -425,6 +425,122 @@ let test_breakdown_aggregates_beyond_ring () =
   Alcotest.(check bool) "warm path unseen" true
     (Obs.Breakdown.per_path bd Obs.Event.Warm = None)
 
+let finish ~path ~total ~ok =
+  Obs.Event.Invoke_finish
+    {
+      fn_id = "fn-x";
+      path;
+      queue = 0.0;
+      deploy = total /. 4.0;
+      import = 0.0;
+      run = total /. 4.0;
+      total;
+      ok;
+    }
+
+let fresh_breakdown () =
+  let clock, set = fake_clock () in
+  let log = Obs.Log.create ~capacity:16 ~clock () in
+  (Obs.Breakdown.attach log, log, set)
+
+let test_breakdown_path_classification () =
+  (* Each path accumulates independently: cold/warm/hot events must not
+     bleed into each other's buckets, and errors fold in regardless of
+     path. *)
+  let bd, log, set = fresh_breakdown () in
+  let emit i path total ok =
+    set (float_of_int i);
+    Obs.Log.emit log (finish ~path ~total ~ok)
+  in
+  emit 1 Obs.Event.Cold 0.008 true;
+  emit 2 Obs.Event.Cold 0.006 true;
+  emit 3 Obs.Event.Warm 0.004 true;
+  emit 4 Obs.Event.Hot 0.001 false;
+  emit 5 Obs.Event.Hot 0.001 true;
+  let n path =
+    match Obs.Breakdown.per_path bd path with
+    | None -> 0
+    | Some p -> p.Obs.Breakdown.n
+  in
+  Alcotest.(check int) "cold bucket" 2 (n Obs.Event.Cold);
+  Alcotest.(check int) "warm bucket" 1 (n Obs.Event.Warm);
+  Alcotest.(check int) "hot bucket" 2 (n Obs.Event.Hot);
+  (match Obs.Breakdown.per_path bd Obs.Event.Cold with
+  | None -> Alcotest.fail "cold missing"
+  | Some c ->
+      Alcotest.(check (float 1e-9)) "cold total mean" 0.007 c.Obs.Breakdown.total);
+  (match Obs.Breakdown.overall bd with
+  | None -> Alcotest.fail "overall missing"
+  | Some o -> Alcotest.(check int) "overall folds all paths" 5 o.Obs.Breakdown.n);
+  Alcotest.(check int) "error folded despite hot path" 1
+    (Obs.Breakdown.errors bd)
+
+let test_breakdown_empty_buckets () =
+  (* No invocations at all: every accessor must say None / 0 rather than
+     fabricate a zero row. *)
+  let bd, _log, _set = fresh_breakdown () in
+  List.iter
+    (fun path ->
+      Alcotest.(check bool) "per_path empty" true
+        (Obs.Breakdown.per_path bd path = None);
+      Alcotest.(check bool) "tails empty" true
+        (Obs.Breakdown.tails bd path = None))
+    [ Obs.Event.Cold; Obs.Event.Warm; Obs.Event.Hot ];
+  Alcotest.(check bool) "overall empty" true (Obs.Breakdown.overall bd = None);
+  Alcotest.(check bool) "overall tails empty" true
+    (Obs.Breakdown.overall_tails bd = None);
+  Alcotest.(check int) "no errors" 0 (Obs.Breakdown.errors bd)
+
+let test_breakdown_single_sample_tails () =
+  (* One invocation: the histogram has a single populated bin, and the
+     min/max clamp must collapse every quantile — p50 through p999 — to
+     exactly that observation instead of a bin edge. *)
+  let bd, log, set = fresh_breakdown () in
+  set 1.0;
+  Obs.Log.emit log (finish ~path:Obs.Event.Warm ~total:0.0042 ~ok:true);
+  (match Obs.Breakdown.tails bd Obs.Event.Warm with
+  | None -> Alcotest.fail "single-sample tails missing"
+  | Some t ->
+      List.iter
+        (fun (label, v) ->
+          Alcotest.(check (float 1e-12)) label 0.0042 v)
+        [
+          ("p50", t.Obs.Breakdown.p50);
+          ("p90", t.Obs.Breakdown.p90);
+          ("p99", t.Obs.Breakdown.p99);
+          ("p999", t.Obs.Breakdown.p999);
+        ]);
+  (match Obs.Breakdown.overall_tails bd with
+  | None -> Alcotest.fail "overall single-sample tails missing"
+  | Some t ->
+      Alcotest.(check (float 1e-12)) "overall p999 clamped" 0.0042
+        t.Obs.Breakdown.p999);
+  Alcotest.(check bool) "other paths still empty" true
+    (Obs.Breakdown.tails bd Obs.Event.Cold = None)
+
+let test_breakdown_tails_ordered () =
+  (* Quantiles of a spread-out latency population must be monotone and
+     clamped into the observed extrema. *)
+  let bd, log, set = fresh_breakdown () in
+  for i = 1 to 1000 do
+    set (float_of_int i);
+    Obs.Log.emit log
+      (finish ~path:Obs.Event.Cold ~total:(float_of_int i *. 1e-4) ~ok:true)
+  done;
+  match Obs.Breakdown.tails bd Obs.Event.Cold with
+  | None -> Alcotest.fail "tails missing"
+  | Some t ->
+      Alcotest.(check bool) "monotone" true
+        (t.Obs.Breakdown.p50 <= t.Obs.Breakdown.p90
+        && t.Obs.Breakdown.p90 <= t.Obs.Breakdown.p99
+        && t.Obs.Breakdown.p99 <= t.Obs.Breakdown.p999);
+      Alcotest.(check bool) "inside observed range" true
+        (t.Obs.Breakdown.p50 >= 1e-4 && t.Obs.Breakdown.p999 <= 0.1);
+      (* ~8% histogram quantization: p50 of a uniform 0.1ms..100ms
+         population must land near 50ms. *)
+      Alcotest.(check bool) "p50 near true median" true
+        (t.Obs.Breakdown.p50 > 0.04 && t.Obs.Breakdown.p50 < 0.06)
+
 (* {1 End to end: a real node workload round-trips through JSONL} *)
 
 let test_node_event_stream_roundtrips () =
@@ -506,6 +622,13 @@ let () =
           QCheck_alcotest.to_alcotest hist_quantiles_track_exact;
         ] );
       ("chrome", [ case "document structure" test_chrome_document_structure ]);
-      ("breakdown", [ case "aggregates beyond ring" test_breakdown_aggregates_beyond_ring ]);
+      ( "breakdown",
+        [
+          case "aggregates beyond ring" test_breakdown_aggregates_beyond_ring;
+          case "path classification" test_breakdown_path_classification;
+          case "empty buckets" test_breakdown_empty_buckets;
+          case "single-sample tails" test_breakdown_single_sample_tails;
+          case "tails ordered and clamped" test_breakdown_tails_ordered;
+        ] );
       ("end_to_end", [ case "node JSONL roundtrip" test_node_event_stream_roundtrips ]);
     ]

@@ -85,6 +85,26 @@ let reap_identity () =
         (Experiments.Fig_reap.to_json
            (Experiments.Fig_reap.run ~functions:4 ~rounds:6 ~seed:5L ())))
 
+(* A trimmed fig_load sweep (the timeline lands on the top point's
+   SEUSS arm, so the shuffled render must reproduce it byte-for-byte
+   too). *)
+let fig_load_small () =
+  let r =
+    Experiments.Fig_load.run ~functions:24 ~hours:0.02 ~rps:[ 2.0; 6.0 ]
+      ~arrival:"bursty" ~seed:5L ()
+  in
+  Obs.Json.to_string (Experiments.Fig_load.to_json r)
+  ^ Experiments.Fig_load.render r
+
+let fig_load_identity () =
+  assert_shuffle_identical "fig_load" fig_load_small
+
+let fig_load_run_twice () =
+  Alcotest.(check bool) "fig_load run-twice byte-identical" true
+    (String.equal
+       (with_shuffle None fig_load_small)
+       (with_shuffle None fig_load_small))
+
 (* {1 Happens-before checking} *)
 
 let hb_run body =
@@ -244,6 +264,8 @@ let () =
           Alcotest.test_case "fig4" `Slow fig4_identity;
           Alcotest.test_case "fig_chaos" `Slow chaos_identity;
           Alcotest.test_case "fig_reap" `Slow reap_identity;
+          Alcotest.test_case "fig_load run-twice" `Slow fig_load_run_twice;
+          Alcotest.test_case "fig_load" `Slow fig_load_identity;
         ] );
       ( "happens-before",
         [
