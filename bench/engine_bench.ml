@@ -84,7 +84,18 @@ let run_experiments () =
         Experiments.Fig_load.run ~functions:48 ~hours:0.05 ~rps:[ 2.0; 8.0 ]
           ~arrival:"bursty" ())
   in
-  (fig4, chaos, reap, load)
+  let evict =
+    timed (fun () ->
+        Experiments.Fig_evict.run ~functions:24 ~hours:0.02 ~rate:8.0
+          ~sizes:
+            [
+              0L;
+              Int64.of_int (Mem.Mconfig.mib 3);
+              Int64.of_int (Mem.Mconfig.mib 64);
+            ]
+          ())
+  in
+  (fig4, chaos, reap, load, evict)
 
 let () =
   let out = ref "BENCH_engine.json" in
@@ -103,11 +114,14 @@ let () =
     "synthetic: %d events in %.3fs — %.0f events/s, %.1f words/event, max \
      heap %d\n"
     s.events s.wall_s s.events_per_sec s.allocs_per_event s.max_heap;
-  let fig4_wall_s, chaos_wall_s, reap_wall_s, fig_load_wall_s =
+  let fig4_wall_s, chaos_wall_s, reap_wall_s, fig_load_wall_s, fig_evict_wall_s
+      =
     run_experiments ()
   in
-  Printf.printf "experiments: fig4 %.3fs, chaos %.3fs, reap %.3fs, load %.3fs\n"
-    fig4_wall_s chaos_wall_s reap_wall_s fig_load_wall_s;
+  Printf.printf
+    "experiments: fig4 %.3fs, chaos %.3fs, reap %.3fs, load %.3fs, evict \
+     %.3fs\n"
+    fig4_wall_s chaos_wall_s reap_wall_s fig_load_wall_s fig_evict_wall_s;
   let doc =
     Obs.Json.Obj
       [
@@ -129,6 +143,7 @@ let () =
               ("chaos_wall_s", Obs.Json.Float chaos_wall_s);
               ("reap_wall_s", Obs.Json.Float reap_wall_s);
               ("fig_load_wall_s", Obs.Json.Float fig_load_wall_s);
+              ("fig_evict_wall_s", Obs.Json.Float fig_evict_wall_s);
             ] );
       ]
   in

@@ -875,6 +875,101 @@ let load_cmd =
       const run $ hours $ functions $ alpha $ arrival $ rps $ json
       $ save_traces $ trace_in $ csv_arg $ seed_arg)
 
+let evict_cmd =
+  let hours =
+    Arg.(
+      value & opt (some float) None
+      & info [ "hours" ] ~docv:"H"
+          ~doc:
+            "Simulated hours of arrivals per arm (default 0.25, or \
+             $(b,SEUSS_EVICT_HOURS)).")
+  in
+  let functions =
+    Arg.(
+      value & opt (some int) None
+      & info [ "functions" ] ~docv:"M"
+          ~doc:
+            "Synthetic functions under the Zipf popularity model (default \
+             160, or $(b,SEUSS_EVICT_FUNCTIONS)).")
+  in
+  let alpha =
+    Arg.(
+      value & opt (some float) None
+      & info [ "alpha" ] ~docv:"A"
+          ~doc:
+            "Zipf popularity exponent (default 1.1, or \
+             $(b,SEUSS_EVICT_ALPHA)).")
+  in
+  let rate =
+    Arg.(
+      value & opt (some float) None
+      & info [ "rate" ] ~docv:"R"
+          ~doc:
+            "Offered mean arrival rate, req/s (default 4, or \
+             $(b,SEUSS_EVICT_RPS)).")
+  in
+  let sizes =
+    Arg.(
+      value
+      & opt (some (list string)) None
+      & info [ "sizes" ] ~docv:"B,B,..."
+          ~doc:
+            "Cache budgets to sweep, bytes with optional binary k/m/g \
+             suffix; 0 is the disarmed baseline (default 0,3m,4m,6m,8m,1g, \
+             or $(b,SEUSS_EVICT_SIZES)).")
+  in
+  let policy =
+    Arg.(
+      value & opt (some string) None
+      & info [ "policy" ] ~docv:"POLICY"
+          ~doc:
+            "Eviction policy: lru or ws (default lru, or \
+             $(b,SEUSS_EVICT_POLICY)).")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit the sweep as one canonical JSON object (bit-identical \
+             across runs of the same seed) instead of a table.")
+  in
+  let run hours functions alpha rate sizes policy json csv seed =
+    let sizes =
+      Option.map
+        (List.map (fun s ->
+             match Experiments.Harness.parse_bytes s with
+             | Some v -> v
+             | None ->
+                 Printf.eprintf "seussctl: malformed cache size %S\n" s;
+                 exit 2))
+        sizes
+    in
+    let policy =
+      Option.map
+        (fun s ->
+          match Seuss.Config.policy_of_name (String.lowercase_ascii s) with
+          | Some p -> p
+          | None ->
+              Printf.eprintf "seussctl: unknown eviction policy %S\n" s;
+              exit 2)
+        policy
+    in
+    let r =
+      Experiments.Fig_evict.run ?hours ?functions ?alpha ?rate ?sizes ?policy
+        ~seed ()
+    in
+    if json then
+      print (Obs.Json.to_string (Experiments.Fig_evict.to_json r) ^ "\n")
+    else print (Experiments.Fig_evict.render r);
+    Option.iter (fun path -> Experiments.Fig_evict.write_csv ~path r) csv
+  in
+  Cmd.v
+    (exp_info "evict")
+    Term.(
+      const run $ hours $ functions $ alpha $ rate $ sizes $ policy $ json
+      $ csv_arg $ seed_arg)
+
 let info_cmd =
   let run () =
     Printf.printf
@@ -900,7 +995,8 @@ let () =
   let doc = "SEUSS (EuroSys '20) reproduction experiments" in
   let cmds =
     [ table1_cmd; table2_cmd; table3_cmd; fig4_cmd; fig5_cmd; burst_cmd;
-      load_cmd; ablations_cmd; drseuss_cmd; chaos_cmd; reap_cmd; ksm_cmd;
+      load_cmd; evict_cmd; ablations_cmd; drseuss_cmd; chaos_cmd; reap_cmd;
+      ksm_cmd;
       autoao_cmd; trace_cmd; snapshots_cmd; top_cmd; timeline_cmd; events_cmd;
       all_cmd; info_cmd ]
   in

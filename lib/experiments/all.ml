@@ -22,6 +22,10 @@ let registry =
     ( "reap",
       "Extension: REAP-style working-set record & prefault on warm \
        snapshot deploys, on vs off" );
+    ( "evict",
+      "Extension: content-addressed snapshot store under memory \
+       pressure — hit rate, dedup ratio and tail latency vs cache \
+       budget" );
     ("ksm", "Ablation: retroactive dedup (KSM) vs snapshot stacks");
     ("autoao", "Extension: black-box discovery of AO opportunities (paper S9)");
   ]
@@ -98,6 +102,21 @@ let run ?(scale = Quick) ?(seed = 7L) () =
   add
     (Fig_reap.render
        (Fig_reap.run ~functions:reap_functions ~rounds:reap_rounds ~seed ()));
+  progress "Snapshot-store eviction sweep (fig_evict)...";
+  let fig_evict =
+    match scale with
+    | Quick ->
+        Fig_evict.run ~functions:24 ~hours:0.02 ~rate:8.0
+          ~sizes:
+            [
+              0L;
+              Int64.of_int (Mem.Mconfig.mib 3);
+              Int64.of_int (Mem.Mconfig.mib 64);
+            ]
+          ~seed ()
+    | Full -> Fig_evict.run ~seed ()
+  in
+  add (Fig_evict.render fig_evict);
   progress "Open-loop load sweep (fig_load)...";
   let fig_load =
     match scale with

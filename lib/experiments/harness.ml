@@ -105,8 +105,69 @@ let apply_env_prefault config =
    on this. *)
 let timeline_env_var = Seuss.Timeline.env_var
 
+(* Snapshot-store hook: SEUSS_SNAP_CACHE=<bytes> (suffixes k/m/g,
+   binary) arms the content-addressed snapshot store at that byte
+   budget on every harness-built SEUSS node; SEUSS_SNAP_POLICY=lru|ws
+   picks the eviction policy. Unset or =0 leaves the store disarmed —
+   its default — so a SEUSS_SNAP_CACHE=0 run is bit-identical to an
+   unhooked one; the CI transparency check depends on this. *)
+let snap_cache_env_var = "SEUSS_SNAP_CACHE"
+let snap_policy_env_var = "SEUSS_SNAP_POLICY"
+
+let parse_bytes s =
+  let s = String.trim s in
+  let len = String.length s in
+  if len = 0 then None
+  else
+    let mult, digits =
+      match Char.lowercase_ascii s.[len - 1] with
+      | 'k' -> (1024L, String.sub s 0 (len - 1))
+      | 'm' -> (Int64.of_int (1024 * 1024), String.sub s 0 (len - 1))
+      | 'g' -> (Int64.of_int (1024 * 1024 * 1024), String.sub s 0 (len - 1))
+      | _ -> (1L, s)
+    in
+    match Int64.of_string_opt digits with
+    | Some v when Int64.compare v 0L >= 0 -> Some (Int64.mul v mult)
+    | _ -> None
+
+let snap_cache_of_env () =
+  match Sys.getenv_opt snap_cache_env_var with
+  | None | Some "" -> None
+  | Some raw -> (
+      match parse_bytes raw with
+      | Some v -> Some v
+      | None ->
+          Printf.eprintf "harness: ignoring malformed %s %S\n"
+            snap_cache_env_var raw;
+          None)
+
+let snap_policy_of_env () =
+  match Sys.getenv_opt snap_policy_env_var with
+  | None | Some "" -> None
+  | Some raw -> (
+      match Seuss.Config.policy_of_name (String.lowercase_ascii raw) with
+      | Some _ as p -> p
+      | None ->
+          Printf.eprintf "harness: ignoring malformed %s %S\n"
+            snap_policy_env_var raw;
+          None)
+
+let apply_env_snap_cache config =
+  let config =
+    match snap_cache_of_env () with
+    | None -> config
+    | Some v -> { config with Seuss.Config.snapshot_cache_bytes = v }
+  in
+  match snap_policy_of_env () with
+  | None -> config
+  | Some p -> { config with Seuss.Config.snapshot_cache_policy = p }
+
 let seuss_node ?(config = Seuss.Config.default) env =
-  let node = Seuss.Node.create ~config:(apply_env_prefault config) env in
+  let node =
+    Seuss.Node.create
+      ~config:(apply_env_snap_cache (apply_env_prefault config))
+      env
+  in
   Seuss.Timeline.maybe_start_from_env node;
   Seuss.Node.start node;
   node

@@ -67,6 +67,33 @@ val timeline_env_var : string
     on, {!seuss_node} attaches the resource timeline sampler to the
     node; unset/off runs are bit-identical to unhooked ones. *)
 
+val snap_cache_env_var : string
+(** ["SEUSS_SNAP_CACHE"] — byte budget of the content-addressed
+    snapshot store for every harness-built SEUSS node. Plain bytes or
+    binary suffixes [k]/[m]/[g] (e.g. ["64m"]). Unset or [0] leaves the
+    store disarmed (the default), so a [SEUSS_SNAP_CACHE=0] run is
+    bit-identical to an unhooked one. *)
+
+val snap_policy_env_var : string
+(** ["SEUSS_SNAP_POLICY"] — ["lru"] or ["ws"]; only meaningful while
+    {!snap_cache_env_var} arms the store. *)
+
+val parse_bytes : string -> int64 option
+(** Parse a byte count in the {!snap_cache_env_var} syntax: plain bytes
+    or binary [k]/[m]/[g] suffixes, non-negative. [None] on malformed
+    input (no warning — callers own their diagnostics). *)
+
+val snap_cache_of_env : unit -> int64 option
+(** Parsed {!snap_cache_env_var}; [None] when unset, empty or malformed
+    (malformed warns on stderr). *)
+
+val snap_policy_of_env : unit -> Seuss.Config.snap_policy option
+
+val apply_env_snap_cache : Seuss.Config.t -> Seuss.Config.t
+(** Override [snapshot_cache_bytes] / [snapshot_cache_policy] from the
+    environment (applied by {!seuss_node} to every harness-built
+    node). *)
+
 val seuss_node :
   ?config:Seuss.Config.t -> Seuss.Osenv.t -> Seuss.Node.t
 (** Create and start a SEUSS node (blocking: boots the runtime). The

@@ -30,6 +30,10 @@ let audited : (string * string * op) list =
        merged duplicate. *)
     ("lib/baselines/ksm.ml", "create", Alloc);
     ("lib/baselines/ksm.ml", "merge_batch", Incref);
+    (* Snapshot store dedup: rewriting a delta entry to the canonical
+       frame of its content takes the reference Page_table.set consumes
+       (set itself drops the replaced private frame's reference). *)
+    ("lib/seuss/snapstore.ml", "adopt_canonical", Incref);
   ]
 
 let allowed ~file ~binding op =

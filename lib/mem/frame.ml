@@ -6,6 +6,10 @@ type t = {
   budget_frames : int;
   (* refcounts.(id) = 0 means the slot is free (and sits on free_list). *)
   mutable refcounts : int array;
+  (* tags.(id) = 0 means untagged; a nonzero tag is a content identity
+     stamped by the snapshot store and cleared when the frame is freed,
+     so a recycled id can never masquerade as old content. *)
+  mutable tags : int array;
   mutable next_fresh : int;
   mutable free_list : int list;
   mutable live : int;
@@ -19,6 +23,7 @@ let create ?(budget_bytes = Mconfig.default_budget_bytes) () =
   {
     budget_frames = Int64.to_int frames;
     refcounts = Array.make 4096 0;
+    tags = Array.make 4096 0;
     next_fresh = 0;
     free_list = [];
     live = 0;
@@ -35,7 +40,10 @@ let ensure_capacity t id =
     let cap = min cap (max (id + 1) t.budget_frames) in
     let refcounts = Array.make cap 0 in
     Array.blit t.refcounts 0 refcounts 0 (Array.length t.refcounts);
-    t.refcounts <- refcounts
+    t.refcounts <- refcounts;
+    let tags = Array.make cap 0 in
+    Array.blit t.tags 0 tags 0 (Array.length t.tags);
+    t.tags <- tags
   end
 
 let alloc t =
@@ -69,6 +77,7 @@ let decref t id =
   check_live t id "decref";
   t.refcounts.(id) <- t.refcounts.(id) - 1;
   if t.refcounts.(id) = 0 then begin
+    t.tags.(id) <- 0;
     t.free_list <- id :: t.free_list;
     t.live <- t.live - 1
   end
@@ -76,6 +85,17 @@ let decref t id =
 let refcount t id =
   check_live t id "refcount";
   t.refcounts.(id)
+
+let is_live t id = id >= 0 && id < t.next_fresh && t.refcounts.(id) > 0
+
+let set_tag t id tag =
+  check_live t id "set_tag";
+  if tag = 0 then invalid_arg "Frame.set_tag: tag must be nonzero";
+  t.tags.(id) <- tag
+
+let tag t id =
+  check_live t id "tag";
+  t.tags.(id)
 
 let used_frames t = t.live
 let used_bytes t = Mconfig.bytes_of_pages t.live

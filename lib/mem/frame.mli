@@ -39,6 +39,22 @@ val decref : t -> frame -> unit
 
 val refcount : t -> frame -> int
 
+val is_live : t -> frame -> bool
+(** Whether [frame] currently names an allocated frame (refcount > 0).
+    Never raises — the snapshot store uses it to validate its content
+    index against frames freed behind its back. *)
+
+val set_tag : t -> frame -> int -> unit
+(** Stamp a nonzero content tag on a live frame. The snapshot store tags
+    each frame it indexes with the page's content hash; the tag is
+    cleared automatically when the frame's refcount reaches zero, so a
+    recycled frame id can never present stale content.
+    @raise Invalid_argument on a dead frame or a zero tag. *)
+
+val tag : t -> frame -> int
+(** The frame's content tag ([0] = untagged).
+    @raise Invalid_argument on a dead frame. *)
+
 val used_frames : t -> int
 
 val used_bytes : t -> int64

@@ -136,6 +136,48 @@ let fold_present t ~init ~f =
     t.dirs;
   !acc
 
+(* Walk the pages [t] maps through a different frame than [parent] (or
+   maps where [parent] has nothing) — the delta layer of a stacked
+   snapshot. Leaves physically shared with the parent are skipped
+   outright: structural sharing guarantees their entries are identical,
+   which is what keeps the walk proportional to the diff's leaves, not
+   the whole address space. *)
+let fold_delta ~parent t ~init ~f =
+  check_alive t;
+  check_alive parent;
+  let acc = ref init in
+  Array.iteri
+    (fun dir leaf ->
+      match leaf with
+      | None -> ()
+      | Some leaf ->
+          let shared =
+            match parent.dirs.(dir) with
+            (* seusslint: allow physical-eq — leaf sharing between snapshot layers is identity by construction *)
+            | Some p -> p == leaf
+            | None -> false
+          in
+          if not shared then
+            let parent_entries =
+              match parent.dirs.(dir) with
+              | Some p -> Some p.entries
+              | None -> None
+            in
+            for i = 0 to entries - 1 do
+              let e = leaf.entries.(i) in
+              if Entry.present e then
+                let same =
+                  match parent_entries with
+                  | Some pe ->
+                      let p = pe.(i) in
+                      Entry.present p && Entry.frame p = Entry.frame e
+                  | None -> false
+                in
+                if not same then acc := f !acc ~vpn:((dir * entries) + i) e
+            done)
+    t.dirs;
+  !acc
+
 let count_present t = fold_present t ~init:0 ~f:(fun n ~vpn:_ _ -> n + 1)
 
 let count_dirty t =

@@ -72,6 +72,15 @@ val clear_dirty_all : t -> unit
 
 val fold_present : t -> init:'a -> f:('a -> vpn:int -> Entry.t -> 'a) -> 'a
 
+val fold_delta :
+  parent:t -> t -> init:'a -> f:('a -> vpn:int -> Entry.t -> 'a) -> 'a
+(** Fold over the pages this table maps through a {e different} frame
+    than [parent] (or maps where [parent] maps nothing) — the delta
+    layer a stacked snapshot stores beyond structural sharing. Leaves
+    physically shared with [parent] are skipped wholesale (structural
+    sharing makes their entries identical), so the walk costs
+    O(privatized leaves), not O(address space). *)
+
 val count_present : t -> int
 
 val count_dirty : t -> int

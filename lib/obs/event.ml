@@ -63,6 +63,24 @@ type t =
       cached_snapshots : int;
       stuck_waiters : int;
     }
+  | Snap_dedup of {
+      snapshot : string;
+      delta_pages : int;
+      shared_pages : int;
+      unique_pages : int;
+    }
+  | Snap_delta of {
+      snapshot : string;
+      parent : string;
+      delta_pages : int;
+      delta_bytes : int64;
+    }
+  | Snap_evict of {
+      fn_id : string;
+      pages_freed : int;
+      resident_bytes : int64;
+      policy : string;
+    }
 
 let type_name = function
   | Invoke_start _ -> "invoke_start"
@@ -85,6 +103,9 @@ let type_name = function
   | San_race _ -> "san_race"
   | San_deadlock _ -> "san_deadlock"
   | Timeline_sample _ -> "timeline_sample"
+  | Snap_dedup _ -> "snap_dedup"
+  | Snap_delta _ -> "snap_delta"
+  | Snap_evict _ -> "snap_evict"
 
 let to_json ~time ev =
   let fields =
@@ -179,6 +200,27 @@ let to_json ~time ev =
           ("idle_ucs", Json.Int idle_ucs);
           ("cached_snapshots", Json.Int cached_snapshots);
           ("stuck_waiters", Json.Int stuck_waiters);
+        ]
+    | Snap_dedup { snapshot; delta_pages; shared_pages; unique_pages } ->
+        [
+          ("snapshot", Json.String snapshot);
+          ("delta_pages", Json.Int delta_pages);
+          ("shared_pages", Json.Int shared_pages);
+          ("unique_pages", Json.Int unique_pages);
+        ]
+    | Snap_delta { snapshot; parent; delta_pages; delta_bytes } ->
+        [
+          ("snapshot", Json.String snapshot);
+          ("parent", Json.String parent);
+          ("delta_pages", Json.Int delta_pages);
+          ("delta_bytes", Json.Int (Int64.to_int delta_bytes));
+        ]
+    | Snap_evict { fn_id; pages_freed; resident_bytes; policy } ->
+        [
+          ("fn_id", Json.String fn_id);
+          ("pages_freed", Json.Int pages_freed);
+          ("resident_bytes", Json.Int (Int64.to_int resident_bytes));
+          ("policy", Json.String policy);
         ]
   in
   Json.Obj
@@ -303,6 +345,33 @@ let of_json json =
                idle_ucs;
                cached_snapshots;
                stuck_waiters;
+             })
+    | "snap_dedup" ->
+        let* snapshot = field "snapshot" Json.to_str in
+        let* delta_pages = field "delta_pages" Json.to_int in
+        let* shared_pages = field "shared_pages" Json.to_int in
+        let* unique_pages = field "unique_pages" Json.to_int in
+        Ok (Snap_dedup { snapshot; delta_pages; shared_pages; unique_pages })
+    | "snap_delta" ->
+        let* snapshot = field "snapshot" Json.to_str in
+        let* parent = field "parent" Json.to_str in
+        let* delta_pages = field "delta_pages" Json.to_int in
+        let* delta_bytes = field "delta_bytes" Json.to_int in
+        Ok
+          (Snap_delta
+             { snapshot; parent; delta_pages; delta_bytes = Int64.of_int delta_bytes })
+    | "snap_evict" ->
+        let* fn_id = field "fn_id" Json.to_str in
+        let* pages_freed = field "pages_freed" Json.to_int in
+        let* resident_bytes = field "resident_bytes" Json.to_int in
+        let* policy = field "policy" Json.to_str in
+        Ok
+          (Snap_evict
+             {
+               fn_id;
+               pages_freed;
+               resident_bytes = Int64.of_int resident_bytes;
+               policy;
              })
     | other -> Error (Printf.sprintf "event: unknown type %S" other)
   in

@@ -110,6 +110,33 @@ type t =
       (** One periodic gauge sample from the resource timeline sampler
           ([Seuss.Timeline], armed by [SEUSS_TIMELINE=1]); the raw
           material for queue-depth and memory-pressure timelines. *)
+  | Snap_dedup of {
+      snapshot : string;
+      delta_pages : int;  (** pages in the snapshot's delta layer *)
+      shared_pages : int;
+          (** delta pages whose content matched an already-indexed page
+              and were rewritten to share its frame *)
+      unique_pages : int;  (** delta pages first seen at this insert *)
+    }
+      (** The snapshot store content-indexed a newly inserted snapshot:
+          [shared_pages + unique_pages = delta_pages]. *)
+  | Snap_delta of {
+      snapshot : string;
+      parent : string;  (** the base layer the delta is stored against *)
+      delta_pages : int;
+      delta_bytes : int64;
+    }
+      (** The snapshot store recorded a snapshot as a delta over its
+          parent layer: only [delta_pages] differ from the base. *)
+  | Snap_evict of {
+      fn_id : string;
+      pages_freed : int;
+          (** content pages whose last holder this eviction dropped *)
+      resident_bytes : int64;  (** store residency after the eviction *)
+      policy : string;  (** {!Seuss.Config.policy_name}: "lru" | "ws" *)
+    }
+      (** The byte-budgeted snapshot cache evicted a function snapshot;
+          its next invocation falls back to the cold path. *)
 
 val type_name : t -> string
 (** The discriminator stored in the ["type"] JSON field. *)

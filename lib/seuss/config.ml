@@ -1,5 +1,7 @@
 type ao_level = Ao_none | Ao_network | Ao_full
 
+type snap_policy = Snap_lru | Snap_ws
+
 type t = {
   cores : int;
   ao : ao_level;
@@ -9,6 +11,8 @@ type t = {
   max_function_snapshots : int;
   invoke_timeout : float;
   prefault_working_set : bool;
+  snapshot_cache_bytes : int64;
+  snapshot_cache_policy : snap_policy;
   runtimes : Unikernel.Image.t list;
 }
 
@@ -22,6 +26,8 @@ let default =
     max_function_snapshots = 200_000;
     invoke_timeout = 60.0;
     prefault_working_set = false;
+    snapshot_cache_bytes = 0L;
+    snapshot_cache_policy = Snap_lru;
     runtimes = [ Unikernel.Image.node ];
   }
 
@@ -29,3 +35,10 @@ let ao_name = function
   | Ao_none -> "none"
   | Ao_network -> "network"
   | Ao_full -> "network+interpreter"
+
+let policy_name = function Snap_lru -> "lru" | Snap_ws -> "ws"
+
+let policy_of_name = function
+  | "lru" -> Some Snap_lru
+  | "ws" -> Some Snap_ws
+  | _ -> None

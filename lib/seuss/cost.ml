@@ -12,6 +12,13 @@ let prefault_fixed = 12e-6
 let prefault_cow_per_page = 0.45e-6
 let prefault_zero_per_page = 0.15e-6
 
+let snap_index_fixed = 25e-6
+let snap_hash_per_page = 0.12e-6
+let snap_evict_fixed = 30e-6
+
+let snap_index_time ~delta_pages =
+  snap_index_fixed +. (float_of_int delta_pages *. snap_hash_per_page)
+
 let prefault_time (st : Mem.Addr_space.prefault_stats) =
   prefault_fixed
   +. (float_of_int st.Mem.Addr_space.prefault_cow_copies

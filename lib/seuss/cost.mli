@@ -71,3 +71,24 @@ val prefault_zero_per_page : float
 val prefault_time : Mem.Addr_space.prefault_stats -> float
 (** Core time for one batch: fixed trap + per-page install work.
     Already-mapped pages are free (flag updates ride the same pass). *)
+
+(** {2 Content-addressed snapshot store}
+
+    Only charged when [Config.snapshot_cache_bytes > 0L] — a disarmed
+    store burns nothing, keeping the off path bit-identical. *)
+
+val snap_index_fixed : float
+(** Store bookkeeping per inserted snapshot (~25 us): member record,
+    residency accounting, index probes beyond hashing. *)
+
+val snap_hash_per_page : float
+(** Hashing one delta page into the content index. xxh3 streams a 4 KiB
+    page in well under 1 us on 2016-era cores; 0.12 us is a page already
+    in cache, which capture just touched. *)
+
+val snap_evict_fixed : float
+(** Victim scan + unlink of one evicted member (~30 us, the same order
+    as {!destroy} since eviction releases a table the same way). *)
+
+val snap_index_time : delta_pages:int -> float
+(** Core time to insert one snapshot: fixed cost + per-page hashing. *)

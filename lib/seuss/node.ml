@@ -51,6 +51,12 @@ type t = {
   captured : capture Queue.t;  (* bounded to [capture_limit], oldest out *)
   mutable in_flight : int;
   mutable bases : (Unikernel.Image.runtime * Snapshot.t) list;
+  (* Armed when [Config.snapshot_cache_bytes > 0L]: the content-addressed
+     byte-budgeted store owns the function snapshots and [fn_snapshots]
+     is kept as its exact mirror (the store's on_evict callback removes
+     mirror entries). Unarmed (the default), the store does not exist and
+     every path below is byte-identical to a build without it. *)
+  mutable store : Snapstore.t option;
   fn_snapshots : (string, Snapshot.t) Hashtbl.t;
   (* Insertion order of function snapshots, for bounded-cache eviction. *)
   snap_order : string Queue.t;
@@ -114,6 +120,7 @@ let create ?(config = Config.default) ?trace_sample node_env =
     | Some _ -> trace_sample
     | None -> trace_sample_of_env ()
   in
+  let t =
   {
     node_env;
     cfg = config;
@@ -122,6 +129,7 @@ let create ?(config = Config.default) ?trace_sample node_env =
     captured = Queue.create ();
     in_flight = 0;
     bases = [];
+    store = None;
     fn_snapshots = Hashtbl.create 1024;
     snap_order = Queue.create ();
     idle = Hashtbl.create 1024;
@@ -139,6 +147,15 @@ let create ?(config = Config.default) ?trace_sample node_env =
     g_idle_ucs = Obs.Metrics.gauge m "node_idle_ucs";
     g_snapshots = Obs.Metrics.gauge m "node_fn_snapshots";
   }
+  in
+  if Int64.compare config.Config.snapshot_cache_bytes 0L > 0 then
+    t.store <-
+      Some
+        (Snapstore.create ~env:node_env
+           ~budget_bytes:config.Config.snapshot_cache_bytes
+           ~policy:config.Config.snapshot_cache_policy
+           ~on_evict:(fun ~fn_id -> Hashtbl.remove t.fn_snapshots fn_id));
+  t
 
 let config t = t.cfg
 let env t = t.node_env
@@ -172,6 +189,17 @@ let base_snapshot t runtime = List.assoc_opt runtime t.bases
 
 let function_snapshot t fn_id = Hashtbl.find_opt t.fn_snapshots fn_id
 
+let snapstore t = t.store
+
+(* The invocation paths' snapshot lookup: when the store is armed it is
+   the source of truth (hit/miss counting, recency touch); unarmed, the
+   plain mirror read. [function_snapshot] stays a policy-neutral read
+   for inspection tools. *)
+let lookup_snapshot t fn_id =
+  match t.store with
+  | Some s -> Snapstore.lookup s fn_id
+  | None -> Hashtbl.find_opt t.fn_snapshots fn_id
+
 let snapshot_count t = Hashtbl.length t.fn_snapshots
 
 let snapshot_inventory t =
@@ -195,8 +223,12 @@ let evict_snapshots_if_needed t =
         match Hashtbl.find_opt t.fn_snapshots fn_id with
         | None -> () (* stale entry *)
         | Some snap ->
-            if Snapshot.try_delete ~env:t.node_env snap then
-              Hashtbl.remove t.fn_snapshots fn_id
+            let deleted =
+              match t.store with
+              | Some s -> Snapstore.forget s ~fn_id snap
+              | None -> Snapshot.try_delete ~env:t.node_env snap
+            in
+            if deleted then Hashtbl.remove t.fn_snapshots fn_id
             else Queue.add fn_id t.snap_order)
   done
 
@@ -207,7 +239,13 @@ let install_snapshot t ~fn_id snap =
     evict_snapshots_if_needed t;
     Hashtbl.replace t.fn_snapshots fn_id snap;
     Queue.add fn_id t.snap_order;
-    Obs.Metrics.inc t.c_captured
+    Obs.Metrics.inc t.c_captured;
+    (* The store's budget sweep may evict members right here — including,
+       under a budget smaller than one snapshot, the one just inserted
+       (on_evict keeps the mirror exact either way). *)
+    match t.store with
+    | Some s -> Snapstore.insert s ~fn_id snap
+    | None -> ()
   end
 
 let idle_uc_count t = t.idle_total
@@ -508,6 +546,17 @@ let warm_invoke t ph fn snap ~args =
         finish t Warm fn uc result
       end
 
+(* Between the snapshot lookup and [Uc.deploy]'s addref the warm path
+   yields (headroom sweep, deploy burn); a concurrent cold path's insert
+   could meanwhile evict this very snapshot and deploy would then hit a
+   deleted template. Pinning it as a dependent for the duration makes it
+   invisible to every eviction sweep. *)
+let warm_invoke_pinned t ph fn snap ~args =
+  Snapshot.addref snap;
+  Fun.protect
+    ~finally:(fun () -> Snapshot.decref snap)
+    (fun () -> warm_invoke t ph fn snap ~args)
+
 let cold_invoke t ph fn ~args =
   Sim.Trace.mark "node.path cold";
   match base_snapshot t fn.runtime with
@@ -589,8 +638,8 @@ let cold_invoke t ph fn ~args =
 let retry_after_hot_death t ph fn ~args =
   Obs.Metrics.inc t.c_retried;
   Osenv.emit t.node_env (Obs.Event.Invoke_retry { fn_id = fn.fn_id });
-  match function_snapshot t fn.fn_id with
-  | Some snap -> warm_invoke t ph fn snap ~args
+  match lookup_snapshot t fn.fn_id with
+  | Some snap -> warm_invoke_pinned t ph fn snap ~args
   | None -> cold_invoke t ph fn ~args
 
 let hot_invoke t ph uc fn ~args =
@@ -632,10 +681,10 @@ let invoke t fn ~args =
             count_invocation t Hot fn.runtime;
             (hot_invoke t ph uc fn ~args, Hot)
         | None -> (
-            match function_snapshot t fn.fn_id with
+            match lookup_snapshot t fn.fn_id with
             | Some snap ->
                 count_invocation t Warm fn.runtime;
-                (warm_invoke t ph fn snap ~args, Warm)
+                (warm_invoke_pinned t ph fn snap ~args, Warm)
             | None ->
                 count_invocation t Cold fn.runtime;
                 (cold_invoke t ph fn ~args, Cold)))
@@ -691,9 +740,12 @@ let shutdown t =
   Hashtbl.reset t.idle;
   Queue.clear t.idle_order;
   t.idle_total <- 0;
-  Det.iter
-    (fun _ snap -> ignore (Snapshot.try_delete ~env:t.node_env snap))
-    t.fn_snapshots;
+  (match t.store with
+  | Some s -> Snapstore.drain s
+  | None ->
+      Det.iter
+        (fun _ snap -> ignore (Snapshot.try_delete ~env:t.node_env snap))
+        t.fn_snapshots);
   Hashtbl.reset t.fn_snapshots;
   Queue.clear t.snap_order;
   List.iter

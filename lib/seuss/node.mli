@@ -87,6 +87,16 @@ val deploy_idle : t -> Unikernel.Image.runtime -> bool
 val base_snapshot : t -> Unikernel.Image.runtime -> Snapshot.t option
 
 val function_snapshot : t -> string -> Snapshot.t option
+(** Policy-neutral read of the function-snapshot cache — does not count
+    a store hit/miss or touch eviction recency. *)
+
+val snapstore : t -> Snapstore.t option
+(** The content-addressed byte-budgeted snapshot store, present iff
+    {!Config.t.snapshot_cache_bytes} > 0. When armed, the invocation
+    paths route function-snapshot lookups through it (hit/miss counting,
+    recency), captures insert into it (page dedup + delta accounting +
+    budget eviction), and {!shutdown} drains it. Unarmed, every path is
+    byte-identical to a build without the store. *)
 
 val install_snapshot : t -> fn_id:string -> Snapshot.t -> unit
 (** Adopt an externally-produced snapshot (e.g. fetched from a remote

@@ -339,3 +339,13 @@ let warmth t =
 let program_source t = Option.map (fun l -> l.source) t.program
 
 let heap_used_bytes t = Galloc.used_bytes t.heap
+
+(* Frozen-state views for the snapshot store's content model: which
+   function (if any) the snapshot carries, and how far its heap bump
+   cursor had advanced — the tail of that extent is the function's
+   compiled bytecode, the only heap content that differs between
+   functions compiled on the same base. *)
+let snapshot_program_source s = Option.map (fun l -> l.source) s.s_program
+
+let snapshot_heap_pages s =
+  (s.s_heap_cursor + Mem.Mconfig.page_size - 1) / Mem.Mconfig.page_size

@@ -66,3 +66,13 @@ val warmth : state -> warmth
 val program_source : state -> string option
 
 val heap_used_bytes : state -> int
+
+val snapshot_program_source : snapshot_state -> string option
+(** The source of the program the frozen state carries, if any — the
+    salt the snapshot store uses to give each function's compiled
+    bytecode its own content identity. *)
+
+val snapshot_heap_pages : snapshot_state -> int
+(** Heap pages in use at capture (bump-cursor extent, rounded up). The
+    tail of this extent is the function-specific bytecode; everything
+    below it is content every snapshot of the same runtime shares. *)

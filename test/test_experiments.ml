@@ -232,6 +232,177 @@ let test_fig_load_same_seed_identical () =
     (Obs.Json.to_string (Experiments.Fig_load.to_json r1))
     (Obs.Json.to_string (Experiments.Fig_load.to_json r2))
 
+let evict_sizes =
+  (* 2 MiB is below even the first member's indexed-runtime footprint,
+     so that arm lives under constant eviction pressure. *)
+  [ 0L; Int64.of_int (Mem.Mconfig.mib 2); Int64.of_int (Mem.Mconfig.mib 64) ]
+
+let test_fig_evict_shapes () =
+  (* Trimmed sweep: the disarmed baseline, one budget under real
+     pressure, one with headroom. The armed-unbounded arm must land on
+     the baseline's serving behavior exactly, and the squeezed arm must
+     actually evict and pay for it in cold starts. *)
+  let r =
+    Experiments.Fig_evict.run ~functions:12 ~hours:0.01 ~rate:8.0
+      ~sizes:evict_sizes ~seed:5L ()
+  in
+  let open Experiments.Fig_evict in
+  Alcotest.(check int) "three arms" 3 (List.length r.arms);
+  List.iter
+    (fun a ->
+      Alcotest.(check int)
+        (a.label ^ " replays the whole trace")
+        r.trace_events a.invocations;
+      Alcotest.(check int) "ok + errors = invocations" a.invocations
+        (a.ok + a.errors);
+      Alcotest.(check int) "error-free" 0 a.errors;
+      Alcotest.(check bool) "tails ordered" true
+        (a.p50_ms <= a.p99_ms && a.p99_ms <= a.p999_ms))
+    r.arms;
+  let arm label = List.find (fun a -> String.equal a.label label) r.arms in
+  let off = arm "off" and tight = arm "2m" and roomy = arm "64m" in
+  Alcotest.(check bool) "baseline is disarmed" true (off.members = 0);
+  (* Pressure: the tight arm evicts, loses hits, and pays at the tail. *)
+  Alcotest.(check bool) "tight arm evicts" true (tight.evictions > 0);
+  Alcotest.(check bool) "tight arm misses more" true
+    (tight.hit_rate < roomy.hit_rate);
+  Alcotest.(check bool) "misses cost latency" true
+    (tight.p99_ms >= roomy.p99_ms);
+  (* Headroom: no evictions, real sharing, and the same serving mix as
+     the disarmed baseline. *)
+  Alcotest.(check int) "roomy arm never evicts" 0 roomy.evictions;
+  Alcotest.(check bool)
+    (Printf.sprintf "dedup ratio %.2f > 1" roomy.dedup_ratio)
+    true (roomy.dedup_ratio > 1.0);
+  Alcotest.(check bool) "roomy arm stays within budget" true
+    (Int64.compare roomy.peak_bytes roomy.cache_bytes <= 0);
+  Alcotest.(check bool) "roomy mix = baseline mix" true (roomy.mix = off.mix);
+  let rendered = render r in
+  Alcotest.(check bool) "renders with curves" true
+    (String.length rendered > 200)
+
+let test_fig_evict_same_seed_identical () =
+  let run () =
+    Experiments.Fig_evict.run ~functions:8 ~hours:0.005 ~rate:8.0
+      ~sizes:evict_sizes ~seed:9L ()
+  in
+  let r1 = run () and r2 = run () in
+  Alcotest.(check bool) "same-seed runs identical" true (r1 = r2);
+  Alcotest.(check string) "JSON identical"
+    (Obs.Json.to_string (Experiments.Fig_evict.to_json r1))
+    (Obs.Json.to_string (Experiments.Fig_evict.to_json r2))
+
+(* {1 Pool_node edge cases} *)
+
+let pool_config ~cache_limit =
+  { (Baselines.Pool_node.default_config Baselines.Pool_node.Process) with
+    Baselines.Pool_node.cache_limit }
+
+let test_pool_capacity_zero () =
+  Experiments.Harness.run_sim (fun engine ->
+      let env = Experiments.Harness.make_seuss_env engine in
+      let node =
+        Baselines.Pool_node.create
+          ~config:(pool_config ~cache_limit:0)
+          ~kind:Baselines.Pool_node.Process env
+      in
+      (match
+         Baselines.Pool_node.invoke node ~fn_id:"z"
+           ~action:Baselines.Backend_intf.Nop
+       with
+      | Error `Overloaded -> ()
+      | Ok () -> Alcotest.fail "capacity 0 must refuse every invocation");
+      let st = Baselines.Pool_node.stats node in
+      Alcotest.(check int) "error counted" 1 st.Baselines.Pool_node.errors;
+      Alcotest.(check int) "nothing created" 0 st.Baselines.Pool_node.creates;
+      Alcotest.(check int) "no instances" 0
+        (Baselines.Pool_node.instance_count node))
+
+let test_pool_busy_instance_never_evicted () =
+  (* Capacity 1: while the only instance is mid-request, a second
+     function's arrival finds nothing evictable (the busy instance must
+     survive) and is refused; after the request finishes the instance
+     serves its own function warm. *)
+  Experiments.Harness.run_sim (fun engine ->
+      let env = Experiments.Harness.make_seuss_env engine in
+      let node =
+        Baselines.Pool_node.create
+          ~config:(pool_config ~cache_limit:1)
+          ~kind:Baselines.Pool_node.Process env
+      in
+      let first = ref None and second = ref None in
+      Sim.Engine.spawn engine ~name:"first" (fun () ->
+          first :=
+            Some
+              (Baselines.Pool_node.invoke node ~fn_id:"a"
+                 ~action:(Baselines.Backend_intf.Io_call ("http://io-server", 0.5))));
+      Sim.Engine.spawn engine ~name:"second" (fun () ->
+          (* Arrives while the first request is parked in its IO call —
+             past the ~0.4 s the process backend spends creating the
+             instance, well before the 0.5 s call returns. *)
+          Sim.Engine.sleep 0.6;
+          second :=
+            Some
+              (Baselines.Pool_node.invoke node ~fn_id:"b"
+                 ~action:Baselines.Backend_intf.Nop));
+      Sim.Engine.sleep 2.0;
+      (match !first with
+      | Some (Ok ()) -> ()
+      | _ -> Alcotest.fail "in-flight invocation must complete");
+      (match !second with
+      | Some (Error `Overloaded) -> ()
+      | _ -> Alcotest.fail "second function must be refused, not evict a busy instance");
+      Alcotest.(check int) "the busy instance survived" 1
+        (Baselines.Pool_node.instance_count node);
+      let st0 = Baselines.Pool_node.stats node in
+      Alcotest.(check int) "no eviction of the busy instance" 0
+        st0.Baselines.Pool_node.evictions;
+      (match
+         Baselines.Pool_node.invoke node ~fn_id:"a"
+           ~action:Baselines.Backend_intf.Nop
+       with
+      | Ok () -> ()
+      | Error `Overloaded -> Alcotest.fail "warm hit after drain must succeed");
+      let st = Baselines.Pool_node.stats node in
+      Alcotest.(check int) "served warm" 1 st.Baselines.Pool_node.warm_hits)
+
+let test_pool_stale_lru_entries_not_double_freed () =
+  (* A warm hit re-queues its instance, so the LRU order can hold the
+     same instance twice. Evicting it once marks it dead; the stale
+     second entry must be skipped, not destroyed again — creates minus
+     evictions must keep matching the live instance count. *)
+  Experiments.Harness.run_sim (fun engine ->
+      let env = Experiments.Harness.make_seuss_env engine in
+      let node =
+        Baselines.Pool_node.create
+          ~config:(pool_config ~cache_limit:2)
+          ~kind:Baselines.Pool_node.Process env
+      in
+      let invoke fn_id =
+        match
+          Baselines.Pool_node.invoke node ~fn_id
+            ~action:Baselines.Backend_intf.Nop
+        with
+        | Ok () -> ()
+        | Error `Overloaded -> Alcotest.failf "%s refused" fn_id
+      in
+      invoke "a";
+      invoke "a" (* warm: instance "a" now queued twice in the LRU *);
+      invoke "b" (* at capacity *);
+      invoke "c" (* evicts "a" once; its twin LRU entry goes stale *);
+      invoke "d" (* must skip the stale "a" entry and evict "b" *);
+      let st = Baselines.Pool_node.stats node in
+      Alcotest.(check int) "four creates" 4 st.Baselines.Pool_node.creates;
+      Alcotest.(check int) "one warm hit" 1 st.Baselines.Pool_node.warm_hits;
+      Alcotest.(check int) "exactly two evictions" 2
+        st.Baselines.Pool_node.evictions;
+      Alcotest.(check int) "no errors" 0 st.Baselines.Pool_node.errors;
+      Alcotest.(check int) "creates - evictions = live instances"
+        (st.Baselines.Pool_node.creates - st.Baselines.Pool_node.evictions)
+        (Baselines.Pool_node.instance_count node);
+      Alcotest.(check int) "both survivors idle" 2
+        (Baselines.Pool_node.idle_count node))
+
 let test_registry_covers_experiments () =
   (* Every shipped experiment must be discoverable: present in the
      registry with a non-empty one-liner, and the load plane in
@@ -244,7 +415,7 @@ let test_registry_covers_experiments () =
       | Some d -> Alcotest.(check bool) (n ^ " documented") true
           (String.length d > 0)
       | None -> Alcotest.fail (n ^ " has no doc"))
-    [ "table1"; "fig4"; "burst"; "load"; "chaos"; "reap" ];
+    [ "table1"; "fig4"; "burst"; "load"; "chaos"; "reap"; "evict" ];
   let sorted = List.sort_uniq compare names in
   Alcotest.(check int) "registry names unique" (List.length names)
     (List.length sorted)
@@ -279,6 +450,15 @@ let () =
           case "fig_reap reduction" test_fig_reap_reduction;
           case "fig_load shapes" test_fig_load_shapes;
           case "fig_load same-seed identical" test_fig_load_same_seed_identical;
+          case "fig_evict shapes" test_fig_evict_shapes;
+          case "fig_evict same-seed identical" test_fig_evict_same_seed_identical;
+        ] );
+      ( "pool-node",
+        [
+          case "capacity 0 refuses" test_pool_capacity_zero;
+          case "busy instance never evicted" test_pool_busy_instance_never_evicted;
+          case "stale LRU entries not double-freed"
+            test_pool_stale_lru_entries_not_double_freed;
         ] );
       ( "registry",
         [ case "covers experiments" test_registry_covers_experiments ] );

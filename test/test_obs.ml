@@ -92,6 +92,27 @@ let test_event_roundtrip_all_variants () =
           cached_snapshots = 17;
           stuck_waiters = 0;
         };
+      Obs.Event.Snap_dedup
+        {
+          snapshot = "fn-fn-1";
+          delta_pages = 546;
+          shared_pages = 540;
+          unique_pages = 6;
+        };
+      Obs.Event.Snap_delta
+        {
+          snapshot = "fn-fn-1";
+          parent = "node-base";
+          delta_pages = 546;
+          delta_bytes = 2236416L;
+        };
+      Obs.Event.Snap_evict
+        {
+          fn_id = "fn-1";
+          pages_freed = 6;
+          resident_bytes = 4194304L;
+          policy = "lru";
+        };
     ]
   in
   List.iter
