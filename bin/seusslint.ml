@@ -1,6 +1,7 @@
-(* The seusslint driver — determinism & resource-safety linter.
+(* The seusslint driver — determinism, resource-safety and hot-path
+   linter.
 
-   Two passes over every .ml under the given roots (default: lib bin),
+   Passes over every .ml under the given roots (default: lib bin),
    selected with --pass:
 
    - base (default): the per-file syntactic rules in Lint.Check.
@@ -11,6 +12,15 @@
      Lint.Deadlock (block-in-handler, lock-order, unreleased-acquire).
      Suppressions use the pass's own marker:
        (* seussdead: allow <rule> — <reason> *)
+   - heat: the hot-path allocation/boxing rules in Lint.Heat
+     (heat-closure, heat-alloc, heat-string, heat-float-box,
+     heat-poly-cmp, heat-partial-apply), seeded from the registered hot
+     roots in Lint.Hotroots. Suppressions:
+       (* seussheat: cold — <reason> *)
+   - all: every pass over one shared parse — each file is read, its
+     comments lexed and its AST built exactly once (Lint.Check.load_tree),
+     then the three passes analyze the shared sources. --time reports
+     the load/analysis split on stderr.
 
    Exits 1 if any unsuppressed violation remains. --json swaps the
    human report for one JSON object per line (file, line, col, rule,
@@ -27,13 +37,22 @@ let list_rules () =
     (fun r ->
       Printf.printf "  %-18s %s\n" (Lint.Rules.name r) (Lint.Rules.describe r))
     Lint.Rules.deadlock;
+  print_endline "seusslint rules (heat pass, --pass heat):";
+  List.iter
+    (fun r ->
+      Printf.printf "  %-18s %s\n" (Lint.Rules.name r) (Lint.Rules.describe r))
+    Lint.Rules.heat;
   Printf.printf
     "  %-18s reported for malformed/unknown allow comments (not suppressible)\n"
     Lint.Rules.bad_allow;
   Printf.printf
     "  %-18s reported for allow comments that suppress nothing (not \
      suppressible)\n"
-    Lint.Rules.unused_allow
+    Lint.Rules.unused_allow;
+  Printf.printf
+    "  %-18s reported when a suffix-2 name resolves into two files (not \
+     suppressible)\n"
+    Lint.Rules.ambiguous_resolve
 
 (* Minimal JSON string escaping: the report fields are ASCII paths and
    rule prose, but messages may carry quotes or em dashes. *)
@@ -58,16 +77,23 @@ let () =
   let strip = ref "" in
   let pass = ref "base" in
   let json = ref false in
+  let time = ref false in
   let spec =
     [
       ("--list-rules", Arg.Set list, " Print the rule catalogue and exit");
       ( "--pass",
-        Arg.Symbol ([ "base"; "deadlock" ], fun p -> pass := p),
-        " Which pass to run: base (per-file syntactic rules, default) or \
-         deadlock (interprocedural blocking/lock-order analysis)" );
+        Arg.Symbol ([ "base"; "deadlock"; "heat"; "all" ], fun p -> pass := p),
+        " Which pass to run: base (per-file syntactic rules, default), \
+         deadlock (interprocedural blocking/lock-order analysis), heat \
+         (hot-path allocation analysis), or all (every pass over one shared \
+         parse)" );
       ( "--json",
         Arg.Set json,
         " Emit one JSON object per violation instead of the human report" );
+      ( "--time",
+        Arg.Set time,
+        " Report load (read+lex+parse) and per-pass analysis wall time on \
+         stderr" );
       ( "--strip-prefix",
         Arg.Set_string strip,
         "PREFIX Drop PREFIX from paths before rule classification (so a \
@@ -76,18 +102,42 @@ let () =
   in
   Arg.parse (Arg.align spec)
     (fun dir -> roots := dir :: !roots)
-    "seusslint [--list-rules] [--pass base|deadlock] [--json] [--strip-prefix \
-     PREFIX] [DIR ...]   (default roots: lib bin)";
+    "seusslint [--list-rules] [--pass base|deadlock|heat|all] [--json] \
+     [--time] [--strip-prefix PREFIX] [DIR ...]   (default roots: lib bin)";
   if !list then begin
     list_rules ();
     exit 0
   end;
   let roots = match List.rev !roots with [] -> [ "lib"; "bin" ] | rs -> rs in
   let strip_prefix = match !strip with "" -> None | p -> Some p in
+  let timed what f =
+    let t0 = Unix.gettimeofday () in
+    let v = f () in
+    if !time then
+      Printf.eprintf "seusslint: %-12s %6.1f ms\n%!" what
+        ((Unix.gettimeofday () -. t0) *. 1e3);
+    v
+  in
   let violations =
     match !pass with
-    | "deadlock" -> Lint.Deadlock.check_tree ?strip_prefix roots
-    | _ -> Lint.Check.check_tree ?strip_prefix roots
+    | "deadlock" ->
+        timed "deadlock" (fun () -> Lint.Deadlock.check_tree ?strip_prefix roots)
+    | "heat" ->
+        timed "heat" (fun () -> Lint.Heat.check_tree ?strip_prefix roots)
+    | "all" ->
+        (* The point of "all": one read+lex+parse, shared by every pass. *)
+        let sources =
+          timed "load" (fun () -> Lint.Check.load_tree ?strip_prefix roots)
+        in
+        let base = timed "base" (fun () -> Lint.Check.check_sources sources) in
+        let dl =
+          timed "deadlock" (fun () -> Lint.Deadlock.check_sources sources)
+        in
+        let heat = timed "heat" (fun () -> Lint.Heat.check_sources sources) in
+        (* sort_uniq: the interprocedural passes can both surface the
+           same ambiguous-resolve collision. *)
+        List.sort_uniq Lint.Check.compare_violation (base @ dl @ heat)
+    | _ -> timed "base" (fun () -> Lint.Check.check_tree ?strip_prefix roots)
   in
   List.iter
     (fun (v : Lint.Check.violation) ->

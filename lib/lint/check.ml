@@ -230,7 +230,20 @@ let iterator ctx =
   in
   { default_iterator with expr; structure_item }
 
-(* {1 Per-file driver} *)
+(* {1 Shared sources}
+
+   Reading, comment-lexing and parsing one file is the bulk of a lint
+   pass's wall time, and every pass needs the identical products — so
+   they are loaded once into a [source] and shared ([seusslint --pass
+   all] parses the tree exactly once for all three passes). *)
+
+type source = {
+  src_path : string;
+  src_rel : string;
+  src_text : string;
+  src_comments : (string * Location.t) list;
+  src_ast : (Parsetree.structure, exn) result;
+}
 
 let read_file path =
   let ic = open_in_bin path in
@@ -250,10 +263,33 @@ let gather_comments src path =
    with _ -> ());
   Lexer.comments ()
 
-let check_file ?rel path =
+let load_source ?rel path =
   let rel = match rel with Some r -> r | None -> rel_of_path path in
+  let text = read_file path in
+  let comments = gather_comments text path in
+  let ast =
+    match
+      Lexer.init ();
+      let lexbuf = Lexing.from_string text in
+      Location.init lexbuf path;
+      Parse.implementation lexbuf
+    with
+    | ast -> Ok ast
+    | exception exn -> Error exn
+  in
+  {
+    src_path = path;
+    src_rel = rel;
+    src_text = text;
+    src_comments = comments;
+    src_ast = ast;
+  }
+
+(* {1 Per-file driver} *)
+
+let check_source source =
+  let rel = source.src_rel in
   let ctx = make_ctx rel in
-  let src = read_file path in
   let meta = ref [] in
   let allows = ref [] in
   List.iter
@@ -275,17 +311,18 @@ let check_file ?rel path =
           let col = loc.loc_start.Lexing.pos_cnum - loc.loc_start.Lexing.pos_bol in
           match Rules.of_name rule_id with
           | Some r when not (List.mem r Rules.syntactic) ->
+              let hint =
+                if List.mem r Rules.heat then
+                  "the heat pass; suppress it with a seussheat: cold marker"
+                else "the deadlock pass; suppress it with a seussdead: allow comment"
+              in
               meta :=
                 {
                   file = rel;
                   line;
                   col;
                   rule = Rules.bad_allow;
-                  message =
-                    Printf.sprintf
-                      "rule %s belongs to the deadlock pass; suppress it with \
-                       a seussdead: allow comment"
-                      rule_id;
+                  message = Printf.sprintf "rule %s belongs to %s" rule_id hint;
                 }
                 :: !meta
           | None ->
@@ -320,17 +357,12 @@ let check_file ?rel path =
                   a_used = false;
                 }
                 :: !allows))
-    (gather_comments src path);
-  (match
-     Lexer.init ();
-     let lexbuf = Lexing.from_string src in
-     Location.init lexbuf path;
-     Parse.implementation lexbuf
-   with
-  | ast ->
+    source.src_comments;
+  (match source.src_ast with
+  | Ok ast ->
       let it = iterator ctx in
       it.structure it ast
-  | exception exn ->
+  | Error exn ->
       meta :=
         {
           file = rel;
@@ -378,6 +410,8 @@ let check_file ?rel path =
   in
   List.sort compare_violation (surviving @ dead @ !meta)
 
+let check_file ?rel path = check_source (load_source ?rel path)
+
 (* {1 Tree driver} *)
 
 let rec source_files dir =
@@ -408,17 +442,19 @@ let strip_rel_prefix ~prefix rel =
     String.sub rel (String.length prefix) (String.length rel - String.length prefix)
   else rel
 
-let check_tree ?strip_prefix roots =
+let load_tree ?strip_prefix roots =
   let rel_of path =
     let rel = rel_of_path path in
     match strip_prefix with
     | None -> rel
     | Some prefix -> strip_rel_prefix ~prefix rel
   in
-  List.sort compare_violation
-    (List.concat_map
-       (fun root ->
-         List.concat_map
-           (fun f -> check_file ~rel:(rel_of f) f)
-           (source_files root))
-       roots)
+  List.concat_map
+    (fun root ->
+      List.map (fun f -> load_source ~rel:(rel_of f) f) (source_files root))
+    roots
+
+let check_sources sources =
+  List.sort compare_violation (List.concat_map check_source sources)
+
+let check_tree ?strip_prefix roots = check_sources (load_tree ?strip_prefix roots)

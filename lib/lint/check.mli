@@ -21,6 +21,36 @@ type violation = {
 val compare_violation : violation -> violation -> int
 (** Orders by (file, line, col, rule) for stable reports. *)
 
+(** {1 Shared sources}
+
+    Reading, comment-lexing and parsing dominate a pass's wall time and
+    every pass needs the identical products, so a tree is loaded once
+    into [source]s that all passes share ([seusslint --pass all] parses
+    each file exactly once). *)
+
+type source = {
+  src_path : string;  (** filesystem path the file was read from *)
+  src_rel : string;  (** repo-relative path used for classification *)
+  src_text : string;
+  src_comments : (string * Location.t) list;
+  src_ast : (Parsetree.structure, exn) result;
+      (** the parse, or the exception every pass reports as
+          [parse-error] *)
+}
+
+val load_source : ?rel:string -> string -> source
+
+val load_tree : ?strip_prefix:string -> string list -> source list
+(** Load every [.ml] under the given roots. [strip_prefix] is dropped
+    from the front of each relative path before classification, so a
+    fixture tree like [test/lint_fixtures/lib] is linted as [lib/]. *)
+
+val check_source : source -> violation list
+(** Run the syntactic rules over one loaded source. *)
+
+val check_sources : source list -> violation list
+(** [check_source] over each, merged and sorted. *)
+
 val check_file : ?rel:string -> string -> violation list
 (** [check_file path] lints one source. [rel] overrides the
     repo-relative path used for rule classification (lib/-only rules)
@@ -28,10 +58,8 @@ val check_file : ?rel:string -> string -> violation list
     stripped. *)
 
 val check_tree : ?strip_prefix:string -> string list -> violation list
-(** Lint every [.ml] under the given roots, sorted. [strip_prefix] is
-    dropped from the front of each relative path before classification,
-    so a fixture tree like [test/lint_fixtures/lib] is linted as
-    [lib/]. *)
+(** [check_sources] over [load_tree]: lint every [.ml] under the given
+    roots, sorted. *)
 
 (** {1 Shared plumbing} *)
 

@@ -55,12 +55,7 @@ let blocking_primitives =
     "Engine.sleep"; "Engine.yield"; "Engine.suspend";
   ]
 
-(* Last one or two path components, joined — the resolution key. *)
-let suffix2 path =
-  match List.rev path with
-  | [] -> ""
-  | [ x ] -> x
-  | x :: m :: _ -> m ^ "." ^ x
+let suffix2 = Resolve.suffix2
 
 let is_seed path = List.mem (suffix2 path) blocking_primitives
 
@@ -400,13 +395,15 @@ let scan_directives fs comments =
                   { al_rule = r; al_first = first; al_last = last;
                     al_line = line; al_used = false }
                   :: fs.fs_allows
-          | Some _ ->
+          | Some r ->
+              let hint =
+                if List.mem r Rules.heat then
+                  "the heat pass; suppress it with a seussheat: cold marker"
+                else "the base pass; suppress it with a seusslint: allow comment"
+              in
               fs.fs_meta <-
                 mk_meta fs.fs_rel line col Rules.bad_allow
-                  (Printf.sprintf
-                     "rule %s belongs to the base pass; suppress it with a \
-                      seusslint: allow comment"
-                     rule_id)
+                  (Printf.sprintf "rule %s belongs to %s" rule_id hint)
                 :: fs.fs_meta
           | None ->
               fs.fs_meta <-
@@ -437,10 +434,11 @@ let binding_of_key key =
   | Some i -> String.sub key (i + 1) (String.length key - i - 1)
   | None -> key
 
-(* Scan one file: walk its AST into scan products, pair creations with
-   lock directives and definitions with atomic directives, and report
-   creations that carry no lock class. *)
-let scan_file ~rel path =
+(* Scan one loaded source: walk its AST into scan products, pair
+   creations with lock directives and definitions with atomic
+   directives, and report creations that carry no lock class. *)
+let scan_source (source : Check.source) =
+  let rel = source.Check.src_rel in
   let fs =
     {
       fs_rel = rel;
@@ -452,9 +450,7 @@ let scan_file ~rel path =
       fs_meta = [];
     }
   in
-  let src = Check.read_file path in
-  let comments = Check.gather_comments src path in
-  let locks, atomics = scan_directives fs comments in
+  let locks, atomics = scan_directives fs source.Check.src_comments in
   let modname = module_of rel in
   let st =
     {
@@ -484,16 +480,11 @@ let scan_file ~rel path =
     }
   in
   st.s_cur <- new_fn st "<toplevel>" 1;
-  (match
-     Lexer.init ();
-     let lexbuf = Lexing.from_string src in
-     Location.init lexbuf path;
-     Parse.implementation lexbuf
-   with
-  | ast ->
+  (match source.Check.src_ast with
+  | Ok ast ->
       let it = iterator st in
       it.structure it ast
-  | exception exn ->
+  | Error exn ->
       fs.fs_meta <-
         mk_meta rel 1 0 Rules.parse_error (Printexc.to_string exn)
         :: fs.fs_meta);
@@ -554,23 +545,14 @@ let scan_file ~rel path =
 
 type linked = {
   fns : fn array;
-  defs : (string, fn list) Hashtbl.t;  (* "Module.binding" -> definitions *)
+  defs : fn Resolve.t;  (* "Module.binding" -> definitions *)
   may_block : bool array;
   may_acquire : SSet.t array;
   perfile_class : (string * string, string) Hashtbl.t;
   global_class : (string, SSet.t) Hashtbl.t;
 }
 
-let resolve lk ~modname path =
-  let key =
-    match List.rev path with
-    | [] -> None
-    | [ x ] -> Some (modname ^ "." ^ x)
-    | x :: m :: _ -> Some (m ^ "." ^ x)
-  in
-  match key with
-  | None -> []
-  | Some k -> ( match Hashtbl.find_opt lk.defs k with Some l -> l | None -> [])
+let resolve lk ~modname path = Resolve.find lk.defs ~modname path
 
 let classes_of lk ~file hint =
   if String.equal hint "" then []
@@ -590,15 +572,11 @@ let link scans =
     Array.of_list (List.mapi (fun i f -> { f with fn_id = i }) all_fns)
   in
   let n = Array.length fns in
-  let defs = Hashtbl.create 256 in
+  let defs = Resolve.create () in
   Array.iter
     (fun f ->
-      if not (String.equal (binding_of_key f.fn_key) "<toplevel>") then begin
-        let prev =
-          match Hashtbl.find_opt defs f.fn_key with Some l -> l | None -> []
-        in
-        Hashtbl.replace defs f.fn_key (prev @ [ f ])
-      end)
+      if not (String.equal (binding_of_key f.fn_key) "<toplevel>") then
+        Resolve.add defs ~key:f.fn_key ~file:f.fn_file f)
     fns;
   let perfile_class = Hashtbl.create 32 in
   let global_class = Hashtbl.create 32 in
@@ -837,21 +815,8 @@ let class_path edges src dst =
 
 (* {1 The tree driver} *)
 
-let check_tree ?strip_prefix roots =
-  let rel_of path =
-    let rel = Check.rel_of_path path in
-    match strip_prefix with
-    | None -> rel
-    | Some prefix -> Check.strip_rel_prefix ~prefix rel
-  in
-  let scans_and_hits =
-    List.concat_map
-      (fun root ->
-        List.map
-          (fun f -> scan_file ~rel:(rel_of f) f)
-          (Check.source_files root))
-      roots
-  in
+let check_sources sources =
+  let scans_and_hits = List.map scan_source sources in
   let scans = List.map fst scans_and_hits in
   let hits = ref (List.concat_map snd scans_and_hits) in
   let lk = link scans in
@@ -973,4 +938,31 @@ let check_tree ?strip_prefix roots =
       scans
   in
   let meta = List.concat_map (fun fs -> fs.fs_meta) scans in
-  List.sort Check.compare_violation (surviving @ dead @ meta)
+  (* Ambiguous suffix-2 resolution: a reference whose key is defined in
+     two or more files conflates same-named modules — every
+     interprocedural verdict drawn through it is suspect, so the
+     collision is surfaced as a meta-rule at each such reference. *)
+  let ambiguity =
+    List.sort_uniq Check.compare_violation
+      (Array.to_list lk.fns
+      |> List.concat_map (fun f ->
+             List.filter_map
+               (fun (path, line) ->
+                 if Resolve.ambiguous lk.defs ~modname:f.fn_module path then
+                   Some
+                     (mk_meta f.fn_file line 0 Rules.ambiguous_resolve
+                        (Printf.sprintf
+                           "%s resolves to definitions in %s; suffix-2 \
+                            resolution conflates these same-named modules — \
+                            rename one or avoid the shared suffix"
+                           (suffix2 path)
+                           (String.concat " and "
+                              (Resolve.defining_files lk.defs
+                                 ~modname:f.fn_module path))))
+                 else None)
+               f.fn_refs))
+  in
+  List.sort Check.compare_violation (surviving @ dead @ meta @ ambiguity)
+
+let check_tree ?strip_prefix roots =
+  check_sources (Check.load_tree ?strip_prefix roots)

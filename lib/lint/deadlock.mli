@@ -28,8 +28,13 @@ val blocking_primitives : string list
 (** Resolution keys (last two path components) of the primitives that
     can suspend the running process. *)
 
+val check_sources : Check.source list -> Check.violation list
+(** Analyze an already-loaded tree ({!Check.load_tree}) as one program
+    and return the sorted violations — the shared-parse entry point
+    behind [seusslint --pass all]. *)
+
 val check_tree : ?strip_prefix:string -> string list -> Check.violation list
-(** Analyze every [.ml] under the given roots as one program and return
-    the sorted violations. [strip_prefix] is dropped from the front of
-    each relative path before reporting, mirroring
+(** [check_sources] over {!Check.load_tree}: analyze every [.ml] under
+    the given roots as one program. [strip_prefix] is dropped from the
+    front of each relative path before reporting, mirroring
     {!Check.check_tree}. *)

@@ -1,0 +1,683 @@
+(* seussheat — the hot-path allocation/boxing pass.
+
+   Where {!Check} decides rules per file and {!Deadlock} asks "can this
+   block?", this pass asks "does the per-event path allocate?". It
+   builds the same conservative call graph (one node per top-level
+   binding, suffix-2 resolution via {!Resolve}, referencing a function
+   counts as calling it), seeds a worklist with the registered hot
+   roots ({!Hotroots.registry} — the engine dispatch loop and queue
+   ops, the observability emit path, metric updates, trace forks) plus
+   any binding marked (* seussheat: hot — <reason> *), and marks
+   everything reachable as hot. Inside hot bindings it flags the
+   allocation classes that dominate the engine's words-per-event
+   budget:
+
+   - heat-closure: fun/function outside the binding's own leading
+     parameter chain — a closure allocated per execution;
+   - heat-alloc: tuple/record/array/ref/lazy construction,
+     argument-carrying constructors and variants, and calls to
+     known-allocating stdlib functions (List.map, Array.append,
+     Hashtbl.create, boxed Int64 arithmetic, ...);
+   - heat-string: string building — ^, String.concat/make/sub,
+     Printf/Format, string_of_*;
+   - heat-float-box: a float-arithmetic result stored into a record
+     field, which boxes two words unless the record is all-float;
+   - heat-poly-cmp: compare/min/max/Hashtbl.hash, and =/<> against a
+     structured operand — representation-walking C calls;
+   - heat-partial-apply: applying a tree-defined function to fewer
+     positional arguments than its definition takes — a closure per
+     call. Skipped when the callee's arity is unclear (labels,
+     non-fun bodies) or its name resolves ambiguously.
+
+   Each violation carries the root-to-function chain that makes the
+   site hot, so the report reads as a proof obligation: break the chain
+   or fix the site.
+
+   Suppression is the pass's own marker with two verbs:
+
+   - (* seussheat: cold — <reason> *) covering a top-level binding's
+     [let] line prunes the binding from the hot set entirely (its body
+     and callees stay unanalyzed); covering any other line silences
+     every site inside expressions that *start* on a covered line,
+     whole-subtree, so one marker above a multi-line record silences
+     the record and its fields.
+   - (* seussheat: hot — <reason> *) covering a [let] line registers an
+     extra hot root, which is how fixtures and out-of-tree code seed
+     the analysis without editing {!Hotroots}.
+
+   A cold marker that covers no binding and silences nothing is
+   reported by the same unused-allow meta-rule as the other passes;
+   malformed markers are bad-allow; resolution through a suffix-2 key
+   defined in two files is surfaced as ambiguous-resolve at each hot
+   reference. *)
+
+let marker = "seussheat:"
+
+(* {1 Rule tables} *)
+
+(* Known-allocating stdlib calls, by resolution suffix. Boxed Int64
+   arithmetic is here too: every operation returns a fresh box. *)
+let alloc_fns =
+  [
+    "ref"; "Array.make"; "Array.init"; "Array.copy"; "Array.append";
+    "Array.sub"; "Array.concat"; "Array.of_list"; "Array.to_list";
+    "Array.of_seq"; "Array.map"; "Array.mapi"; "Bytes.create"; "Bytes.make";
+    "Bytes.copy"; "Bytes.sub"; "Buffer.create"; "Buffer.contents";
+    "List.map"; "List.mapi"; "List.rev_map"; "List.filter";
+    "List.filter_map"; "List.rev"; "List.append"; "List.concat";
+    "List.concat_map"; "List.flatten"; "List.init"; "List.sort";
+    "List.sort_uniq"; "List.stable_sort"; "List.fast_sort"; "List.split";
+    "List.combine"; "List.of_seq"; "Hashtbl.create"; "Hashtbl.copy";
+    "Queue.create"; "Stack.create"; "@"; "Int64.add"; "Int64.sub";
+    "Int64.mul"; "Int64.div"; "Int64.rem"; "Int64.neg"; "Int64.logand";
+    "Int64.logor"; "Int64.logxor"; "Int64.lognot"; "Int64.shift_left";
+    "Int64.shift_right"; "Int64.shift_right_logical"; "Int64.of_int";
+    "Int64.of_float";
+  ]
+
+let string_fns =
+  [
+    "^"; "String.concat"; "String.make"; "String.sub"; "String.init";
+    "String.map"; "String.cat"; "String.trim"; "String.escaped";
+    "String.uppercase_ascii"; "String.lowercase_ascii"; "string_of_int";
+    "string_of_float"; "string_of_bool"; "Int.to_string"; "Float.to_string";
+    "Bool.to_string"; "Int64.to_string"; "Printf.sprintf"; "Printf.printf";
+    "Printf.eprintf"; "Printf.fprintf"; "Printf.ksprintf"; "Printf.bprintf";
+    "Format.sprintf"; "Format.printf"; "Format.eprintf"; "Format.fprintf";
+    "Format.asprintf";
+  ]
+
+(* Guaranteed-polymorphic comparison entry points. (=)/(<>) are handled
+   separately: they are flagged only against structured operands, since
+   int/char comparisons specialize. *)
+let poly_fns = [ "compare"; "Stdlib.compare"; "min"; "max"; "Hashtbl.hash" ]
+
+let float_ops = [ "+."; "-."; "*."; "/."; "**"; "~-." ]
+
+(* {1 Scan products} *)
+
+type site = {
+  st_rule : Rules.id;
+  st_line : int;
+  st_col : int;
+  st_what : string;
+}
+
+type call = {
+  cl_path : string list;
+  cl_line : int;
+  cl_col : int;
+  cl_npos : int;  (* positional arguments supplied *)
+  cl_labeled : bool;  (* any labeled/optional argument present *)
+}
+
+type directive = {
+  d_first : int;
+  d_last : int;
+  d_line : int;
+  mutable d_used : bool;
+}
+
+type fn = {
+  mutable fn_id : int;
+  fn_key : string;  (* "Module.binding" *)
+  fn_module : string;
+  fn_file : string;
+  fn_line : int;
+  mutable fn_arity : int option;
+      (* leading all-positional parameter count; None when labels or a
+         non-fun body make the syntactic arity unreliable *)
+  mutable fn_is_fun : bool;
+      (* the binding has a leading fun/function chain. A plain value
+         binding's body runs once at module init, so hotness does not
+         propagate into it: referencing a value is not calling it. *)
+  mutable fn_params : string list;
+      (* names bound by the leading parameter chain — unqualified
+         references to them are the parameters, never the same-named
+         top-level bindings (let inc counter = ... counter.c <- ...) *)
+  mutable fn_refs : (string list * int) list;
+  mutable fn_sites : site list;
+  mutable fn_cold_sites : (site * directive) list;
+  mutable fn_calls : call list;
+  mutable fn_cold : bool;  (* a cold marker covers the definition line *)
+  mutable fn_hot_marked : bool;  (* a hot marker covers the definition line *)
+}
+
+type file_scan = {
+  fs_rel : string;
+  mutable fs_fns : fn list;
+  mutable fs_colds : directive list;
+  mutable fs_hots : directive list;
+  mutable fs_meta : Check.violation list;
+}
+
+let mk file line col rule message =
+  { Check.file; line; col; rule = Rules.name rule; message }
+
+let mk_meta file line col rule message = { Check.file; line; col; rule; message }
+
+(* {1 The per-file walk} *)
+
+type tstate = {
+  s_rel : string;
+  s_module : string;
+  mutable s_fns : fn list;  (* reverse order *)
+  mutable s_cur : fn;
+  s_colds : directive list;
+  mutable s_supp : directive option;  (* innermost covering cold marker *)
+}
+
+let module_of rel =
+  String.capitalize_ascii Filename.(remove_extension (basename rel))
+
+let new_fn st name line =
+  let f =
+    {
+      fn_id = -1;
+      fn_key = st.s_module ^ "." ^ name;
+      fn_module = st.s_module;
+      fn_file = st.s_rel;
+      fn_line = line;
+      fn_arity = None;
+      fn_is_fun = false;
+      fn_params = [];
+      fn_refs = [];
+      fn_sites = [];
+      fn_cold_sites = [];
+      fn_calls = [];
+      fn_cold = false;
+      fn_hot_marked = false;
+    }
+  in
+  st.s_fns <- f :: st.s_fns;
+  f
+
+let shadowed st path =
+  match path with
+  | [ x ] -> List.mem x st.s_cur.fn_params
+  | _ -> false
+
+let record_ref st path line = st.s_cur.fn_refs <- (path, line) :: st.s_cur.fn_refs
+
+let rec pat_vars acc (p : Parsetree.pattern) =
+  match p.ppat_desc with
+  | Ppat_var { txt; _ } -> txt :: acc
+  | Ppat_alias (q, { txt; _ }) -> pat_vars (txt :: acc) q
+  | Ppat_tuple ps -> List.fold_left pat_vars acc ps
+  | Ppat_construct (_, Some (_, q)) -> pat_vars acc q
+  | Ppat_variant (_, Some q) -> pat_vars acc q
+  | Ppat_record (fields, _) ->
+      List.fold_left (fun acc (_, q) -> pat_vars acc q) acc fields
+  | Ppat_array ps -> List.fold_left pat_vars acc ps
+  | Ppat_or (a, b) -> pat_vars (pat_vars acc a) b
+  | Ppat_constraint (q, _) -> pat_vars acc q
+  | Ppat_open (_, q) -> pat_vars acc q
+  | _ -> acc
+
+let record_site st rule (loc : Location.t) what =
+  let line = loc.loc_start.Lexing.pos_lnum in
+  let col = loc.loc_start.Lexing.pos_cnum - loc.loc_start.Lexing.pos_bol in
+  let s = { st_rule = rule; st_line = line; st_col = col; st_what = what } in
+  match st.s_supp with
+  | Some d -> st.s_cur.fn_cold_sites <- (s, d) :: st.s_cur.fn_cold_sites
+  | None -> st.s_cur.fn_sites <- s :: st.s_cur.fn_sites
+
+let covering_cold st line =
+  List.find_opt (fun d -> line >= d.d_first && line <= d.d_last) st.s_colds
+
+(* Structural glue through which a cold marker must not leak: a marker
+   above [let x = ... in body] is meant for the definition, not for
+   everything sequenced after it. *)
+let is_glue (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Pexp_let _ | Pexp_sequence _ | Pexp_ifthenelse _ | Pexp_match _
+  | Pexp_try _ | Pexp_open _ | Pexp_letmodule _ | Pexp_letexception _ ->
+      true
+  | _ -> false
+
+let last_of path = match List.rev path with [] -> "" | x :: _ -> x
+
+(* An operand whose =/<> comparison cannot have specialized away the
+   representation walk: structured literals and payload carriers. *)
+let structured_operand (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Pexp_tuple _ | Pexp_record _ | Pexp_array _ -> true
+  | Pexp_construct (_, Some _) | Pexp_variant (_, Some _) -> true
+  | Pexp_constant (Pconst_string _ | Pconst_float _) -> true
+  | _ -> false
+
+let float_op_apply (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _) -> (
+      match Longident.flatten txt with
+      | [ op ] -> List.mem op float_ops
+      | _ -> false)
+  | _ -> false
+
+let positional args =
+  List.filter_map (function Asttypes.Nolabel, e -> Some e | _ -> None) args
+
+let iterator st =
+  let open Ast_iterator in
+  (* Classify an application by its head's resolution suffix. *)
+  let apply_site sfx loc args =
+    if List.mem sfx string_fns then
+      record_site st Rules.Heat_string loc
+        (Printf.sprintf "%s builds a string" sfx)
+    else if List.mem sfx alloc_fns then
+      record_site st Rules.Heat_alloc loc (Printf.sprintf "%s allocates" sfx)
+    else if List.mem sfx poly_fns then
+      record_site st Rules.Heat_poly_cmp loc
+        (Printf.sprintf "polymorphic %s walks the representation" sfx)
+    else if String.equal sfx "=" || String.equal sfx "<>" then (
+      match positional args with
+      | [ a; b ] when structured_operand a || structured_operand b ->
+          record_site st Rules.Heat_poly_cmp loc
+            (Printf.sprintf
+               "polymorphic (%s) against a structured operand walks the \
+                representation"
+               sfx)
+      | _ -> ())
+  in
+  let expr sub (e : Parsetree.expression) =
+    let entered =
+      if Option.is_some st.s_supp || is_glue e then None
+      else covering_cold st e.pexp_loc.loc_start.Lexing.pos_lnum
+    in
+    (match entered with Some d -> st.s_supp <- Some d | None -> ());
+    (match e.pexp_desc with
+    | Pexp_ident { txt; loc } ->
+        let path = Longident.flatten txt in
+        if not (shadowed st path) then begin
+          record_ref st path loc.loc_start.Lexing.pos_lnum;
+          let sfx = Resolve.suffix2 path in
+          if List.mem sfx poly_fns then
+            record_site st Rules.Heat_poly_cmp loc
+              (Printf.sprintf "polymorphic %s walks the representation" sfx)
+        end
+    | Pexp_apply ({ pexp_desc = Pexp_ident { txt; loc }; _ }, args) ->
+        let path = Longident.flatten txt in
+        let line = loc.loc_start.Lexing.pos_lnum in
+        let col = loc.loc_start.Lexing.pos_cnum - loc.loc_start.Lexing.pos_bol in
+        if not (shadowed st path) then begin
+          record_ref st path line;
+          apply_site (Resolve.suffix2 path) loc args;
+          st.s_cur.fn_calls <-
+            {
+              cl_path = path;
+              cl_line = line;
+              cl_col = col;
+              cl_npos = List.length (positional args);
+              cl_labeled =
+                List.exists
+                  (function Asttypes.Nolabel, _ -> false | _ -> true)
+                  args;
+            }
+            :: st.s_cur.fn_calls
+        end;
+        List.iter (fun (_, a) -> sub.expr sub a) args
+    | Pexp_fun _ | Pexp_function _ ->
+        record_site st Rules.Heat_closure e.pexp_loc
+          "a closure is allocated here";
+        default_iterator.expr sub e
+    | Pexp_tuple _ ->
+        record_site st Rules.Heat_alloc e.pexp_loc "a tuple is allocated here";
+        default_iterator.expr sub e
+    | Pexp_record _ ->
+        record_site st Rules.Heat_alloc e.pexp_loc "a record is allocated here";
+        default_iterator.expr sub e
+    | Pexp_array _ ->
+        record_site st Rules.Heat_alloc e.pexp_loc "an array is allocated here";
+        default_iterator.expr sub e
+    | Pexp_lazy _ ->
+        record_site st Rules.Heat_alloc e.pexp_loc
+          "a lazy block is allocated here";
+        default_iterator.expr sub e
+    | Pexp_construct ({ txt; _ }, Some _) ->
+        record_site st Rules.Heat_alloc e.pexp_loc
+          (Printf.sprintf "constructor %s carries a payload block"
+             (last_of (Longident.flatten txt)));
+        default_iterator.expr sub e
+    | Pexp_variant (_, Some _) ->
+        record_site st Rules.Heat_alloc e.pexp_loc
+          "a polymorphic variant payload is allocated here";
+        default_iterator.expr sub e
+    | Pexp_setfield (_, _, rhs) when float_op_apply rhs ->
+        record_site st Rules.Heat_float_box e.pexp_loc
+          "a float-arithmetic result is stored into a record field (boxes \
+           unless the record is all-float)";
+        default_iterator.expr sub e
+    | _ -> default_iterator.expr sub e);
+    match entered with Some _ -> st.s_supp <- None | None -> ()
+  in
+  let structure_item sub (item : Parsetree.structure_item) =
+    match item.pstr_desc with
+    | Pstr_value (_, bindings) ->
+        let toplevel = st.s_cur in
+        List.iter
+          (fun (vb : Parsetree.value_binding) ->
+            let name =
+              match vb.pvb_pat.ppat_desc with
+              | Ppat_var { txt; _ } -> txt
+              | _ -> "<toplevel>"
+            in
+            st.s_cur <-
+              new_fn st name vb.pvb_loc.Location.loc_start.Lexing.pos_lnum;
+            (* Peel the binding's own parameter chain: those funs are
+               the definition, not per-call closures. *)
+            let rec peel n labeled (e : Parsetree.expression) =
+              match e.pexp_desc with
+              | Pexp_fun (lbl, default, pat, body) ->
+                  Option.iter (sub.expr sub) default;
+                  sub.pat sub pat;
+                  st.s_cur.fn_params <-
+                    pat_vars st.s_cur.fn_params pat;
+                  let labeled =
+                    labeled
+                    || match lbl with Asttypes.Nolabel -> false | _ -> true
+                  in
+                  peel (n + 1) labeled body
+              | Pexp_function cases ->
+                  st.s_cur.fn_is_fun <- true;
+                  if not labeled then st.s_cur.fn_arity <- Some (n + 1);
+                  List.iter (sub.case sub) cases
+              | _ ->
+                  if n > 0 then begin
+                    st.s_cur.fn_is_fun <- true;
+                    if not labeled then st.s_cur.fn_arity <- Some n
+                  end;
+                  sub.expr sub e
+            in
+            peel 0 false vb.pvb_expr;
+            st.s_cur <- toplevel)
+          bindings
+    | _ -> default_iterator.structure_item sub item
+  in
+  { default_iterator with expr; structure_item }
+
+(* {1 Directives} *)
+
+let strip_dash s =
+  let s = String.trim s in
+  let drop n = String.trim (String.sub s n (String.length s - n)) in
+  if String.length s >= 3 && String.equal (String.sub s 0 3) "\xe2\x80\x94"
+  then drop 3
+  else if String.length s >= 2 && String.equal (String.sub s 0 2) "--" then
+    drop 2
+  else if String.length s >= 1 && s.[0] = '-' then drop 1
+  else ""
+
+let scan_directives fs comments =
+  let colds = ref [] and hots = ref [] in
+  List.iter
+    (fun (text, (loc : Location.t)) ->
+      let line = loc.loc_start.Lexing.pos_lnum in
+      let col = loc.loc_start.Lexing.pos_cnum - loc.loc_start.Lexing.pos_bol in
+      let first = line and last = loc.loc_end.Lexing.pos_lnum + 1 in
+      match Check.parse_directive ~marker text with
+      | None -> ()
+      | Some (("cold" | "hot") as verb, payload)
+        when not (String.equal (strip_dash payload) "") ->
+          let d = { d_first = first; d_last = last; d_line = line; d_used = false } in
+          if String.equal verb "cold" then colds := d :: !colds
+          else hots := d :: !hots
+      | Some (("cold" | "hot") as verb, _) ->
+          fs.fs_meta <-
+            mk_meta fs.fs_rel line col Rules.bad_allow
+              (Printf.sprintf
+                 "%s marker needs a reason: seussheat: %s — <why>" verb verb)
+            :: fs.fs_meta
+      | Some _ ->
+          fs.fs_meta <-
+            mk_meta fs.fs_rel line col Rules.bad_allow
+              "malformed seussheat comment; expected: cold — <reason> or hot \
+               — <reason>"
+            :: fs.fs_meta)
+    comments;
+  (List.rev !colds, List.rev !hots)
+
+let binding_of_key key =
+  match String.index_opt key '.' with
+  | Some i -> String.sub key (i + 1) (String.length key - i - 1)
+  | None -> key
+
+(* {1 Per-file scan} *)
+
+let scan_source (source : Check.source) =
+  let rel = source.Check.src_rel in
+  let fs =
+    { fs_rel = rel; fs_fns = []; fs_colds = []; fs_hots = []; fs_meta = [] }
+  in
+  let colds, hots = scan_directives fs source.Check.src_comments in
+  fs.fs_colds <- colds;
+  fs.fs_hots <- hots;
+  let modname = module_of rel in
+  let st =
+    {
+      s_rel = rel;
+      s_module = modname;
+      s_fns = [];
+      s_cur =
+        {
+          fn_id = -1;
+          fn_key = modname ^ ".<toplevel>";
+          fn_module = modname;
+          fn_file = rel;
+          fn_line = 1;
+          fn_arity = None;
+          fn_is_fun = false;
+          fn_params = [];
+          fn_refs = [];
+          fn_sites = [];
+          fn_cold_sites = [];
+          fn_calls = [];
+          fn_cold = false;
+          fn_hot_marked = false;
+        };
+      s_colds = colds;
+      s_supp = None;
+    }
+  in
+  st.s_cur <- new_fn st "<toplevel>" 1;
+  (match source.Check.src_ast with
+  | Ok ast ->
+      let it = iterator st in
+      it.structure it ast
+  | Error exn ->
+      fs.fs_meta <-
+        mk_meta rel 1 0 Rules.parse_error (Printexc.to_string exn)
+        :: fs.fs_meta);
+  fs.fs_fns <- List.rev st.s_fns;
+  (* A cold/hot marker covering a binding's [let] line classifies the
+     whole binding; covering a def line is what makes the marker used
+     (range markers are used only if they silence a hot site). *)
+  List.iter
+    (fun f ->
+      if not (String.equal (binding_of_key f.fn_key) "<toplevel>") then begin
+        List.iter
+          (fun d ->
+            if f.fn_line >= d.d_first && f.fn_line <= d.d_last then begin
+              f.fn_cold <- true;
+              d.d_used <- true
+            end)
+          colds;
+        List.iter
+          (fun d ->
+            if f.fn_line >= d.d_first && f.fn_line <= d.d_last then begin
+              f.fn_hot_marked <- true;
+              d.d_used <- true
+            end)
+          hots
+      end)
+    fs.fs_fns;
+  fs
+
+(* {1 Hot-set propagation} *)
+
+type linked = {
+  fns : fn array;
+  defs : fn Resolve.t;
+  hot : bool array;
+  parent : int array;  (* hot-chain predecessor, -1 at a root *)
+}
+
+let link scans =
+  let all_fns = List.concat_map (fun fs -> fs.fs_fns) scans in
+  let fns = Array.of_list all_fns in
+  Array.iteri (fun i f -> f.fn_id <- i) fns;
+  let n = Array.length fns in
+  let defs = Resolve.create () in
+  Array.iter
+    (fun f ->
+      if not (String.equal (binding_of_key f.fn_key) "<toplevel>") then
+        Resolve.add defs ~key:f.fn_key ~file:f.fn_file f)
+    fns;
+  let lk =
+    {
+      fns;
+      defs;
+      hot = Array.make (max n 1) false;
+      parent = Array.make (max n 1) (-1);
+    }
+  in
+  let queue = Queue.create () in
+  Array.iter
+    (fun f ->
+      let binding = binding_of_key f.fn_key in
+      if
+        (not f.fn_cold)
+        && (not (String.equal binding "<toplevel>"))
+        && (f.fn_hot_marked || Hotroots.mem ~file:f.fn_file ~binding)
+      then begin
+        lk.hot.(f.fn_id) <- true;
+        Queue.add f queue
+      end)
+    fns;
+  let rec drain () =
+    match Queue.take_opt queue with
+    | None -> ()
+    | Some f ->
+        List.iter
+          (fun (path, _) ->
+            List.iter
+              (fun g ->
+                (* Values are not calls: only a binding with its own
+                   parameter chain re-executes its body per reference. *)
+                if g.fn_is_fun && (not lk.hot.(g.fn_id)) && not g.fn_cold
+                then begin
+                  lk.hot.(g.fn_id) <- true;
+                  lk.parent.(g.fn_id) <- f.fn_id;
+                  Queue.add g queue
+                end)
+              (Resolve.find defs ~modname:f.fn_module path))
+          f.fn_refs;
+        drain ()
+  in
+  drain ();
+  lk
+
+let chain_of lk f =
+  let rec up acc id =
+    if id < 0 then acc
+    else up (lk.fns.(id).fn_key :: acc) lk.parent.(id)
+  in
+  String.concat " -> " (up [] f.fn_id)
+
+(* {1 The tree driver} *)
+
+let check_sources sources =
+  let scans = List.map scan_source sources in
+  let lk = link scans in
+  let hits = ref [] in
+  let ambiguity = ref [] in
+  Array.iter
+    (fun f ->
+      if lk.hot.(f.fn_id) then begin
+        let chain = chain_of lk f in
+        List.iter
+          (fun s ->
+            hits :=
+              mk f.fn_file s.st_line s.st_col s.st_rule
+                (Printf.sprintf
+                   "%s on a hot path (%s); restructure it or justify with (* \
+                    seussheat: cold — <why> *)"
+                   s.st_what chain)
+              :: !hits)
+          f.fn_sites;
+        (* Silenced sites in a hot binding are what make a range marker
+           earn its keep. *)
+        List.iter (fun (_, d) -> d.d_used <- true) f.fn_cold_sites;
+        (* Partial applications, where the callee's syntactic arity is
+           known and unambiguous. *)
+        List.iter
+          (fun c ->
+            if (not c.cl_labeled) && c.cl_npos >= 1 then
+              if Resolve.ambiguous lk.defs ~modname:f.fn_module c.cl_path then
+                ()  (* surfaced below, at the reference *)
+              else
+                match Resolve.find lk.defs ~modname:f.fn_module c.cl_path with
+                | [] -> ()
+                | defs -> (
+                    match
+                      List.map (fun (g : fn) -> g.fn_arity) defs
+                    with
+                    | Some a :: rest
+                      when List.for_all (fun x -> x = Some a) rest
+                           && c.cl_npos < a ->
+                        hits :=
+                          mk f.fn_file c.cl_line c.cl_col Rules.Heat_partial
+                            (Printf.sprintf
+                               "partial application of %s (%d of %d \
+                                arguments) allocates a closure on a hot path \
+                                (%s); apply it fully or eta-expand"
+                               (Resolve.suffix2 c.cl_path) c.cl_npos a chain)
+                          :: !hits
+                    | _ -> ()))
+          f.fn_calls;
+        (* Ambiguous resolution only matters where the verdict is drawn
+           through it: at hot references. *)
+        List.iter
+          (fun (path, line) ->
+            if Resolve.ambiguous lk.defs ~modname:f.fn_module path then
+              ambiguity :=
+                mk_meta f.fn_file line 0 Rules.ambiguous_resolve
+                  (Printf.sprintf
+                     "%s resolves to definitions in %s; suffix-2 resolution \
+                      conflates these same-named modules — rename one or \
+                      avoid the shared suffix"
+                     (Resolve.suffix2 path)
+                     (String.concat " and "
+                        (Resolve.defining_files lk.defs ~modname:f.fn_module
+                           path)))
+                :: !ambiguity)
+          f.fn_refs
+      end)
+    lk.fns;
+  let dead =
+    List.concat_map
+      (fun fs ->
+        List.filter_map
+          (fun d ->
+            if d.d_used then None
+            else
+              Some
+                (mk_meta fs.fs_rel d.d_line 0 Rules.unused_allow
+                   "cold marker covers no binding and silences nothing; \
+                    delete it"))
+          fs.fs_colds
+        @ List.filter_map
+            (fun d ->
+              if d.d_used then None
+              else
+                Some
+                  (mk_meta fs.fs_rel d.d_line 0 Rules.unused_allow
+                     "hot marker covers no top-level binding; delete it"))
+            fs.fs_hots)
+      scans
+  in
+  let meta = List.concat_map (fun fs -> fs.fs_meta) scans in
+  List.sort Check.compare_violation
+    (!hits @ dead @ meta @ List.sort_uniq Check.compare_violation !ambiguity)
+
+let check_tree ?strip_prefix roots =
+  check_sources (Check.load_tree ?strip_prefix roots)

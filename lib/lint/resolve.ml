@@ -1,0 +1,62 @@
+(* Suffix-2 name resolution, shared by the interprocedural passes
+   (seussdead, seussheat).
+
+   Definitions are keyed "Module.binding" where the module name is the
+   capitalized file basename; a reference resolves by its last two path
+   components ([Sim.Semaphore.acquire] -> "Semaphore.acquire"), and an
+   unqualified reference resolves within its own module. Two files with
+   the same basename therefore merge their definitions under one key —
+   the passes stay conservative by analyzing the whole candidate set,
+   and {!ambiguous} lets them surface the collision instead of silently
+   conflating modules. *)
+
+type 'a t = {
+  defs : (string, 'a list) Hashtbl.t;
+  files : (string, string list) Hashtbl.t;  (* key -> distinct defining files *)
+}
+
+let create () = { defs = Hashtbl.create 256; files = Hashtbl.create 256 }
+
+(* Last one or two path components, joined — the resolution key. *)
+let suffix2 path =
+  match List.rev path with
+  | [] -> ""
+  | [ x ] -> x
+  | x :: m :: _ -> m ^ "." ^ x
+
+let key_of ~modname path =
+  match List.rev path with
+  | [] -> None
+  | [ x ] -> Some (modname ^ "." ^ x)
+  | x :: m :: _ -> Some (m ^ "." ^ x)
+
+let add t ~key ~file def =
+  let prev =
+    match Hashtbl.find_opt t.defs key with Some l -> l | None -> []
+  in
+  Hashtbl.replace t.defs key (prev @ [ def ]);
+  let prev_files =
+    match Hashtbl.find_opt t.files key with Some l -> l | None -> []
+  in
+  if not (List.mem file prev_files) then
+    Hashtbl.replace t.files key (prev_files @ [ file ])
+
+let find t ~modname path =
+  match key_of ~modname path with
+  | None -> []
+  | Some k -> (
+      match Hashtbl.find_opt t.defs k with Some l -> l | None -> [])
+
+(* The distinct files defining a reference's key — length >= 2 means the
+   suffix-2 key conflates same-named modules and any per-definition
+   choice would be arbitrary. *)
+let defining_files t ~modname path =
+  match key_of ~modname path with
+  | None -> []
+  | Some k -> (
+      match Hashtbl.find_opt t.files k with Some l -> l | None -> [])
+
+let ambiguous t ~modname path =
+  match defining_files t ~modname path with
+  | [] | [ _ ] -> false
+  | _ -> true

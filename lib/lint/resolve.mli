@@ -1,0 +1,37 @@
+(** Suffix-2 name resolution, shared by the interprocedural passes
+    ({!Deadlock}, {!Heat}).
+
+    Definitions are keyed ["Module.binding"]; a reference resolves by
+    its last two path components, and an unqualified reference resolves
+    within its own module. Two files with the same basename merge under
+    one key — {!find} returns the whole candidate set so analyses stay
+    conservative, and {!ambiguous} exposes the collision so passes can
+    warn instead of silently conflating modules. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val suffix2 : string list -> string
+(** Last one or two components of an identifier path, joined — the
+    resolution key of a qualified reference. *)
+
+val key_of : modname:string -> string list -> string option
+(** The key a reference resolves under: its suffix-2 when qualified,
+    ["modname.x"] when unqualified. [None] on an empty path. *)
+
+val add : 'a t -> key:string -> file:string -> 'a -> unit
+(** Register a definition under [key], remembering [file] for
+    ambiguity detection. Definition order is preserved per key. *)
+
+val find : 'a t -> modname:string -> string list -> 'a list
+(** All definitions a reference may denote ([[]] when unknown —
+    stdlib, parameters, compiler-libs). *)
+
+val defining_files : 'a t -> modname:string -> string list -> string list
+(** The distinct files defining the reference's key, in first-seen
+    order. *)
+
+val ambiguous : 'a t -> modname:string -> string list -> bool
+(** Whether the reference's key is defined in two or more distinct
+    files. *)

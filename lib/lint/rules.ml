@@ -3,7 +3,9 @@
    nearly broken) in this codebase. The syntactic rules are enforced
    per-file by {!Check}; the deadlock rules need the interprocedural
    call graph built by {!Deadlock} and run as a separate pass
-   ([seusslint --pass deadlock]). *)
+   ([seusslint --pass deadlock]); the heat rules flag allocation and
+   boxing on paths proven reachable from the registered hot roots
+   ({!Hotroots}) by {!Heat} ([seusslint --pass heat]). *)
 
 type id =
   | Bare_random  (** [Random.*] outside the seeded PRNG plumbing *)
@@ -21,13 +23,33 @@ type id =
   | Unreleased_acquire
       (** a bare [Semaphore.acquire] whose function never releases the
           same lock class *)
+  | Heat_closure  (** a closure allocated inside a hot function body *)
+  | Heat_alloc
+      (** tuple/record/array/constructor/ref construction, or a call to
+          a known-allocating stdlib function, on a hot path *)
+  | Heat_string
+      (** string building — [^], [String.concat], [Printf]/[Format] —
+          on a hot path *)
+  | Heat_float_box
+      (** a float arithmetic result stored into a record field, which
+          boxes unless the record is all-float *)
+  | Heat_poly_cmp
+      (** polymorphic [compare]/[=]/[min]/[max]/[Hashtbl.hash] on a hot
+          path: a C call that also boxes intermediate results *)
+  | Heat_partial
+      (** partial application on a hot path: allocates a closure per
+          call *)
 
 let syntactic =
   [ Bare_random; Wallclock; Hashtbl_order; Physical_eq; Stdout_print; Frame_site ]
 
 let deadlock = [ Block_in_handler; Lock_order; Unreleased_acquire ]
 
-let all = syntactic @ deadlock
+let heat =
+  [ Heat_closure; Heat_alloc; Heat_string; Heat_float_box; Heat_poly_cmp;
+    Heat_partial ]
+
+let all = syntactic @ deadlock @ heat
 
 let name = function
   | Bare_random -> "bare-random"
@@ -39,6 +61,12 @@ let name = function
   | Block_in_handler -> "block-in-handler"
   | Lock_order -> "lock-order"
   | Unreleased_acquire -> "unreleased-acquire"
+  | Heat_closure -> "heat-closure"
+  | Heat_alloc -> "heat-alloc"
+  | Heat_string -> "heat-string"
+  | Heat_float_box -> "heat-float-box"
+  | Heat_poly_cmp -> "heat-poly-cmp"
+  | Heat_partial -> "heat-partial-apply"
 
 let of_name n = List.find_opt (fun r -> String.equal (name r) n) all
 
@@ -81,6 +109,33 @@ let describe = function
       "a bare Semaphore.acquire of a named lock class whose enclosing \
        function contains no matching release: a path to return leaks the \
        permit unless ownership is transferred (justify with an allow)"
+  | Heat_closure ->
+      "a closure (fun/function outside the binding's own parameter list) \
+       is allocated every time this hot function runs; lift it to the top \
+       level, store it once, or justify with (* seussheat: cold — ... *)"
+  | Heat_alloc ->
+      "a tuple, record, array, ref, argument-carrying constructor or \
+       known-allocating stdlib call sits on a path reachable from a \
+       registered hot root; hoist it, use mutable scratch, or justify \
+       with (* seussheat: cold — ... *)"
+  | Heat_string ->
+      "string building (^, String.concat, Printf/Format, string_of_*) \
+       allocates and copies on every execution of a hot path; move \
+       rendering off the fast path or justify it"
+  | Heat_float_box ->
+      "a float arithmetic result stored into a record field boxes two \
+       words per store unless the record is all-float; restructure the \
+       stats into a flat float record (and say so in the cold marker if \
+       the field already is unboxed)"
+  | Heat_poly_cmp ->
+      "polymorphic compare/=/min/max/Hashtbl.hash on a hot path is a C \
+       call that walks the representation; use the monomorphic \
+       Int/Float/String comparison, or literal comparisons the compiler \
+       specializes"
+  | Heat_partial ->
+      "applying a known function to fewer arguments than its definition \
+       takes allocates a closure per call on a hot path; apply it fully \
+       or eta-expand at the call site"
 
 (* Meta-diagnostics the checker itself can emit. They are not
    suppressible — an allow comment that is wrong or dead is itself the
@@ -88,3 +143,4 @@ let describe = function
 let bad_allow = "bad-allow"
 let unused_allow = "unused-allow"
 let parse_error = "parse-error"
+let ambiguous_resolve = "ambiguous-resolve"

@@ -4,7 +4,9 @@
     liveness has actually broken (or nearly broken) in this codebase.
     The {!syntactic} rules are decidable per-file on names alone and are
     enforced by {!Check}; the {!deadlock} rules need the interprocedural
-    call graph built by {!Deadlock} over the whole tree. *)
+    call graph built by {!Deadlock} over the whole tree, and the {!heat}
+    rules flag allocation/boxing reachable from the registered hot roots
+    ({!Hotroots}), enforced by {!Heat}. *)
 
 type id =
   | Bare_random  (** [Random.*] outside the seeded PRNG plumbing *)
@@ -22,6 +24,21 @@ type id =
   | Unreleased_acquire
       (** a bare [Semaphore.acquire] whose function never releases the
           same lock class *)
+  | Heat_closure  (** a closure allocated inside a hot function body *)
+  | Heat_alloc
+      (** tuple/record/array/constructor/ref construction, or a call to
+          a known-allocating stdlib function, on a hot path *)
+  | Heat_string
+      (** string building — [^], [String.concat], [Printf]/[Format] —
+          on a hot path *)
+  | Heat_float_box
+      (** a float arithmetic result stored into a record field, which
+          boxes unless the record is all-float *)
+  | Heat_poly_cmp
+      (** polymorphic [compare]/[=]/[min]/[max]/[Hashtbl.hash] on a hot
+          path *)
+  | Heat_partial
+      (** partial application on a hot path: a closure per call *)
 
 val syntactic : id list
 (** Rules enforced per-file by the base pass ({!Check.check_file}). *)
@@ -29,8 +46,12 @@ val syntactic : id list
 val deadlock : id list
 (** Rules enforced by the interprocedural pass ({!Deadlock.check_tree}). *)
 
+val heat : id list
+(** Rules enforced by the hot-path pass ({!Heat.check_tree}),
+    suppressed with [(* seussheat: cold — <reason> *)] markers. *)
+
 val all : id list
-(** [syntactic @ deadlock]. *)
+(** [syntactic @ deadlock @ heat]. *)
 
 val name : id -> string
 (** Stable kebab-case identifier, as printed and as written in allow
@@ -54,3 +75,8 @@ val unused_allow : string
 
 val parse_error : string
 (** ["parse-error"]: the file failed to parse at all. *)
+
+val ambiguous_resolve : string
+(** ["ambiguous-resolve"]: a reference whose suffix-2 key is defined in
+    two or more files (same module basename), so interprocedural
+    resolution conflates distinct modules. *)

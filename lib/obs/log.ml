@@ -21,13 +21,21 @@ let create ?(capacity = default_capacity) ~clock () =
 
 let set_on_drop t f = t.on_drop <- f
 
+(* Top-level so emitting to subscribers allocates no iterator closure. *)
+let rec notify r = function
+  | [] -> ()
+  | f :: rest ->
+      f r;
+      notify r rest
+
 let emit t ev =
+  (* seussheat: cold — this record is the emitted payload itself, retained by the ring *)
   let r = { time = t.clock (); ev } in
   t.emitted <- t.emitted + 1;
   let dropped_before = Ring.dropped t.ring in
   Ring.push t.ring r;
   if Ring.dropped t.ring > dropped_before then t.on_drop ();
-  List.iter (fun f -> f r) t.subscribers
+  notify r t.subscribers
 
 let subscribe t f =
   (* Append (subscription is rare; emission is the hot path). *)

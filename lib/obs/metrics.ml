@@ -3,12 +3,11 @@ type labels = (string * string) list
 type counter = { mutable c : int }
 type gauge = { mutable g : float }
 
-type histogram = {
-  h : Stats.Histogram.t;
-  mutable sum : float;
-  mutable mn : float;
-  mutable mx : float;
-}
+(* Running stats live in their own all-float record: stores into a flat
+   float record are unboxed, so [observe] allocates nothing. Inlined into
+   [histogram] (a mixed record) every store would box. *)
+type hstats = { mutable sum : float; mutable mn : float; mutable mx : float }
+type histogram = { h : Stats.Histogram.t; s : hstats }
 
 type instrument = C of counter | G of gauge | H of histogram
 
@@ -62,9 +61,7 @@ let hist_bins_per_decade = 30
 let fresh_hist () =
   {
     h = Stats.Histogram.create ~bins_per_decade:hist_bins_per_decade ();
-    sum = 0.0;
-    mn = infinity;
-    mx = neg_infinity;
+    s = { sum = 0.0; mn = infinity; mx = neg_infinity };
   }
 
 let histogram t ?(labels = []) name =
@@ -75,15 +72,17 @@ let histogram t ?(labels = []) name =
 
 let observe hist v =
   Stats.Histogram.add hist.h v;
-  hist.sum <- hist.sum +. v;
-  if v < hist.mn then hist.mn <- v;
-  if v > hist.mx then hist.mx <- v
+  let s = hist.s in
+  (* seussheat: cold — hstats is a flat float record; this store is unboxed *)
+  s.sum <- s.sum +. v;
+  if v < s.mn then s.mn <- v;
+  if v > s.mx then s.mx <- v
 
 let hist_count hist = Stats.Histogram.count hist.h
 
 let hist_mean hist =
   let n = hist_count hist in
-  if n = 0 then 0.0 else hist.sum /. float_of_int n
+  if n = 0 then 0.0 else hist.s.sum /. float_of_int n
 
 let hist_quantile hist q =
   if q < 0.0 || q > 1.0 then invalid_arg "Metrics.hist_quantile: q in [0,1]";
@@ -91,13 +90,14 @@ let hist_quantile hist q =
   else
     (* Clamp the bin bound by the observed extrema so tail quantiles
        stay inside [min, max]. *)
-    Float.max hist.mn (Float.min (Stats.Histogram.quantile hist.h q) hist.mx)
+    Float.max hist.s.mn (Float.min (Stats.Histogram.quantile hist.h q) hist.s.mx)
 
 let merge_hist hist ~from =
   Stats.Histogram.merge hist.h ~from:from.h;
-  hist.sum <- hist.sum +. from.sum;
-  if from.mn < hist.mn then hist.mn <- from.mn;
-  if from.mx > hist.mx then hist.mx <- from.mx
+  let s = hist.s and f = from.s in
+  s.sum <- s.sum +. f.sum;
+  if f.mn < s.mn then s.mn <- f.mn;
+  if f.mx > s.mx then s.mx <- f.mx
 
 let hist_to_json hist =
   let counts =
@@ -115,7 +115,7 @@ let hist_to_json hist =
       ("bins_per_decade", Json.Int (Stats.Histogram.bins_per_decade hist.h));
       ("bin_count", Json.Int (Stats.Histogram.bin_count hist.h));
       ("n", Json.Int (hist_count hist));
-      ("sum", Json.Float hist.sum);
+      ("sum", Json.Float hist.s.sum);
       ("counts", Json.List counts);
     ]
   in
@@ -123,7 +123,7 @@ let hist_to_json hist =
      they appear only once a sample exists. *)
   Json.Obj
     (if hist_count hist = 0 then base
-     else base @ [ ("min", Json.Float hist.mn); ("max", Json.Float hist.mx) ])
+     else base @ [ ("min", Json.Float hist.s.mn); ("max", Json.Float hist.s.mx) ])
 
 let hist_of_json json =
   let ( let* ) r f = Result.bind r f in
@@ -165,9 +165,12 @@ let hist_of_json json =
     Ok
       {
         h;
-        sum;
-        mn = Option.value mn ~default:infinity;
-        mx = Option.value mx ~default:neg_infinity;
+        s =
+          {
+            sum;
+            mn = Option.value mn ~default:infinity;
+            mx = Option.value mx ~default:neg_infinity;
+          };
       }
 
 let sum_counters t ?(where = []) name =

@@ -15,6 +15,7 @@ let dropped t = t.dropped
 
 let push t x =
   let cap = capacity t in
+  (* seussheat: cold — the option is the slot's occupancy marker; the ring stores it by design *)
   t.slots.(t.head) <- Some x;
   t.head <- (t.head + 1) mod cap;
   if t.len < cap then t.len <- t.len + 1 else t.dropped <- t.dropped + 1

@@ -10,6 +10,7 @@ let length t = t.size
 
 let is_empty t = t.size = 0
 
+(* seussheat: cold — amortized capacity doubling, off the per-event path *)
 let grow t x =
   if t.size = Array.length t.data then begin
     let cap = max 16 (2 * Array.length t.data) in
@@ -31,14 +32,13 @@ let rec sift_up t i =
 
 let rec sift_down t i =
   let l = (2 * i) + 1 and r = (2 * i) + 2 in
-  let smallest = ref i in
-  if l < t.size && t.cmp t.data.(l) t.data.(!smallest) < 0 then smallest := l;
-  if r < t.size && t.cmp t.data.(r) t.data.(!smallest) < 0 then smallest := r;
-  if !smallest <> i then begin
+  let s = if l < t.size && t.cmp t.data.(l) t.data.(i) < 0 then l else i in
+  let s = if r < t.size && t.cmp t.data.(r) t.data.(s) < 0 then r else s in
+  if s <> i then begin
     let tmp = t.data.(i) in
-    t.data.(i) <- t.data.(!smallest);
-    t.data.(!smallest) <- tmp;
-    sift_down t !smallest
+    t.data.(i) <- t.data.(s);
+    t.data.(s) <- tmp;
+    sift_down t s
   end
 
 let push t x =
@@ -60,6 +60,7 @@ let pop t =
       t.data.(t.size) <- t.data.(0);
       sift_down t 0
     end;
+    (* seussheat: cold — the option is pop's API result *)
     Some top
   end
 

@@ -20,6 +20,8 @@ let float t =
   let bits = Int64.shift_right_logical (next t) 11 in
   Int64.to_float bits *. (1.0 /. 9007199254740992.0)
 
+(* seussheat: cold — boxed Int64 steps by design; the engine draws only when
+   the tie shuffler is armed, never on the unarmed dispatch path *)
 let int t bound =
   if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
   (* 62 bits so the value fits OCaml's 63-bit native int non-negatively. *)

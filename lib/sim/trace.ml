@@ -47,6 +47,7 @@ let current () =
   | Some _ -> local
   | None -> ( match !ambient with Some c when c.tr.active -> Some c | _ -> None)
 
+(* seussheat: cold — the option is retained as the child's inherited parent link *)
 let parent_of c =
   match c.stack with s :: _ -> Some s | [] -> c.inherit_parent
 
@@ -58,6 +59,7 @@ let depth_of c = c.inherit_depth + List.length c.stack
 let fork slot =
   match slot with
   | Some (Ctx c) when c.tr.active ->
+      (* seussheat: cold — the forked context is the product: one per spawn, retained by the child *)
       Some
         (Ctx
            {

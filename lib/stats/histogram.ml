@@ -22,10 +22,13 @@ let index_of t x =
     let i =
       int_of_float (floor (log10 (x /. t.lo) *. float_of_int t.bins_per_decade))
     in
-    min i (bin_count t - 1)
+    (* Monomorphic clamp: [min] here is the polymorphic compare. *)
+    let last = bin_count t - 1 in
+    if i > last then last else i
 
 let add t x =
-  t.counts.(index_of t x) <- t.counts.(index_of t x) + 1;
+  let i = index_of t x in
+  t.counts.(i) <- t.counts.(i) + 1;
   t.total <- t.total + 1
 
 let count t = t.total

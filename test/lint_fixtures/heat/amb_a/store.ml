@@ -1,0 +1,4 @@
+(* Fixture: one of two same-basename modules — suffix-2 resolution
+   conflates this [get] with amb_b's. *)
+
+let get n = n + 1

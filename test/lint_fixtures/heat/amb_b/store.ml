@@ -1,0 +1,3 @@
+(* Fixture: the other same-basename module. *)
+
+let get n = n * 2

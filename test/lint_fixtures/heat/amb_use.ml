@@ -1,0 +1,5 @@
+(* Fixture: a hot reference through a suffix-2 key defined in two
+   files — surfaced as ambiguous-resolve, never silently conflated. *)
+
+(* seussheat: hot — fixture hot root *)
+let drive n = Store.get n

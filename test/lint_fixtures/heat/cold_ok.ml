@@ -1,0 +1,15 @@
+(* Fixture: justified seussheat markers leave the file clean — a range
+   marker silencing one site in a hot binding, and a binding-level cold
+   marker pruning an init-time value from the hot set. *)
+
+(* seussheat: hot — fixture hot root *)
+let emit n =
+  (* seussheat: cold — fixture: the pair is the API result *)
+  let pair = (n, n) in
+  fst pair
+
+(* seussheat: cold — fixture: built once at module init *)
+let table = Hashtbl.create 16
+
+(* seussheat: hot — fixture hot root *)
+let lookup k = Hashtbl.find table k

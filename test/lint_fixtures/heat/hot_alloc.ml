@@ -1,0 +1,10 @@
+(* Fixture: heap construction inside a hot binding — a tuple, a ref
+   cell and a known-allocating stdlib call. *)
+
+(* seussheat: hot — fixture hot root *)
+let build n =
+  let pair = (n, n) in
+  let cell = ref n in
+  ignore pair;
+  ignore cell;
+  Array.make n 0

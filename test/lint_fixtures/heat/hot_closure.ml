@@ -1,0 +1,4 @@
+(* Fixture: a closure allocated inside a hot binding. *)
+
+(* seussheat: hot — fixture hot root *)
+let spin xs = List.iter (fun x -> ignore x) xs

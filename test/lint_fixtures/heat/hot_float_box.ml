@@ -1,0 +1,6 @@
+(* Fixture: a float-arithmetic result stored into a record field. *)
+
+type acc = { mutable sum : float; mutable count : int }
+
+(* seussheat: hot — fixture hot root *)
+let bump a v = a.sum <- a.sum +. v

@@ -1,0 +1,7 @@
+(* Fixture: a partial application of a tree-defined function inside a
+   hot binding allocates a closure per call. *)
+
+let add3 a b c = a + b + c
+
+(* seussheat: hot — fixture hot root *)
+let curry n = ignore (add3 n 1)

@@ -1,0 +1,11 @@
+(* Fixture: polymorphic comparison inside hot bindings — a bare
+   [compare], [=] against a structured operand, and [min]. *)
+
+(* seussheat: hot — fixture hot root *)
+let worst a b = if compare a b < 0 then b else a
+
+(* seussheat: hot — fixture hot root *)
+let is_origin p = p = "origin"
+
+(* seussheat: hot — fixture hot root *)
+let clamp v = min v 100

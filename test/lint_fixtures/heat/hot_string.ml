@@ -1,0 +1,4 @@
+(* Fixture: string building inside a hot binding. *)
+
+(* seussheat: hot — fixture hot root *)
+let label n = "event#" ^ string_of_int n

@@ -1,0 +1,10 @@
+(* Fixture: dangling markers are dead weight — a cold marker covering
+   nothing and a hot marker covering no binding. *)
+
+(* seussheat: cold — fixture: covers nothing *)
+
+let f x = x + 1
+
+(* seussheat: hot — fixture: covers nothing *)
+
+let g x = x + 2

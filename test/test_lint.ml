@@ -113,17 +113,99 @@ let check_deadlock_fixture_tree () =
     ];
   Alcotest.(check (list string)) "allow_ok clean under seussdead" []
     (rules_hit (in_file "deadlock/allow_ok.ml"));
-  (* The base-pass fixtures must not confuse the deadlock pass, and the
-     seussdead: allows must be invisible to the base marker. *)
-  Alcotest.(check int) "whole fixture tree: only the planted hits" 6
-    (List.length
-       (Lint.Deadlock.check_tree ~strip_prefix:"lint_fixtures"
-          [ "lint_fixtures" ]));
-  Alcotest.(check bool) "base pass ignores deadlock fixtures" false
+  (* The base/heat fixtures must not confuse the deadlock pass — except
+     for the heat ambiguity fixture, whose suffix-2 collision the
+     deadlock pass also surfaces (at every reference site, hot or not). *)
+  let whole =
+    Lint.Deadlock.check_tree ~strip_prefix:"lint_fixtures" [ "lint_fixtures" ]
+  in
+  Alcotest.(check int) "whole fixture tree: planted hits + the collision" 7
+    (List.length whole);
+  Alcotest.(check (list string))
+    "the one extra is the suffix-2 collision"
+    [ Lint.Rules.ambiguous_resolve ]
+    (rules_hit
+       (List.filter
+          (fun v -> String.starts_with ~prefix:"heat/" v.Lint.Check.file)
+          whole));
+  Alcotest.(check bool) "base pass ignores deadlock/heat fixtures" false
     (List.exists
-       (fun v -> String.starts_with ~prefix:"deadlock/" v.Lint.Check.file)
+       (fun v ->
+         String.starts_with ~prefix:"deadlock/" v.Lint.Check.file
+         || String.starts_with ~prefix:"heat/" v.Lint.Check.file)
        (Lint.Check.check_tree ~strip_prefix:"lint_fixtures"
           [ "lint_fixtures" ]))
+
+let check_heat_fixture_tree () =
+  (* Mirror CI's "Heat fixtures still fail" step: every heat rule fires
+     on its fixture with the planted count, the marker meta-rules fire,
+     the ambiguity fixture surfaces its collision, and the justified
+     cold markers leave their file clean. *)
+  let vs =
+    Lint.Heat.check_tree ~strip_prefix:"lint_fixtures"
+      [ "lint_fixtures/heat" ]
+  in
+  let in_file f =
+    List.filter (fun v -> String.equal v.Lint.Check.file f) vs
+  in
+  List.iter
+    (fun (file, rule, expected) ->
+      let hits = in_file ("heat/" ^ file) in
+      Alcotest.(check (list string)) (file ^ " rule") [ rule ] (rules_hit hits);
+      Alcotest.(check int) (file ^ " count") expected (List.length hits))
+    [
+      ("hot_closure.ml", "heat-closure", 1);
+      ("hot_alloc.ml", "heat-alloc", 3);
+      ("hot_string.ml", "heat-string", 2);
+      ("hot_float_box.ml", "heat-float-box", 1);
+      ("hot_poly_cmp.ml", "heat-poly-cmp", 3);
+      ("hot_partial.ml", "heat-partial-apply", 1);
+      ("bad_cold.ml", Lint.Rules.bad_allow, 2);
+      ("unused_cold.ml", Lint.Rules.unused_allow, 2);
+      ("amb_use.ml", Lint.Rules.ambiguous_resolve, 1);
+    ];
+  Alcotest.(check (list string)) "cold_ok clean under seussheat" []
+    (rules_hit (in_file "heat/cold_ok.ml"));
+  Alcotest.(check int) "whole heat fixture tree: only the planted hits" 16
+    (List.length vs);
+  (* Every violation inside a hot binding must carry its root-to-site
+     chain — the report doubles as the hotness proof. *)
+  List.iter
+    (fun v ->
+      if String.starts_with ~prefix:"heat-" v.Lint.Check.rule then
+        Alcotest.(check bool)
+          (v.Lint.Check.rule ^ " message carries a hot chain") true
+          (let msg = v.Lint.Check.message in
+           let rec has i =
+             i + 10 <= String.length msg
+             && (String.equal (String.sub msg i 10) "hot path (" || has (i + 1))
+           in
+           has 0))
+    vs;
+  (* Cross-pass isolation: the heat pass sees nothing in the base and
+     deadlock fixtures (their markers are not seussheat's), and the heat
+     markers are invisible to the other two scanners. *)
+  Alcotest.(check int) "heat pass ignores the base/deadlock fixtures" 0
+    (List.length
+       (Lint.Heat.check_tree ~strip_prefix:"lint_fixtures"
+          [ "lint_fixtures/lib"; "lint_fixtures/deadlock" ]))
+
+let check_pass_all_shared_parse () =
+  (* --pass all must equal the union of the three passes over the same
+     tree, deduplicated: both interprocedural passes surface the same
+     suffix-2 collision, which must be reported once. *)
+  let sources =
+    Lint.Check.load_tree ~strip_prefix:"lint_fixtures" [ "lint_fixtures" ]
+  in
+  let base = Lint.Check.check_sources sources in
+  let dl = Lint.Deadlock.check_sources sources in
+  let heat = Lint.Heat.check_sources sources in
+  let merged =
+    List.sort_uniq Lint.Check.compare_violation (base @ dl @ heat)
+  in
+  Alcotest.(check int) "dedup removes the doubly-reported collision"
+    (List.length base + List.length dl + List.length heat - 1)
+    (List.length merged)
 
 let check_clean_tree () =
   (* The shipped sources (copied into the build sandbox as our library
@@ -155,6 +237,22 @@ let check_clean_tree_deadlock () =
     Alcotest.(check int) "deadlock violations in shipped tree" 0
       (List.length vs)
 
+let check_clean_tree_heat () =
+  (* The heat pass must come back clean on the shipped tree: every
+     allocation reachable from the registered hot roots is either
+     rewritten away or carries a justified cold marker. *)
+  let roots = List.filter Sys.file_exists [ "../lib"; "../bin" ] in
+  if roots = [] then ()
+  else begin
+    let vs = Lint.Heat.check_tree roots in
+    List.iter
+      (fun v ->
+        Printf.eprintf "unexpected: %s:%d [%s] %s\n" v.Lint.Check.file
+          v.Lint.Check.line v.Lint.Check.rule v.Lint.Check.message)
+      vs;
+    Alcotest.(check int) "heat violations in shipped tree" 0 (List.length vs)
+  end
+
 let () =
   Alcotest.run "lint"
     [
@@ -176,8 +274,14 @@ let () =
             check_strip_prefix_tree;
           Alcotest.test_case "deadlock fixture tree" `Quick
             check_deadlock_fixture_tree;
+          Alcotest.test_case "heat fixture tree" `Quick
+            check_heat_fixture_tree;
+          Alcotest.test_case "--pass all shares one parse" `Quick
+            check_pass_all_shared_parse;
           Alcotest.test_case "shipped tree is clean" `Quick check_clean_tree;
           Alcotest.test_case "shipped tree is deadlock-clean" `Quick
             check_clean_tree_deadlock;
+          Alcotest.test_case "shipped tree is heat-clean" `Quick
+            check_clean_tree_heat;
         ] );
     ]

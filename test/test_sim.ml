@@ -624,6 +624,35 @@ let test_engine_perf_counters () =
   Alcotest.(check bool) "pending observed mid-run" true (!mid_pending >= 0);
   Alcotest.(check int) "pending drained" 0 (Sim.Engine.pending engine)
 
+(* The zero-alloc contract behind the seussheat pass: once the event
+   heap and payload arena have grown to size, the steady-state dispatch
+   loop — pop, dispatch, re-schedule, all through scalar columns — must
+   not allocate a single minor word per event. A warm-up run grows the
+   arrays first so the measured run sees only the steady state. *)
+let test_engine_zero_alloc_dispatch () =
+  let engine = Sim.Engine.create ~seed:1L () in
+  let remaining = ref 0 in
+  (* One recursive closure, allocated here once; per event the engine
+     only stores/loads it through the arena. *)
+  let rec cb () =
+    if !remaining > 0 then begin
+      decr remaining;
+      Sim.Engine.schedule engine ~delay:1.0 cb
+    end
+  in
+  remaining := 2_000;
+  Sim.Engine.schedule engine ~delay:0.0 cb;
+  Sim.Engine.run engine;
+  let measured = 10_000 in
+  remaining := measured;
+  Sim.Engine.schedule engine ~delay:0.0 cb;
+  let w0 = Gc.minor_words () in
+  Sim.Engine.run engine;
+  let w1 = Gc.minor_words () in
+  Alcotest.(check (float 0.0))
+    (Printf.sprintf "minor words allocated across %d dispatches" (measured + 1))
+    0.0 (w1 -. w0)
+
 let () =
   let case name f = Alcotest.test_case name `Quick f in
   let qcase = QCheck_alcotest.to_alcotest in
@@ -667,7 +696,11 @@ let () =
           case "span ids and parents" test_trace_span_ids_and_parents;
           case "parent links cross spawn" test_trace_parent_links_cross_spawn;
         ] );
-      ("perf", [ case "engine counters" test_engine_perf_counters ]);
+      ( "perf",
+        [
+          case "engine counters" test_engine_perf_counters;
+          case "zero-alloc dispatch" test_engine_zero_alloc_dispatch;
+        ] );
       ( "ivar",
         [
           case "fill then read" test_ivar_fill_then_read;
