@@ -1,5 +1,5 @@
-(* The seusslint driver — determinism, resource-safety and hot-path
-   linter.
+(* The seusslint driver — determinism, resource-safety, hot-path and
+   ownership linter.
 
    Passes over every .ml under the given roots (default: lib bin),
    selected with --pass:
@@ -17,41 +17,49 @@
      heat-poly-cmp, heat-partial-apply), seeded from the registered hot
      roots in Lint.Hotroots. Suppressions:
        (* seussheat: cold — <reason> *)
+   - own: the interprocedural ownership/typestate rules in Lint.Own
+     (own-escape, own-exn-leak, own-double-release,
+     own-use-after-destroy, own-unbalanced) over the registered
+     acquire/release pairs. Suppressions:
+       (* seussown: transfer — <reason> *)
    - all: every pass over one shared parse — each file is read, its
      comments lexed and its AST built exactly once (Lint.Check.load_tree),
-     then the three passes analyze the shared sources. --time reports
+     then the four passes analyze the shared sources. --time reports
      the load/analysis split on stderr.
 
    Exits 1 if any unsuppressed violation remains. --json swaps the
    human report for one JSON object per line (file, line, col, rule,
-   message), for CI problem matchers and tooling. *)
+   pass, message), for CI problem matchers and tooling. *)
+
+let pass_sections =
+  [
+    ("base pass (default)", Lint.Rules.syntactic);
+    ("deadlock pass, --pass deadlock", Lint.Rules.deadlock);
+    ("heat pass, --pass heat", Lint.Rules.heat);
+    ("own pass, --pass own", Lint.Rules.own);
+  ]
 
 let list_rules () =
-  print_endline "seusslint rules (base pass):";
   List.iter
-    (fun r ->
-      Printf.printf "  %-18s %s\n" (Lint.Rules.name r) (Lint.Rules.describe r))
-    Lint.Rules.syntactic;
-  print_endline "seusslint rules (deadlock pass, --pass deadlock):";
-  List.iter
-    (fun r ->
-      Printf.printf "  %-18s %s\n" (Lint.Rules.name r) (Lint.Rules.describe r))
-    Lint.Rules.deadlock;
-  print_endline "seusslint rules (heat pass, --pass heat):";
-  List.iter
-    (fun r ->
-      Printf.printf "  %-18s %s\n" (Lint.Rules.name r) (Lint.Rules.describe r))
-    Lint.Rules.heat;
-  Printf.printf
-    "  %-18s reported for malformed/unknown allow comments (not suppressible)\n"
+    (fun (header, rules) ->
+      Printf.printf "seusslint rules (%s):\n" header;
+      List.iter
+        (fun r ->
+          (* The [pass] column is load-bearing: CI matchers and docs
+             key the suppression syntax off it. *)
+          Printf.printf "  %-22s [%s] %s\n" (Lint.Rules.name r)
+            (Lint.Rules.pass_of r) (Lint.Rules.describe r))
+        rules)
+    pass_sections;
+  print_endline "seusslint meta-rules (any pass, not suppressible):";
+  Printf.printf "  %-22s [meta] reported for malformed/unknown allow \
+                 comments or markers\n"
     Lint.Rules.bad_allow;
-  Printf.printf
-    "  %-18s reported for allow comments that suppress nothing (not \
-     suppressible)\n"
+  Printf.printf "  %-22s [meta] reported for allow comments or markers \
+                 that suppress nothing\n"
     Lint.Rules.unused_allow;
   Printf.printf
-    "  %-18s reported when a suffix-2 name resolves into two files (not \
-     suppressible)\n"
+    "  %-22s [meta] reported when a suffix-2 name resolves into two files\n"
     Lint.Rules.ambiguous_resolve
 
 (* Minimal JSON string escaping: the report fields are ASCII paths and
@@ -71,6 +79,33 @@ let json_escape s =
     s;
   Buffer.contents buf
 
+(* The pass a violation belongs to: the enforcing pass for catalogued
+   rules, "meta" for the checker's own diagnostics. *)
+let pass_of_rule rule =
+  match Lint.Rules.of_name rule with
+  | Some r -> Lint.Rules.pass_of r
+  | None -> "meta"
+
+(* --time registry. Keyed by label with replace semantics so a second
+   run of the same pass in one process (two check_sources calls over
+   the same sources) updates its line instead of appending a duplicate
+   to the report. *)
+let timings : (string, float) Hashtbl.t = Hashtbl.create 8
+
+let timed what f =
+  let t0 = Unix.gettimeofday () in
+  let v = f () in
+  Hashtbl.replace timings what ((Unix.gettimeofday () -. t0) *. 1e3);
+  v
+
+let report_timings () =
+  List.iter
+    (fun label ->
+      match Hashtbl.find_opt timings label with
+      | Some ms -> Printf.eprintf "seusslint: %-12s %6.1f ms\n%!" label ms
+      | None -> ())
+    [ "load"; "base"; "deadlock"; "heat"; "own" ]
+
 let () =
   let roots = ref [] in
   let list = ref false in
@@ -82,11 +117,12 @@ let () =
     [
       ("--list-rules", Arg.Set list, " Print the rule catalogue and exit");
       ( "--pass",
-        Arg.Symbol ([ "base"; "deadlock"; "heat"; "all" ], fun p -> pass := p),
+        Arg.Symbol
+          ([ "base"; "deadlock"; "heat"; "own"; "all" ], fun p -> pass := p),
         " Which pass to run: base (per-file syntactic rules, default), \
          deadlock (interprocedural blocking/lock-order analysis), heat \
-         (hot-path allocation analysis), or all (every pass over one shared \
-         parse)" );
+         (hot-path allocation analysis), own (ownership/typestate \
+         analysis), or all (every pass over one shared parse)" );
       ( "--json",
         Arg.Set json,
         " Emit one JSON object per violation instead of the human report" );
@@ -102,7 +138,7 @@ let () =
   in
   Arg.parse (Arg.align spec)
     (fun dir -> roots := dir :: !roots)
-    "seusslint [--list-rules] [--pass base|deadlock|heat|all] [--json] \
+    "seusslint [--list-rules] [--pass base|deadlock|heat|own|all] [--json] \
      [--time] [--strip-prefix PREFIX] [DIR ...]   (default roots: lib bin)";
   if !list then begin
     list_rules ();
@@ -110,20 +146,21 @@ let () =
   end;
   let roots = match List.rev !roots with [] -> [ "lib"; "bin" ] | rs -> rs in
   let strip_prefix = match !strip with "" -> None | p -> Some p in
-  let timed what f =
-    let t0 = Unix.gettimeofday () in
-    let v = f () in
-    if !time then
-      Printf.eprintf "seusslint: %-12s %6.1f ms\n%!" what
-        ((Unix.gettimeofday () -. t0) *. 1e3);
-    v
-  in
+  let tag p vs = List.map (fun v -> (p, v)) vs in
+  (* (pass, violation) pairs: single-pass runs tag with the invoked
+     pass; --pass all keeps the first producer through dedup. *)
   let violations =
     match !pass with
     | "deadlock" ->
-        timed "deadlock" (fun () -> Lint.Deadlock.check_tree ?strip_prefix roots)
+        tag "deadlock"
+          (timed "deadlock" (fun () ->
+               Lint.Deadlock.check_tree ?strip_prefix roots))
     | "heat" ->
-        timed "heat" (fun () -> Lint.Heat.check_tree ?strip_prefix roots)
+        tag "heat"
+          (timed "heat" (fun () -> Lint.Heat.check_tree ?strip_prefix roots))
+    | "own" ->
+        tag "own"
+          (timed "own" (fun () -> Lint.Own.check_tree ?strip_prefix roots))
     | "all" ->
         (* The point of "all": one read+lex+parse, shared by every pass. *)
         let sources =
@@ -134,18 +171,38 @@ let () =
           timed "deadlock" (fun () -> Lint.Deadlock.check_sources sources)
         in
         let heat = timed "heat" (fun () -> Lint.Heat.check_sources sources) in
-        (* sort_uniq: the interprocedural passes can both surface the
-           same ambiguous-resolve collision. *)
-        List.sort_uniq Lint.Check.compare_violation (base @ dl @ heat)
-    | _ -> timed "base" (fun () -> Lint.Check.check_tree ?strip_prefix roots)
+        let own = timed "own" (fun () -> Lint.Own.check_sources sources) in
+        (* Dedup: the interprocedural passes can all surface the same
+           ambiguous-resolve collision. *)
+        let sorted =
+          List.sort
+            (fun (_, a) (_, b) -> Lint.Check.compare_violation a b)
+            (tag "base" base @ tag "deadlock" dl @ tag "heat" heat
+           @ tag "own" own)
+        in
+        let rec dedup = function
+          | (p1, v1) :: (_, v2) :: rest
+            when Lint.Check.compare_violation v1 v2 = 0 ->
+              dedup ((p1, v1) :: rest)
+          | x :: rest -> x :: dedup rest
+          | [] -> []
+        in
+        dedup sorted
+    | _ ->
+        tag "base"
+          (timed "base" (fun () -> Lint.Check.check_tree ?strip_prefix roots))
   in
+  if !time then report_timings ();
   List.iter
-    (fun (v : Lint.Check.violation) ->
+    (fun ((produced_by, v) : string * Lint.Check.violation) ->
+      let v_pass =
+        match pass_of_rule v.rule with "meta" -> produced_by | p -> p
+      in
       if !json then
         Printf.printf
-          "{\"file\":\"%s\",\"line\":%d,\"col\":%d,\"rule\":\"%s\",\"message\":\"%s\"}\n"
+          "{\"file\":\"%s\",\"line\":%d,\"col\":%d,\"rule\":\"%s\",\"pass\":\"%s\",\"message\":\"%s\"}\n"
           (json_escape v.file) v.line v.col (json_escape v.rule)
-          (json_escape v.message)
+          (json_escape v_pass) (json_escape v.message)
       else
         Printf.printf "%s:%d:%d: [%s] %s\n" v.file v.line v.col v.rule
           v.message)

@@ -53,10 +53,26 @@ let last_stranded : Sim.Engine.stranded list ref = ref []
 let last_stuck_waiters () = !last_stuck
 let last_stranded_waiters () = !last_stranded
 
+(* Ownership hook: SEUSS_OWN=1 arms the engine's resource census
+   (Engine.create reads the variable itself). Every harness-built node
+   registers a quiescence census; leaks surface as San_leak events on
+   the node log and through the accessor below. A healthy armed run
+   emits nothing, so it stays byte-identical to an unarmed one — the CI
+   transparency check depends on this. *)
+let own_env_var = Sim.Engine.own_env_var
+
+let last_leaked : (string * Seuss.Node.census) list ref = ref []
+let last_leaked_resources () = List.rev !last_leaked
+
+(* Distinguish the nodes of one process in census reports; leaks are
+   exceptional, so the numbering never reaches healthy output. *)
+let node_seq = ref 0
+
 let run_sim ?(seed = 7L) body =
   let engine = Sim.Engine.create ~seed () in
   if hb_of_env () then ignore (Sim.Hb.enable engine);
   install_env_faults ~seed engine;
+  last_leaked := [];
   let result = ref None in
   Sim.Engine.spawn engine ~name:"experiment" (fun () ->
       result := Some (body engine));
@@ -169,6 +185,11 @@ let seuss_node ?(config = Seuss.Config.default) env =
       env
   in
   Seuss.Timeline.maybe_start_from_env node;
+  let name = Printf.sprintf "node%d" !node_seq in
+  incr node_seq;
+  Seuss.Node.arm_census ~name
+    ~on_leak:(fun c -> last_leaked := (name, c) :: !last_leaked)
+    node;
   Seuss.Node.start node;
   node
 

@@ -32,6 +32,18 @@ val last_stuck_waiters : unit -> int
     event queue drained. Meaningful even with the detector off; [0]
     for a clean experiment. *)
 
+val own_env_var : string
+(** ["SEUSS_OWN"] — re-export of {!Sim.Engine.own_env_var}. When on,
+    every harness-built node registers an ownership census that runs at
+    engine quiescence; any resource still held beyond the node's caches
+    surfaces as a [San_leak] event and through
+    {!last_leaked_resources}. *)
+
+val last_leaked_resources : unit -> (string * Seuss.Node.census) list
+(** Per-node nonzero censuses of the most recent {!run_sim}, in node
+    creation order. Always [[]] unless [SEUSS_OWN] armed the census —
+    and, on a leak-free tree, also [[]] when it did. *)
+
 val last_stranded_waiters : unit -> Sim.Engine.stranded list
 (** {!Sim.Engine.stranded_waiters} of the most recent {!run_sim} run —
     [[]] unless [SEUSS_DEADLOCK] armed the detector. *)

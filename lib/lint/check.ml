@@ -314,6 +314,8 @@ let check_source source =
               let hint =
                 if List.mem r Rules.heat then
                   "the heat pass; suppress it with a seussheat: cold marker"
+                else if List.mem r Rules.own then
+                  "the own pass; suppress it with a seussown: transfer marker"
                 else "the deadlock pass; suppress it with a seussdead: allow comment"
               in
               meta :=

@@ -399,6 +399,8 @@ let scan_directives fs comments =
               let hint =
                 if List.mem r Rules.heat then
                   "the heat pass; suppress it with a seussheat: cold marker"
+                else if List.mem r Rules.own then
+                  "the own pass; suppress it with a seussown: transfer marker"
                 else "the base pass; suppress it with a seusslint: allow comment"
               in
               fs.fs_meta <-

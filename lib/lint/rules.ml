@@ -5,7 +5,10 @@
    call graph built by {!Deadlock} and run as a separate pass
    ([seusslint --pass deadlock]); the heat rules flag allocation and
    boxing on paths proven reachable from the registered hot roots
-   ({!Hotroots}) by {!Heat} ([seusslint --pass heat]). *)
+   ({!Hotroots}) by {!Heat} ([seusslint --pass heat]); the own rules
+   track acquire/release typestate for frames, snapshot references and
+   unikernel contexts interprocedurally, enforced by {!Own}
+   ([seusslint --pass own]). *)
 
 type id =
   | Bare_random  (** [Random.*] outside the seeded PRNG plumbing *)
@@ -39,6 +42,22 @@ type id =
   | Heat_partial
       (** partial application on a hot path: allocates a closure per
           call *)
+  | Own_escape
+      (** an acquired resource (frame ref, snapshot ref, UC) that no
+          reachable path ever releases, at a site not registered as an
+          ownership transfer *)
+  | Own_exn_leak
+      (** a raise/failwith/invalid_arg while a resource acquired in the
+          same function is still owned on that path *)
+  | Own_double_release
+      (** a second release of a resource already released on the same
+          path *)
+  | Own_use_after_destroy
+      (** a liveness-requiring UC operation after [Uc.destroy] on the
+          same path *)
+  | Own_unbalanced
+      (** branch arms that disagree about whether a resource owned
+          before the branch is released *)
 
 let syntactic =
   [ Bare_random; Wallclock; Hashtbl_order; Physical_eq; Stdout_print; Frame_site ]
@@ -49,7 +68,18 @@ let heat =
   [ Heat_closure; Heat_alloc; Heat_string; Heat_float_box; Heat_poly_cmp;
     Heat_partial ]
 
-let all = syntactic @ deadlock @ heat
+let own =
+  [ Own_escape; Own_exn_leak; Own_double_release; Own_use_after_destroy;
+    Own_unbalanced ]
+
+let all = syntactic @ deadlock @ heat @ own
+
+(* Which seusslint pass enforces a rule ([--list-rules], --json records). *)
+let pass_of r =
+  if List.mem r syntactic then "base"
+  else if List.mem r deadlock then "deadlock"
+  else if List.mem r heat then "heat"
+  else "own"
 
 let name = function
   | Bare_random -> "bare-random"
@@ -67,6 +97,11 @@ let name = function
   | Heat_float_box -> "heat-float-box"
   | Heat_poly_cmp -> "heat-poly-cmp"
   | Heat_partial -> "heat-partial-apply"
+  | Own_escape -> "own-escape"
+  | Own_exn_leak -> "own-exn-leak"
+  | Own_double_release -> "own-double-release"
+  | Own_use_after_destroy -> "own-use-after-destroy"
+  | Own_unbalanced -> "own-unbalanced"
 
 let of_name n = List.find_opt (fun r -> String.equal (name r) n) all
 
@@ -136,6 +171,30 @@ let describe = function
       "applying a known function to fewer arguments than its definition \
        takes allocates a closure per call on a hot path; apply it fully \
        or eta-expand at the call site"
+  | Own_escape ->
+      "a resource acquired here (Frame.alloc/incref, Snapshot.addref, \
+       Uc.boot/deploy) is never released on any reachable path and the \
+       site is not in the Lint.Sites transfer registry; release it, \
+       register the transfer, or justify with (* seussown: transfer — \
+       ... *)"
+  | Own_exn_leak ->
+      "this raise / failwith / invalid_arg fires while a resource \
+       acquired in the same function is still owned on the path, so the \
+       exception leaks it; release before raising or wrap in \
+       Fun.protect"
+  | Own_double_release ->
+      "the resource was already released earlier on this path; a second \
+       Frame.decref / Snapshot.decref / Uc.destroy either underflows \
+       the refcount or double-frees"
+  | Own_use_after_destroy ->
+      "a liveness-requiring UC operation (connect, send, request, \
+       resume, capture, prefault, ...) after Uc.destroy on the same \
+       path reads resources destroy already released"
+  | Own_unbalanced ->
+      "one branch arm releases a resource owned before the branch while \
+       a sibling arm keeps it owned, so ownership after the branch \
+       depends on which arm ran; release on every arm or transfer \
+       explicitly"
 
 (* Meta-diagnostics the checker itself can emit. They are not
    suppressible — an allow comment that is wrong or dead is itself the

@@ -4,9 +4,11 @@
     liveness has actually broken (or nearly broken) in this codebase.
     The {!syntactic} rules are decidable per-file on names alone and are
     enforced by {!Check}; the {!deadlock} rules need the interprocedural
-    call graph built by {!Deadlock} over the whole tree, and the {!heat}
+    call graph built by {!Deadlock} over the whole tree, the {!heat}
     rules flag allocation/boxing reachable from the registered hot roots
-    ({!Hotroots}), enforced by {!Heat}. *)
+    ({!Hotroots}), enforced by {!Heat}, and the {!own} rules track
+    acquire/release typestate for frames, snapshot references and
+    unikernel contexts, enforced by {!Own}. *)
 
 type id =
   | Bare_random  (** [Random.*] outside the seeded PRNG plumbing *)
@@ -39,6 +41,19 @@ type id =
           path *)
   | Heat_partial
       (** partial application on a hot path: a closure per call *)
+  | Own_escape
+      (** an acquired resource never released on any reachable path, at
+          a site not registered as an ownership transfer *)
+  | Own_exn_leak
+      (** a raise while a resource acquired in the same function is
+          still owned on that path *)
+  | Own_double_release
+      (** a second release of a resource already released on the path *)
+  | Own_use_after_destroy
+      (** a liveness-requiring UC operation after [Uc.destroy] *)
+  | Own_unbalanced
+      (** branch arms that disagree about releasing a pre-branch
+          resource *)
 
 val syntactic : id list
 (** Rules enforced per-file by the base pass ({!Check.check_file}). *)
@@ -50,8 +65,16 @@ val heat : id list
 (** Rules enforced by the hot-path pass ({!Heat.check_tree}),
     suppressed with [(* seussheat: cold — <reason> *)] markers. *)
 
+val own : id list
+(** Rules enforced by the ownership pass ({!Own.check_tree}),
+    suppressed with [(* seussown: transfer — <reason> *)] markers. *)
+
 val all : id list
-(** [syntactic @ deadlock @ heat]. *)
+(** [syntactic @ deadlock @ heat @ own]. *)
+
+val pass_of : id -> string
+(** The seusslint pass that enforces the rule: ["base"], ["deadlock"],
+    ["heat"] or ["own"]. *)
 
 val name : id -> string
 (** Stable kebab-case identifier, as printed and as written in allow

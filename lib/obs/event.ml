@@ -81,6 +81,13 @@ type t =
       resident_bytes : int64;
       policy : string;
     }
+  | San_leak of {
+      node : string;
+      frames : int;
+      snapshot_refs : int;
+      pinned : int;
+      ucs : int;
+    }
 
 let type_name = function
   | Invoke_start _ -> "invoke_start"
@@ -106,6 +113,7 @@ let type_name = function
   | Snap_dedup _ -> "snap_dedup"
   | Snap_delta _ -> "snap_delta"
   | Snap_evict _ -> "snap_evict"
+  | San_leak _ -> "san_leak"
 
 let to_json ~time ev =
   let fields =
@@ -221,6 +229,14 @@ let to_json ~time ev =
           ("pages_freed", Json.Int pages_freed);
           ("resident_bytes", Json.Int (Int64.to_int resident_bytes));
           ("policy", Json.String policy);
+        ]
+    | San_leak { node; frames; snapshot_refs; pinned; ucs } ->
+        [
+          ("node", Json.String node);
+          ("frames", Json.Int frames);
+          ("snapshot_refs", Json.Int snapshot_refs);
+          ("pinned", Json.Int pinned);
+          ("ucs", Json.Int ucs);
         ]
   in
   Json.Obj
@@ -373,6 +389,13 @@ let of_json json =
                resident_bytes = Int64.of_int resident_bytes;
                policy;
              })
+    | "san_leak" ->
+        let* node = field "node" Json.to_str in
+        let* frames = field "frames" Json.to_int in
+        let* snapshot_refs = field "snapshot_refs" Json.to_int in
+        let* pinned = field "pinned" Json.to_int in
+        let* ucs = field "ucs" Json.to_int in
+        Ok (San_leak { node; frames; snapshot_refs; pinned; ucs })
     | other -> Error (Printf.sprintf "event: unknown type %S" other)
   in
   Ok (time, ev)

@@ -137,6 +137,21 @@ type t =
     }
       (** The byte-budgeted snapshot cache evicted a function snapshot;
           its next invocation falls back to the cold path. *)
+  | San_leak of {
+      node : string;  (** node name, e.g. ["node0"] *)
+      frames : int;  (** physical frames whose refcount exceeds what the
+                         node's live tables account for *)
+      snapshot_refs : int;
+          (** snapshot dependent-count surplus over live importers *)
+      pinned : int;  (** snapshots still pinned by an invocation window *)
+      ucs : int;  (** UCs created but never destroyed nor cached *)
+    }
+      (** The ownership census counted resources still held at engine
+          quiescence beyond the node's deliberate caches. Only emitted
+          when the census is armed ([SEUSS_OWN=1] or [~own:true] at
+          [Sim.Engine.create]) {e and} at least one count is nonzero —
+          a healthy armed run emits nothing, keeping its event stream
+          byte-identical to an unarmed one. *)
 
 val type_name : t -> string
 (** The discriminator stored in the ["type"] JSON field. *)

@@ -437,9 +437,15 @@ let start t =
               t.bases <- (image.Unikernel.Image.runtime, snap) :: t.bases;
               Uc.resume uc;
               Uc.destroy uc
-          | `Failed msg -> failwith ("Node.start: " ^ msg))
-      | Some other -> failwith ("Node.start: unexpected breakpoint " ^ other)
-      | None -> failwith "Node.start: boot timeout")
+          | `Failed msg ->
+              Uc.destroy uc;
+              failwith ("Node.start: " ^ msg))
+      | Some other ->
+          Uc.destroy uc;
+          failwith ("Node.start: unexpected breakpoint " ^ other)
+      | None ->
+          Uc.destroy uc;
+          failwith "Node.start: boot timeout")
     t.cfg.Config.runtimes;
   refresh_gauges t
 
@@ -553,8 +559,11 @@ let warm_invoke t ph fn snap ~args =
    invisible to every eviction sweep. *)
 let warm_invoke_pinned t ph fn snap ~args =
   Snapshot.addref snap;
+  Osenv.note_pin t.node_env;
   Fun.protect
-    ~finally:(fun () -> Snapshot.decref snap)
+    ~finally:(fun () ->
+      Osenv.note_unpin t.node_env;
+      Snapshot.decref snap)
     (fun () -> warm_invoke t ph fn snap ~args)
 
 let cold_invoke t ph fn ~args =
@@ -753,6 +762,123 @@ let shutdown t =
     t.bases;
   t.bases <- [];
   refresh_gauges t
+
+(* {1 Ownership census}
+
+   The dynamic half of the seussown static pass: at engine quiescence,
+   count every resource the node still holds beyond its deliberate
+   caches. The static pass proves each acquire has a release on every
+   path; the census checks the same invariant against the runtime
+   ground truth — the frame allocator, snapshot dependent counts, the
+   UC create/destroy ledger — so a leak the analysis missed (or a
+   suppression that lied) still surfaces. *)
+
+type census = {
+  leaked_frames : int;
+  snapshot_ref_mismatch : int;
+  pinned_windows : int;
+  leaked_ucs : int;
+}
+
+(* Every UC the node knowingly holds and has not released: the idle
+   cache plus the last-served UC (which may alias an idle entry, hence
+   the id-keyed dedup; dead-but-undrained cache entries count as held —
+   the node still owns their release). *)
+let accounted_ucs t =
+  let seen = Hashtbl.create 64 in
+  let add acc uc =
+    if Uc.is_released uc || Hashtbl.mem seen (Uc.id uc) then acc
+    else begin
+      Hashtbl.add seen (Uc.id uc) ();
+      uc :: acc
+    end
+  in
+  let acc = List.fold_left add [] (idle_ucs t) in
+  match t.last_uc with Some uc -> add acc uc | None -> acc
+
+let census t =
+  let env = t.node_env in
+  let ucs = accounted_ucs t in
+  let snaps =
+    List.map snd t.bases @ List.map snd (snapshot_inventory t)
+  in
+  (* One family listing every live table the node knows about — base
+     and function snapshots plus held UC address spaces — so shared
+     leaves are counted once and the implied live-frame count is exact.
+     Any surplus the allocator reports belongs to a table nobody can
+     ever release. *)
+  let tables =
+    List.map (fun (s : Snapshot.t) -> s.Snapshot.table) snaps
+    @ List.map Uc.table ucs
+  in
+  let implied = Mem.Page_table.expected_refcounts tables in
+  let leaked_frames =
+    Mem.Frame.used_frames env.Osenv.frames - Hashtbl.length implied
+  in
+  (* Expected dependents of a snapshot: held UCs deployed from it plus
+     child snapshots captured over it (names are unique per node, so
+     name equality identifies the snapshot without physical compare). *)
+  let expected_deps (s : Snapshot.t) =
+    let from_ucs =
+      List.length
+        (List.filter
+           (fun uc ->
+             match Uc.source_snapshot uc with
+             | Some src -> String.equal src.Snapshot.name s.Snapshot.name
+             | None -> false)
+           ucs)
+    and from_children =
+      List.length
+        (List.filter
+           (fun (c : Snapshot.t) ->
+             match c.Snapshot.parent with
+             | Some p -> String.equal p.Snapshot.name s.Snapshot.name
+             | None -> false)
+           snaps)
+    in
+    from_ucs + from_children
+  in
+  let snapshot_ref_mismatch =
+    List.fold_left
+      (fun acc s -> acc + (Snapshot.dependents s - expected_deps s))
+      0 snaps
+  in
+  let leaked_ucs =
+    env.Osenv.ucs_created - env.Osenv.ucs_released - List.length ucs
+  in
+  {
+    leaked_frames;
+    snapshot_ref_mismatch;
+    pinned_windows = env.Osenv.pins;
+    leaked_ucs;
+  }
+
+let census_clean c =
+  c.leaked_frames = 0
+  && c.snapshot_ref_mismatch = 0
+  && c.pinned_windows = 0
+  && c.leaked_ucs = 0
+
+let arm_census ?(name = "node") ?on_leak t =
+  let engine = t.node_env.Osenv.engine in
+  if Sim.Engine.own_armed engine then
+    Sim.Engine.add_census_hook engine (fun () ->
+        let c = census t in
+        (* Emit only on a nonzero count: a healthy armed run's event
+           stream stays byte-identical to an unarmed one (an
+           unconditional event could change ring-eviction order). *)
+        if not (census_clean c) then begin
+          Osenv.emit t.node_env
+            (Obs.Event.San_leak
+               {
+                 node = name;
+                 frames = c.leaked_frames;
+                 snapshot_refs = c.snapshot_ref_mismatch;
+                 pinned = c.pinned_windows;
+                 ucs = c.leaked_ucs;
+               });
+          match on_leak with Some f -> f c | None -> ()
+        end)
 
 let deploy_idle t runtime =
   match base_snapshot t runtime with

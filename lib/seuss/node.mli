@@ -153,6 +153,41 @@ val captured_traces : t -> capture list
     newest 32 are retained). Render with [Sim.Trace.render] or export
     with {!Traceout.chrome}. *)
 
+(** {1 Ownership census}
+
+    The dynamic half of the [seussown] static pass: where the lint
+    proves each acquire is released on every path, the census checks
+    the same invariant against the runtime ground truth at engine
+    quiescence. Armed via [SEUSS_OWN=1] (or [~own:true] at
+    [Sim.Engine.create]); unarmed, {!arm_census} registers nothing and
+    every output is byte-identical. *)
+
+type census = {
+  leaked_frames : int;
+      (** allocator frames live beyond what the node's known tables
+          (base + function snapshots, held UC address spaces) imply *)
+  snapshot_ref_mismatch : int;
+      (** sum over known snapshots of (dependents − accounted
+          dependents), accounted = held UCs deployed from it + child
+          snapshots *)
+  pinned_windows : int;  (** warm-invocation pin windows still open *)
+  leaked_ucs : int;
+      (** UCs created but neither destroyed nor held in a node cache *)
+}
+
+val census : t -> census
+(** Count resources held right now beyond the node's deliberate caches.
+    All-zero at quiescence on a leak-free node; meaningful only when no
+    invocation is in flight. *)
+
+val census_clean : census -> bool
+
+val arm_census : ?name:string -> ?on_leak:(census -> unit) -> t -> unit
+(** When the engine's ownership census is armed, register a quiescence
+    hook that runs {!census} and — only if some count is nonzero —
+    emits an [Obs.Event.San_leak] tagged [name] on the node's log and
+    calls [on_leak]. No-op on an unarmed engine. *)
+
 val drop_idle : t -> fn_id:string -> unit
 (** Evict the idle UCs of one function (used by experiments to force
     warm paths). *)

@@ -10,6 +10,9 @@ type t = {
   hosts_cell : Sim.Hb.cell;
   log : Obs.Log.t;
   metrics : Obs.Metrics.t;
+  mutable ucs_created : int;
+  mutable ucs_released : int;
+  mutable pins : int;
 }
 
 let create ?budget_bytes ?(cores = 16) ?log_capacity engine =
@@ -68,7 +71,17 @@ let create ?budget_bytes ?(cores = 16) ?log_capacity engine =
     hosts_cell = Sim.Hb.cell ~name:"osenv.hosts";
     log;
     metrics;
+    ucs_created = 0;
+    ucs_released = 0;
+    pins = 0;
   }
+
+(* seussheat: cold — ledger bumps sit on UC create/destroy and the pin
+   window open/close, not per-invocation dispatch. *)
+let note_uc_created t = t.ucs_created <- t.ucs_created + 1
+let note_uc_released t = t.ucs_released <- t.ucs_released + 1
+let note_pin t = t.pins <- t.pins + 1
+let note_unpin t = t.pins <- t.pins - 1
 
 let emit t ev = Obs.Log.emit t.log ev
 

@@ -17,6 +17,10 @@ type t = {
       (** sanitizer-registered shared cell covering [hosts] *)
   log : Obs.Log.t;  (** engine-timestamped structured event log *)
   metrics : Obs.Metrics.t;  (** the node's metrics registry *)
+  mutable ucs_created : int;
+      (** ownership-census ledger: UCs booted on this OS instance *)
+  mutable ucs_released : int;  (** UCs whose [Uc.destroy] released *)
+  mutable pins : int;  (** snapshot pin windows currently open *)
 }
 
 val create :
@@ -44,3 +48,18 @@ val resolve : t -> string -> Net.Tcp.listener option
 
 val outbound : t -> string -> Net.Tcp.conn option
 (** Resolve + connect through the proxy (the guest's [net_outbound]). *)
+
+(** {1 Ownership-census ledgers}
+
+    Bump-only bookkeeping read by [Node.census] at engine quiescence.
+    Maintained unconditionally (an int increment, no allocation) so
+    arming [SEUSS_OWN] changes observation, never behaviour. *)
+
+val note_uc_created : t -> unit
+val note_uc_released : t -> unit
+
+val note_pin : t -> unit
+(** A warm invocation opened its snapshot pin window. *)
+
+val note_unpin : t -> unit
+(** ... and closed it ([pins] returns to zero when balanced). *)

@@ -88,6 +88,7 @@ let make env ~image ~space ~source =
     | Mem.Addr_space.Zero_fill -> Obs.Metrics.inc zero_fills
     | Mem.Addr_space.No_fault -> ());
   Net.Proxy.register env.Osenv.proxy ~port:uc_port listener;
+  Osenv.note_uc_created env;
   t
 
 (* The guest runs as its own simulation process. A guest that exhausts
@@ -240,6 +241,7 @@ let destroy t =
   end;
   if not t.released then begin
     t.released <- true;
+    Osenv.note_uc_released t.env;
     (match t.conn with Some conn -> Net.Tcp.close conn | None -> ());
     t.conn <- None;
     Net.Proxy.unregister t.env.Osenv.proxy ~port:t.uc_port;
@@ -262,3 +264,6 @@ let footprint_bytes t =
 let last_used t = t.used_at
 
 let touch_lru t = t.used_at <- Sim.Engine.now t.env.Osenv.engine
+
+let is_released t = t.released
+let table t = Mem.Addr_space.table t.space

@@ -92,3 +92,11 @@ val last_used : t -> float
 
 val touch_lru : t -> unit
 (** Record use (for the OOM reclaimer's eviction order). *)
+
+val is_released : t -> bool
+(** [true] once {!destroy} (or guest death followed by destroy) has
+    given the UC's frames and snapshot reference back. *)
+
+val table : t -> Mem.Page_table.t
+(** The UC's live page table — read by the ownership census to account
+    for the frame references its address space still holds. *)

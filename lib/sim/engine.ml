@@ -120,6 +120,13 @@ type t = {
      [waits] table and resource naming are populated only when
      [deadlock] is armed. *)
   deadlock : bool;
+  (* Ownership census: when armed, the registered census hooks run at
+     natural quiescence (after the stranded-waiter report) so each node
+     can count resources still held — leaked frames, snapshot refs,
+     pinned snapshots, undestroyed UCs. Off, nothing registers and the
+     run is byte-identical to a build without the hook. *)
+  own : bool;
+  mutable census_hooks : (unit -> unit) list;
   mutable proc : pinfo option;
   mutable next_pid : int;
   mutable parked : int;  (* non-daemon processes currently suspended *)
@@ -189,15 +196,29 @@ let deadlock_of_env () =
             deadlock_env_var s;
           false)
 
+let own_env_var = "SEUSS_OWN"
+
+let own_of_env () =
+  match Sys.getenv_opt own_env_var with
+  | None | Some "" -> false  (* "" = unset: callers can't delete env vars *)
+  | Some s -> (
+      match String.lowercase_ascii (String.trim s) with
+      | "1" | "true" | "yes" | "on" -> true
+      | "0" | "false" | "no" | "off" -> false
+      | _ ->
+          Printf.eprintf "warning: ignoring malformed %s=%S\n%!" own_env_var s;
+          false)
+
 let initial_capacity = 256
 
-let create ?(seed = 1L) ?tie_seed ?deadlock () =
+let create ?(seed = 1L) ?tie_seed ?deadlock ?own () =
   let tie_seed =
     match tie_seed with Some _ -> tie_seed | None -> shuffle_seed_of_env ()
   in
   let deadlock =
     match deadlock with Some b -> b | None -> deadlock_of_env ()
   in
+  let own = match own with Some b -> b | None -> own_of_env () in
   let t =
     {
       clk = { t_now = 0.0 };
@@ -229,6 +250,8 @@ let create ?(seed = 1L) ?tie_seed ?deadlock () =
       fault_plan = None;
       crashed = [];
       deadlock;
+      own;
+      census_hooks = [];
       proc = None;
       next_pid = 0;
       parked = 0;
@@ -412,6 +435,12 @@ let current_pid t = match t.proc with Some p -> p.p_id | None -> 0
 
 let add_deadlock_reporter t f =
   t.deadlock_reporters <- f :: t.deadlock_reporters
+
+(* {1 Ownership census} *)
+
+let own_armed t = t.own
+
+let add_census_hook t f = t.census_hooks <- f :: t.census_hooks
 
 let fresh_resource t kind =
   t.next_resource <- t.next_resource + 1;
@@ -600,6 +629,9 @@ let report_stranded t =
     (fun s -> List.iter (fun f -> f s) (List.rev t.deadlock_reporters))
     (stranded_waiters t)
 
+(* seussheat: cold — runs once per drained armed run, off the dispatch path *)
+let run_census t = List.iter (fun f -> f ()) (List.rev t.census_hooks)
+
 (* The dispatch loop, as a tail-recursive drain so an unarmed run
    allocates nothing at all: no option per peek/pop (slot columns are
    read in place), no refs, no closures. Returns whether the queue
@@ -668,6 +700,7 @@ let run ?until t =
          anything still parked can never be woken — walk the wait-for
          graph and hand each stranded waiter to the reporters. *)
       if drained && t.deadlock then report_stranded t;
+      if drained && t.own then run_census t;
       restore_idle t
   | exception exn ->
       restore_idle t;

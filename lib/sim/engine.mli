@@ -15,7 +15,8 @@
 
 type t
 
-val create : ?seed:int64 -> ?tie_seed:int64 -> ?deadlock:bool -> unit -> t
+val create :
+  ?seed:int64 -> ?tie_seed:int64 -> ?deadlock:bool -> ?own:bool -> unit -> t
 (** [create ?seed ()] is a fresh engine at time [0.0]. [seed] (default
     [1L]) initialises the engine's PRNG, from which experiments derive all
     randomness.
@@ -29,6 +30,14 @@ val create : ?seed:int64 -> ?tie_seed:int64 -> ?deadlock:bool -> unit -> t
     engine whose run strands nobody makes no extra PRNG draws, schedules
     nothing extra, and prints nothing, so its outputs stay
     byte-identical to an unarmed run.
+
+    [own] arms the ownership census: callbacks registered with
+    {!add_census_hook} run once at natural quiescence (after the
+    stranded-waiter report) so each node can count resources still held
+    — leaked frames, snapshot references, pinned snapshots, undestroyed
+    UCs. When [own] is absent, the [SEUSS_OWN] environment variable
+    supplies it ([1]/[true]/[yes]/[on]). Unarmed, nothing registers and
+    outputs stay byte-identical to a build without the hook.
 
     [tie_seed] arms the schedule sanitizer's tie shuffler: events at
     equal timestamps fire in a seeded-random order instead of FIFO
@@ -252,6 +261,29 @@ val add_deadlock_reporter : t -> (stranded -> unit) -> unit
     reaches natural quiescence with the detector armed. Reporters run
     outside any process — they must not block (the [seussdead] static
     pass enforces this). *)
+
+(** {1 Ownership census}
+
+    The dynamic half of the [seussown] static pass: with the census
+    armed ([?own] at {!create} or [SEUSS_OWN=1]), hooks registered via
+    {!add_census_hook} run once when {!run} reaches natural quiescence,
+    after the stranded-waiter report. Each node registers a hook that
+    counts the resources still held beyond its caches — the runtime
+    ground truth for the statically-proven acquire/release pairing. *)
+
+val own_env_var : string
+(** ["SEUSS_OWN"]. *)
+
+val own_of_env : unit -> bool
+(** Parse {!own_env_var}: [1]/[true]/[yes]/[on] arms, [0]/unset/empty
+    disarms, malformed warns and disarms. *)
+
+val own_armed : t -> bool
+
+val add_census_hook : t -> (unit -> unit) -> unit
+(** Register a quiescence census hook (registration order preserved).
+    Hooks run outside any process — they must not block. Never invoked
+    when the census is unarmed. *)
 
 val current_pid : t -> int
 (** Pid of the currently-dispatching process, [0] outside one. *)

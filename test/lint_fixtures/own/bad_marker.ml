@@ -1,0 +1,8 @@
+(* Fixture: markers without a reason or with an unknown verb are
+   rejected by the bad-allow meta-rule. *)
+
+(* seussown: transfer *)
+let f x = x + 1
+
+(* seussown: lend — not a verb this pass knows *)
+let g x = x + 2

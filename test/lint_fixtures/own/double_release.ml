@@ -1,0 +1,6 @@
+(* Fixture: the same UC destroyed twice on one path. *)
+
+let cleanup env image =
+  let uc = Uc.boot env image in
+  Uc.destroy uc;
+  Uc.destroy uc

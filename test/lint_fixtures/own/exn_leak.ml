@@ -1,0 +1,7 @@
+(* Fixture: the failure arm raises while the booted UC is still owned —
+   the success arm's destroy keeps the escape layer quiet, so only the
+   exception path leaks. *)
+
+let boot_once env image =
+  let uc = Uc.boot env image in
+  if Uc.connect uc then Uc.destroy uc else failwith "no connection"

@@ -1,0 +1,6 @@
+(* Fixture: an acquire that no reachable path releases — neither this
+   binding nor anything its callee cone reaches drops the reference. *)
+
+let pin snap =
+  Snapshot.addref snap;
+  snap

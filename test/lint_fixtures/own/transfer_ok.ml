@@ -1,0 +1,19 @@
+(* Fixture: ownership that demonstrably moves leaves the file clean —
+   a marker-justified escape, a marker-justified callback hand-off, and
+   an interprocedural transfer to a callee that releases. *)
+
+let pin_for_caller snap =
+  (* seussown: transfer — fixture: the caller must decref *)
+  Snapshot.addref snap;
+  snap
+
+let hand_off env image register =
+  (* seussown: transfer — fixture: the registry owns the UC afterwards *)
+  let uc = Uc.boot env image in
+  register uc
+
+let finish uc = Uc.destroy uc
+
+let lifecycle env image =
+  let uc = Uc.boot env image in
+  finish uc

@@ -1,0 +1,6 @@
+(* Fixture: branch arms that disagree about the booted UC — the then
+   arm destroys it, the implicit else leaves it owned. *)
+
+let maybe_drop env image ok =
+  let uc = Uc.boot env image in
+  if ok then Uc.destroy uc

@@ -1,0 +1,5 @@
+(* Fixture: a transfer marker that clears no acquire and silences
+   nothing is dead weight. *)
+
+(* seussown: transfer — fixture: covers nothing *)
+let f x = x + 1

@@ -1,0 +1,7 @@
+(* Fixture: a liveness-requiring operation on a UC already destroyed on
+   this path. *)
+
+let poke env image =
+  let uc = Uc.boot env image in
+  Uc.destroy uc;
+  Uc.resume uc

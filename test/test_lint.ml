@@ -190,21 +190,88 @@ let check_heat_fixture_tree () =
        (Lint.Heat.check_tree ~strip_prefix:"lint_fixtures"
           [ "lint_fixtures/lib"; "lint_fixtures/deadlock" ]))
 
+let check_own_fixture_tree () =
+  (* Mirror CI's "Own fixtures still fail" step: every ownership rule
+     fires on its fixture with the planted count, the marker meta-rules
+     fire, and the justified-transfer fixture stays clean. *)
+  let vs =
+    Lint.Own.check_tree ~strip_prefix:"lint_fixtures"
+      [ "lint_fixtures/own" ]
+  in
+  let in_file f =
+    List.filter (fun v -> String.equal v.Lint.Check.file f) vs
+  in
+  List.iter
+    (fun (file, rule, expected) ->
+      let hits = in_file ("own/" ^ file) in
+      Alcotest.(check (list string)) (file ^ " rule") [ rule ] (rules_hit hits);
+      Alcotest.(check int) (file ^ " count") expected (List.length hits))
+    [
+      ("leak_escape.ml", "own-escape", 1);
+      ("exn_leak.ml", "own-exn-leak", 1);
+      ("double_release.ml", "own-double-release", 1);
+      ("use_after_destroy.ml", "own-use-after-destroy", 1);
+      ("unbalanced.ml", "own-unbalanced", 1);
+      ("bad_marker.ml", Lint.Rules.bad_allow, 2);
+      ("unused_marker.ml", Lint.Rules.unused_allow, 1);
+    ];
+  Alcotest.(check (list string)) "transfer_ok clean under seussown" []
+    (rules_hit (in_file "own/transfer_ok.ml"));
+  Alcotest.(check int) "whole own fixture tree: only the planted hits" 8
+    (List.length vs);
+  (* Every ownership finding must carry its root-to-site chain — the
+     report doubles as the ownership-flow proof. *)
+  List.iter
+    (fun v ->
+      if String.starts_with ~prefix:"own-" v.Lint.Check.rule then
+        Alcotest.(check bool)
+          (v.Lint.Check.rule ^ " message carries an ownership chain") true
+          (let msg = v.Lint.Check.message in
+           let rec has i =
+             i + 4 <= String.length msg
+             && (String.equal (String.sub msg i 4) " -> " || has (i + 1))
+           in
+           has 0))
+    vs;
+  (* Cross-pass isolation: the own fixtures are invisible to the other
+     three passes (their markers are not seussown's and vice versa),
+     and the own pass sees nothing in the deadlock fixtures. *)
+  Alcotest.(check int) "base pass ignores the own fixtures" 0
+    (List.length
+       (List.filter
+          (fun v -> String.starts_with ~prefix:"own/" v.Lint.Check.file)
+          (Lint.Check.check_tree ~strip_prefix:"lint_fixtures"
+             [ "lint_fixtures" ])));
+  Alcotest.(check int) "deadlock pass ignores the own fixtures" 0
+    (List.length
+       (Lint.Deadlock.check_tree ~strip_prefix:"lint_fixtures"
+          [ "lint_fixtures/own" ]));
+  Alcotest.(check int) "heat pass ignores the own fixtures" 0
+    (List.length
+       (Lint.Heat.check_tree ~strip_prefix:"lint_fixtures"
+          [ "lint_fixtures/own" ]));
+  Alcotest.(check int) "own pass ignores the deadlock fixtures" 0
+    (List.length
+       (Lint.Own.check_tree ~strip_prefix:"lint_fixtures"
+          [ "lint_fixtures/deadlock" ]))
+
 let check_pass_all_shared_parse () =
-  (* --pass all must equal the union of the three passes over the same
-     tree, deduplicated: both interprocedural passes surface the same
-     suffix-2 collision, which must be reported once. *)
+  (* --pass all must equal the union of the four passes over the same
+     tree, deduplicated: the three interprocedural passes all surface
+     the same suffix-2 collision, which must be reported once. *)
   let sources =
     Lint.Check.load_tree ~strip_prefix:"lint_fixtures" [ "lint_fixtures" ]
   in
   let base = Lint.Check.check_sources sources in
   let dl = Lint.Deadlock.check_sources sources in
   let heat = Lint.Heat.check_sources sources in
+  let own = Lint.Own.check_sources sources in
   let merged =
-    List.sort_uniq Lint.Check.compare_violation (base @ dl @ heat)
+    List.sort_uniq Lint.Check.compare_violation (base @ dl @ heat @ own)
   in
-  Alcotest.(check int) "dedup removes the doubly-reported collision"
-    (List.length base + List.length dl + List.length heat - 1)
+  Alcotest.(check int) "dedup removes the triply-reported collision"
+    (List.length base + List.length dl + List.length heat + List.length own
+   - 2)
     (List.length merged)
 
 let check_clean_tree () =
@@ -253,6 +320,22 @@ let check_clean_tree_heat () =
     Alcotest.(check int) "heat violations in shipped tree" 0 (List.length vs)
   end
 
+let check_clean_tree_own () =
+  (* The own pass must come back clean on the shipped tree: every
+     acquire reaches a release on every path, or sits in the Lint.Sites
+     transfer registry, or carries a justified transfer marker. *)
+  let roots = List.filter Sys.file_exists [ "../lib"; "../bin" ] in
+  if roots = [] then ()
+  else begin
+    let vs = Lint.Own.check_tree roots in
+    List.iter
+      (fun v ->
+        Printf.eprintf "unexpected: %s:%d [%s] %s\n" v.Lint.Check.file
+          v.Lint.Check.line v.Lint.Check.rule v.Lint.Check.message)
+      vs;
+    Alcotest.(check int) "own violations in shipped tree" 0 (List.length vs)
+  end
+
 let () =
   Alcotest.run "lint"
     [
@@ -276,6 +359,8 @@ let () =
             check_deadlock_fixture_tree;
           Alcotest.test_case "heat fixture tree" `Quick
             check_heat_fixture_tree;
+          Alcotest.test_case "own fixture tree" `Quick
+            check_own_fixture_tree;
           Alcotest.test_case "--pass all shares one parse" `Quick
             check_pass_all_shared_parse;
           Alcotest.test_case "shipped tree is clean" `Quick check_clean_tree;
@@ -283,5 +368,7 @@ let () =
             check_clean_tree_deadlock;
           Alcotest.test_case "shipped tree is heat-clean" `Quick
             check_clean_tree_heat;
+          Alcotest.test_case "shipped tree is own-clean" `Quick
+            check_clean_tree_own;
         ] );
     ]

@@ -113,6 +113,8 @@ let test_event_roundtrip_all_variants () =
           resident_bytes = 4194304L;
           policy = "lru";
         };
+      Obs.Event.San_leak
+        { node = "node0"; frames = 3; snapshot_refs = 1; pinned = 0; ucs = 2 };
     ]
   in
   List.iter

@@ -890,6 +890,117 @@ let test_ring_drops_surface_in_metrics () =
     (Obs.Metrics.value
        (Obs.Metrics.counter env.Seuss.Osenv.metrics "obs_events_dropped_total"))
 
+(* {1 Ownership census (SEUSS_OWN)} *)
+
+(* A small mixed workload (cold + hot per function), optionally followed
+   by a deliberately leaked UC: deployed from the base snapshot and then
+   dropped on the floor — never destroyed, never cached. *)
+let census_run ~own ~leak =
+  let engine = Sim.Engine.create ~seed:11L ~own () in
+  let env = Seuss.Osenv.create ~budget_bytes:(gib 8) engine in
+  let leaks = ref [] in
+  let node_ref = ref None in
+  Sim.Engine.spawn engine ~name:"experiment" (fun () ->
+      let node = N.create env in
+      N.arm_census ~name:"census-node"
+        ~on_leak:(fun c -> leaks := c :: !leaks)
+        node;
+      N.start node;
+      node_ref := Some node;
+      for k = 1 to 3 do
+        let f =
+          fn
+            ~id:(Printf.sprintf "own-%d" k)
+            "function main(args) { return {}; }"
+        in
+        ignore (expect_ok (N.invoke node f ~args:"{}"));
+        ignore (expect_ok (N.invoke node f ~args:"{}"))
+      done;
+      if leak then
+        match N.base_snapshot node Unikernel.Image.Node with
+        | Some base -> ignore (Seuss.Uc.deploy env base)
+        | None -> Alcotest.fail "no base snapshot to leak from");
+  Sim.Engine.run engine;
+  let node =
+    match !node_ref with
+    | Some n -> n
+    | None -> Alcotest.fail "simulation did not complete"
+  in
+  let san_leaks =
+    List.filter
+      (fun (r : Obs.Log.record) ->
+        match r.Obs.Log.ev with Obs.Event.San_leak _ -> true | _ -> false)
+      (Obs.Log.records env.Seuss.Osenv.log)
+  in
+  (node, !leaks, san_leaks)
+
+let test_census_clean_when_armed () =
+  let node, leaks, san_leaks = census_run ~own:true ~leak:false in
+  Alcotest.(check int) "no leak callbacks" 0 (List.length leaks);
+  Alcotest.(check int) "no San_leak events" 0 (List.length san_leaks);
+  (* The census itself agrees at quiescence: the node's caches account
+     for every frame, snapshot reference, pin window and UC. *)
+  let c = N.census node in
+  Alcotest.(check bool) "census all-zero" true (N.census_clean c);
+  Alcotest.(check int) "no pin window left open" 0 c.N.pinned_windows
+
+let test_census_detects_planted_leak () =
+  let _node, leaks, san_leaks = census_run ~own:true ~leak:true in
+  (match leaks with
+  | [ c ] ->
+      Alcotest.(check int) "exactly the dropped UC" 1 c.N.leaked_ucs;
+      Alcotest.(check bool) "its base reference is unaccounted" true
+        (c.N.snapshot_ref_mismatch >= 1)
+  | l -> Alcotest.failf "expected one leak callback, got %d" (List.length l));
+  match san_leaks with
+  | [ { Obs.Log.ev = Obs.Event.San_leak { node; ucs; _ }; _ } ] ->
+      Alcotest.(check string) "event names the node" "census-node" node;
+      Alcotest.(check int) "event carries the UC count" 1 ucs
+  | l -> Alcotest.failf "expected one San_leak event, got %d" (List.length l)
+
+let with_own_env value f =
+  (* "" reads as unset (Unix offers no unsetenv). *)
+  Unix.putenv Sim.Engine.own_env_var value;
+  Fun.protect ~finally:(fun () -> Unix.putenv Sim.Engine.own_env_var "") f
+
+let test_experiments_zero_leaks_armed () =
+  (* Every shipped experiment finishes with all resources accounted for:
+     armed runs report an empty leak list for each node they spin up. *)
+  with_own_env "1" (fun () ->
+      let check_run name run =
+        ignore (run ());
+        Alcotest.(check int)
+          (name ^ ": no leaked resources")
+          0
+          (List.length (Experiments.Harness.last_leaked_resources ()))
+      in
+      check_run "fig4" (fun () ->
+          Experiments.Fig4.run ~set_sizes:[ 16 ] ~client_threads:8 ~seed:7L ());
+      check_run "chaos" (fun () ->
+          Experiments.Fig_chaos.run ~nodes:2 ~functions:5 ~calls:20
+            ~rates:[ 0.0; 0.05 ] ~seed:7L ());
+      check_run "reap" (fun () ->
+          Experiments.Fig_reap.run ~functions:4 ~rounds:5 ~seed:7L ()))
+
+let test_experiments_own_zero_is_unset () =
+  (* SEUSS_OWN=0 must behave exactly like the variable being absent. *)
+  with_own_env "0" (fun () ->
+      ignore
+        (Experiments.Fig4.run ~set_sizes:[ 16 ] ~client_threads:8 ~seed:7L ());
+      Alcotest.(check int) "fig4 with SEUSS_OWN=0: census stays dark" 0
+        (List.length (Experiments.Harness.last_leaked_resources ())))
+
+let test_census_unarmed_is_silent () =
+  (* Same planted leak, census unarmed: nothing observes, nothing emits —
+     the hook must be observation-only. *)
+  let node, leaks, san_leaks = census_run ~own:false ~leak:true in
+  Alcotest.(check int) "no leak callbacks" 0 (List.length leaks);
+  Alcotest.(check int) "no San_leak events" 0 (List.length san_leaks);
+  (* The leak is still there — only the armed run reports it. *)
+  let c = N.census node in
+  Alcotest.(check int) "census (queried directly) still sees it" 1
+    c.N.leaked_ucs
+
 let () =
   let case name f = Alcotest.test_case name `Quick f in
   Alcotest.run "seuss"
@@ -964,6 +1075,15 @@ let () =
         [
           case "adds round trip" test_shim_adds_round_trip;
           case "serializes" test_shim_serializes;
+        ] );
+      ( "census",
+        [
+          case "armed clean run is all-zero" test_census_clean_when_armed;
+          case "planted leak detected" test_census_detects_planted_leak;
+          case "unarmed census is silent" test_census_unarmed_is_silent;
+          case "shipped experiments leak-free armed"
+            test_experiments_zero_leaks_armed;
+          case "SEUSS_OWN=0 behaves as unset" test_experiments_own_zero_is_unset;
         ] );
       ( "seussprof",
         [

@@ -653,6 +653,50 @@ let test_engine_zero_alloc_dispatch () =
     (Printf.sprintf "minor words allocated across %d dispatches" (measured + 1))
     0.0 (w1 -. w0)
 
+(* {1 Ownership census hooks (SEUSS_OWN)} *)
+
+let with_own_env value f =
+  (* "" reads as unset (Unix offers no unsetenv). *)
+  Unix.putenv Sim.Engine.own_env_var value;
+  Fun.protect ~finally:(fun () -> Unix.putenv Sim.Engine.own_env_var "") f
+
+let test_census_hooks_run_at_quiescence () =
+  let engine = Sim.Engine.create ~seed:3L ~own:true () in
+  Alcotest.(check bool) "armed" true (Sim.Engine.own_armed engine);
+  let fired = ref 0 in
+  let quiesced = ref false in
+  Sim.Engine.add_census_hook engine (fun () ->
+      incr fired;
+      (* Hooks run after the last event, outside any process. *)
+      quiesced := Sim.Engine.pending engine = 0);
+  Sim.Engine.spawn engine (fun () -> Sim.Engine.sleep 1.0);
+  Alcotest.(check int) "not before run" 0 !fired;
+  Sim.Engine.run engine;
+  Alcotest.(check int) "exactly once at quiescence" 1 !fired;
+  Alcotest.(check bool) "after the heap drained" true !quiesced
+
+let test_census_hooks_inert_unarmed () =
+  with_own_env "" (fun () ->
+      let engine = Sim.Engine.create ~seed:3L () in
+      Alcotest.(check bool) "census off by default" false
+        (Sim.Engine.own_armed engine);
+      let fired = ref 0 in
+      Sim.Engine.add_census_hook engine (fun () -> incr fired);
+      Sim.Engine.spawn engine (fun () -> Sim.Engine.sleep 1.0);
+      Sim.Engine.run engine;
+      Alcotest.(check int) "hook never runs unarmed" 0 !fired)
+
+let test_census_env_arms () =
+  with_own_env "1" (fun () ->
+      Alcotest.(check bool) "SEUSS_OWN=1 arms Engine.create" true
+        (Sim.Engine.own_armed (Sim.Engine.create ~seed:3L ())));
+  with_own_env "0" (fun () ->
+      Alcotest.(check bool) "SEUSS_OWN=0 behaves as unset" false
+        (Sim.Engine.own_armed (Sim.Engine.create ~seed:3L ())));
+  with_own_env "" (fun () ->
+      Alcotest.(check bool) "empty behaves as unset" false
+        (Sim.Engine.own_armed (Sim.Engine.create ~seed:3L ())))
+
 let () =
   let case name f = Alcotest.test_case name `Quick f in
   let qcase = QCheck_alcotest.to_alcotest in
@@ -722,5 +766,11 @@ let () =
           case "send recv" test_channel_send_recv;
           case "multiple consumers" test_channel_multiple_consumers;
           case "recv timeout" test_channel_recv_timeout;
+        ] );
+      ( "census",
+        [
+          case "hooks run at quiescence" test_census_hooks_run_at_quiescence;
+          case "hooks inert unarmed" test_census_hooks_inert_unarmed;
+          case "env arms" test_census_env_arms;
         ] );
     ]
